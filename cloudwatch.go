@@ -1,0 +1,92 @@
+// Package cloudwatch reproduces "Cloud Watching: Understanding Attacks
+// Against Cloud-Hosted Services" (IMC 2023): a measurement platform of
+// honeypots (GreyNoise-style interactive collectors, Honeytrap-style
+// first-payload collectors) and a network telescope, an attacker-
+// population simulator standing in for live Internet traffic, the
+// statistically rigorous comparison methodology of the paper's §3.3,
+// and one experiment driver per table and figure of the evaluation.
+//
+// Quickstart:
+//
+//	study, err := cloudwatch.Run(cloudwatch.DefaultStudy(42, 2021))
+//	if err != nil { ... }
+//	fmt.Println(study.Table2().Render()) // neighborhood discrimination
+//	fmt.Println(study.Table8().Render()) // telescope avoidance
+//
+// The heavy lifting lives in internal packages (stats, wire, pcap,
+// ids, fingerprint, netsim, cloud, scanners, searchengine, greynoise,
+// honeypot, telescope, core); this package is the stable surface a
+// downstream user imports.
+package cloudwatch
+
+import (
+	"cloudwatch/internal/cloud"
+	"cloudwatch/internal/core"
+	"cloudwatch/internal/honeypot"
+	"cloudwatch/internal/scanners"
+)
+
+// StudyConfig assembles a full study: vantage deployment, actor
+// population, and telescope watch ports.
+type StudyConfig = core.Config
+
+// Study is a completed collection week plus everything the analysis
+// needs; its methods (Table1 … Table11, Figure1) regenerate the
+// paper's tables and figures.
+type Study = core.Study
+
+// DeployConfig sizes the vantage-point deployment (Table 1 layout).
+type DeployConfig = cloud.Config
+
+// ActorConfig sizes the simulated scanner population.
+type ActorConfig = scanners.Config
+
+// DefaultStudy returns the standard study of a year (2020, 2021, or
+// 2022 — the Appendix C variants) at default scale.
+func DefaultStudy(seed int64, year int) StudyConfig {
+	return core.DefaultConfig(seed, year)
+}
+
+// QuickStudy returns a scaled-down study that completes in well under
+// a second: a smaller telescope and a thinner actor population, with
+// every behavioral bias intact.
+func QuickStudy(seed int64, year int) StudyConfig {
+	cfg := core.DefaultConfig(seed, year)
+	cfg.Deploy.TelescopeSlash24s = 32
+	cfg.Deploy.HoneytrapPerCloud = 16
+	cfg.Deploy.HurricaneIPs = 16
+	cfg.Actors.Scale = 0.35
+	return cfg
+}
+
+// FigureStudy returns a telescope-focused study for Figure 1: two full
+// /16s of darknet so the per-/16 and per-/24 address-structure
+// patterns are visible.
+func FigureStudy(seed int64, year int) StudyConfig {
+	cfg := core.DefaultConfig(seed, year)
+	cfg.Deploy.TelescopeSlash24s = 512
+	return cfg
+}
+
+// Run executes a study: build the deployment, crawl the search
+// engines, generate the population's traffic, and collect it.
+func Run(cfg StudyConfig) (*Study, error) {
+	return core.Run(cfg)
+}
+
+// HoneypotConfig configures a real honeypot daemon (see Honeypot
+// modes: first-payload capture, interactive Telnet, SSH banner).
+type HoneypotConfig = honeypot.Config
+
+// Honeypot daemon modes.
+const (
+	ModeFirstPayload = honeypot.ModeFirstPayload
+	ModeTelnet       = honeypot.ModeTelnet
+	ModeSSH          = honeypot.ModeSSH
+)
+
+// NewHoneypot returns a real TCP honeypot daemon; call Serve with a
+// net.Listener to start collecting.
+func NewHoneypot(cfg HoneypotConfig) *honeypot.Daemon {
+	return honeypot.NewDaemon(cfg)
+}

@@ -1,0 +1,100 @@
+// Command analyze replays a pcap capture (e.g. one exported by the
+// study's dataset-release path, or recorded by telescoped) through the
+// paper's §3.2/§6 classification pipeline: protocol fingerprinting
+// independent of port, Suricata-style IDS matching, and a
+// benign/malicious/unknown traffic summary.
+//
+// Usage:
+//
+//	analyze capture.pcap
+//	analyze -top 10 capture.pcap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cloudwatch/internal/fingerprint"
+	"cloudwatch/internal/ids"
+	"cloudwatch/internal/pcap"
+	"cloudwatch/internal/stats"
+	"cloudwatch/internal/wire"
+)
+
+func main() {
+	top := flag.Int("top", 5, "number of top entries per summary table")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: analyze [-top N] capture.pcap")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	packets, err := pcap.ReadAll(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyze: reading capture: %v\n", err)
+		os.Exit(1)
+	}
+
+	engine := ids.DefaultEngine()
+	protoFreq := stats.Freq{}
+	portFreq := stats.Freq{}
+	alertFreq := stats.Freq{}
+	srcs := map[wire.Addr]struct{}{}
+	malicious, unexpected := 0, 0
+
+	for _, p := range packets {
+		srcs[p.Src] = struct{}{}
+		portFreq.Add(fmt.Sprintf("%d/%s", p.DstPort, p.Proto), 1)
+		if len(p.Payload) == 0 {
+			continue
+		}
+		proto := fingerprint.Identify(p.Payload)
+		protoFreq.Add(proto.String(), 1)
+		if fingerprint.IsUnexpected(p.DstPort, p.Payload) {
+			unexpected++
+		}
+		alerts := engine.Match(p.Proto.String(), p.DstPort, p.Payload)
+		for _, a := range alerts {
+			alertFreq.Add(a.Msg, 1)
+		}
+		if engine.Malicious(p.Proto.String(), p.DstPort, p.Payload) {
+			malicious++
+		}
+	}
+
+	fmt.Printf("packets: %d   unique sources: %d\n", len(packets), len(srcs))
+	fmt.Printf("malicious payloads: %d (%.1f%%)   unexpected-protocol payloads: %d\n\n",
+		malicious, pct(malicious, len(packets)), unexpected)
+
+	printTop("top destination ports", portFreq, *top)
+	printTop("identified protocols", protoFreq, *top)
+	printTop("IDS alerts", alertFreq, *top)
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+func printTop(title string, f stats.Freq, n int) {
+	fmt.Println(title + ":")
+	keys := f.TopK(n)
+	sort.SliceStable(keys, func(a, b int) bool { return f[keys[a]] > f[keys[b]] })
+	for _, k := range keys {
+		fmt.Printf("  %6.0f  %s\n", f[k], k)
+	}
+	if len(keys) == 0 {
+		fmt.Println("  (none)")
+	}
+	fmt.Println()
+}

@@ -1,0 +1,94 @@
+// Command cloudwatch regenerates the tables and figures of "Cloud
+// Watching: Understanding Attacks Against Cloud-Hosted Services"
+// (IMC 2023) from a simulated collection week.
+//
+// Usage:
+//
+//	cloudwatch -experiment all            # every table and figure
+//	cloudwatch -experiment table8         # one experiment
+//	cloudwatch -year 2020 -experiment table2   # Appendix C variant
+//	cloudwatch -full                      # paper-scale deployment (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudwatch/internal/core"
+)
+
+func main() {
+	var (
+		seed       = flag.Int64("seed", 42, "simulation seed (all results are deterministic per seed)")
+		year       = flag.Int("year", 2021, "dataset year: 2020, 2021, or 2022 (Appendix C variants)")
+		experiment = flag.String("experiment", "all", "experiment to run: table1..table11, figure1, appendix, all")
+		scale      = flag.Float64("scale", 1.0, "actor population scale")
+		full       = flag.Bool("full", false, "use the paper-scale telescope (1856 /24s) instead of the default 128")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig(*seed, *year)
+	cfg.Actors.Scale = *scale
+	if *full {
+		cfg.Deploy.TelescopeSlash24s = 1856
+	}
+	if strings.HasPrefix(*experiment, "figure") {
+		// Figure 1 needs at least two full /16s of darknet.
+		if cfg.Deploy.TelescopeSlash24s < 512 {
+			cfg.Deploy.TelescopeSlash24s = 512
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "running %d study (seed %d, telescope %d /24s)...\n",
+		*year, *seed, cfg.Deploy.TelescopeSlash24s)
+	study, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "collected %d honeypot records, %d telescope packets\n\n",
+		len(study.Records), study.Tel.Packets())
+
+	experiments := map[string]func() string{
+		"table1":  func() string { return study.Table1().Render() },
+		"table2":  func() string { return study.Table2().Render() },
+		"table3":  func() string { return study.Table3().Render() },
+		"table4":  func() string { return study.Table4().Render() },
+		"table5":  func() string { return study.Table5().Render() },
+		"table6":  func() string { return study.Table6().Render() },
+		"table7":  func() string { return study.Table7().Render() },
+		"table8":  func() string { return study.Table8().Render() },
+		"table9":  func() string { return study.Table9().Render() },
+		"table10": func() string { return study.Table10().Render() },
+		"table11": func() string { return study.Table11().Render() },
+		"figure1": func() string { return study.Figure1().Render() },
+	}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "table6",
+		"table7", "table8", "table9", "table10", "table11", "figure1"}
+
+	switch *experiment {
+	case "all":
+		for _, name := range order {
+			fmt.Println(experiments[name]())
+		}
+	case "appendix":
+		// Tables 12-17 are the 2020/2022 variants of tables 2, 5, 7,
+		// 10, 4, 11; run this binary with -year 2020 or -year 2022.
+		fmt.Println(study.Table2().Render())
+		fmt.Println(study.Table5().Render())
+		fmt.Println(study.Table7().Render())
+		fmt.Println(study.Table10().Render())
+		fmt.Println(study.Table4().Render())
+		fmt.Println(study.Table11().Render())
+	default:
+		run, ok := experiments[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s, appendix, all\n",
+				*experiment, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		fmt.Println(run())
+	}
+}

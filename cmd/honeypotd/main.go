@@ -1,0 +1,141 @@
+// Command honeypotd runs real low-interaction honeypot daemons on
+// local ports: a Cowrie-style interactive Telnet credential collector,
+// an SSH banner collector, and Honeytrap-style first-payload
+// collectors. Captured records stream to stdout as JSON lines.
+//
+// Usage:
+//
+//	honeypotd -telnet :2323 -ssh :2222 -payload :8080,:8081 -udp :5353
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"cloudwatch/internal/honeypot"
+	"cloudwatch/internal/netsim"
+)
+
+type jsonRecord struct {
+	Time      time.Time    `json:"time"`
+	Vantage   string       `json:"vantage"`
+	Src       string       `json:"src"`
+	Port      uint16       `json:"port"`
+	Transport string       `json:"transport"`
+	Payload   string       `json:"payload,omitempty"`
+	Creds     []credential `json:"credentials,omitempty"`
+}
+
+type credential struct {
+	Username string `json:"username"`
+	Password string `json:"password"`
+}
+
+func main() {
+	var (
+		telnetAddrs  = flag.String("telnet", "", "comma-separated Telnet listen addresses (e.g. :2323)")
+		sshAddrs     = flag.String("ssh", "", "comma-separated SSH listen addresses (e.g. :2222)")
+		payloadAddrs = flag.String("payload", "", "comma-separated first-payload TCP listen addresses")
+		udpAddrs     = flag.String("udp", "", "comma-separated UDP first-payload listen addresses")
+		timeout      = flag.Duration("timeout", 10*time.Second, "per-connection read timeout")
+	)
+	flag.Parse()
+
+	enc := json.NewEncoder(os.Stdout)
+	var encMu sync.Mutex
+	onRecord := func(rec netsim.Record) {
+		out := jsonRecord{
+			Time: rec.T, Vantage: rec.Vantage, Src: rec.Src.String(),
+			Port: rec.Port, Transport: rec.Transport.String(),
+			Payload: string(rec.Payload),
+		}
+		for _, c := range rec.Creds {
+			out.Creds = append(out.Creds, credential{c.Username, c.Password})
+		}
+		encMu.Lock()
+		defer encMu.Unlock()
+		enc.Encode(out)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	started := 0
+	serve := func(addr string, mode honeypot.Mode, label string) {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "honeypotd: listen %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "honeypotd: %s collector on %s\n", label, ln.Addr())
+		d := honeypot.NewDaemon(honeypot.Config{
+			Vantage: label + ":" + addr, Mode: mode,
+			ReadTimeout: *timeout, OnRecord: onRecord,
+		})
+		started++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := d.Serve(ctx, ln); err != nil {
+				fmt.Fprintf(os.Stderr, "honeypotd: %s: %v\n", label, err)
+			}
+		}()
+	}
+
+	for _, addr := range splitAddrs(*telnetAddrs) {
+		serve(addr, honeypot.ModeTelnet, "telnet")
+	}
+	for _, addr := range splitAddrs(*sshAddrs) {
+		serve(addr, honeypot.ModeSSH, "ssh")
+	}
+	for _, addr := range splitAddrs(*payloadAddrs) {
+		serve(addr, honeypot.ModeFirstPayload, "payload")
+	}
+	for _, addr := range splitAddrs(*udpAddrs) {
+		pc, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "honeypotd: udp listen %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "honeypotd: udp collector on %s\n", pc.LocalAddr())
+		started++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := honeypot.ServeUDP(ctx, pc, "udp:"+addr, 0, onRecord); err != nil {
+				fmt.Fprintf(os.Stderr, "honeypotd: udp: %v\n", err)
+			}
+		}()
+	}
+
+	if started == 0 {
+		fmt.Fprintln(os.Stderr, "honeypotd: no listeners configured; see -help")
+		os.Exit(2)
+	}
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "honeypotd: shutting down")
+	wg.Wait()
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

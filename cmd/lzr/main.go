@@ -1,0 +1,95 @@
+// Command lzr fingerprints first payloads independent of destination
+// port, in the spirit of the LZR scanner the paper uses (§6). It reads
+// a payload from stdin (or each line of a file as a separate payload
+// with -lines) and reports the identified protocol, plus whether the
+// payload is unexpected for a given port.
+//
+// Usage:
+//
+//	printf 'GET / HTTP/1.1\r\n\r\n' | lzr -port 8080
+//	lzr -lines payloads.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cloudwatch/internal/fingerprint"
+)
+
+func main() {
+	var (
+		port  = flag.Int("port", 0, "destination port for expected-protocol comparison (0 = skip)")
+		lines = flag.String("lines", "", "file with one payload per line (supports \\r\\n escapes)")
+	)
+	flag.Parse()
+
+	if *lines != "" {
+		f, err := os.Open(*lines)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lzr:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			payload := unescape(sc.Text())
+			report(payload, *port)
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "lzr:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	payload, err := io.ReadAll(io.LimitReader(os.Stdin, 1<<20))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lzr:", err)
+		os.Exit(1)
+	}
+	report(payload, *port)
+}
+
+func report(payload []byte, port int) {
+	proto := fingerprint.Identify(payload)
+	fmt.Printf("protocol: %s", proto)
+	if port > 0 && port <= 65535 {
+		expected := fingerprint.Expected(uint16(port))
+		fmt.Printf("  expected-on-port-%d: %s", port, expected)
+		if fingerprint.IsUnexpected(uint16(port), payload) {
+			fmt.Printf("  UNEXPECTED")
+		}
+	}
+	fmt.Println()
+}
+
+// unescape expands \r, \n, \t, and \\ so text files can carry protocol
+// line endings.
+func unescape(s string) []byte {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			out = append(out, s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'r':
+			out = append(out, '\r')
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case '\\':
+			out = append(out, '\\')
+		default:
+			out = append(out, '\\', s[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Command telescoped runs a tiny network-telescope-style collector: it
+// accepts TCP connections and UDP datagrams on the given ports,
+// records the first packet of each (never responding on UDP, never
+// reading beyond the first payload on TCP), and writes the capture as
+// a standard pcap file readable by ordinary analyzers.
+//
+// Usage:
+//
+//	telescoped -tcp :8080,:2323 -udp :5353 -out capture.pcap
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"cloudwatch/internal/honeypot"
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/pcap"
+	"cloudwatch/internal/wire"
+)
+
+func main() {
+	var (
+		tcpAddrs = flag.String("tcp", "", "comma-separated TCP listen addresses")
+		udpAddrs = flag.String("udp", "", "comma-separated UDP listen addresses")
+		out      = flag.String("out", "telescope.pcap", "pcap output path")
+	)
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "telescoped:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	w := pcap.NewWriter(f)
+	var mu sync.Mutex
+	packets := 0
+
+	onRecord := func(rec netsim.Record) {
+		p := wire.Packet{
+			Time: rec.T, Src: rec.Src, Dst: wire.MustParseAddr("127.0.0.1"),
+			SrcPort: 0, DstPort: rec.Port, Proto: rec.Transport,
+			Flags: wire.FlagSYN, Payload: rec.Payload,
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if err := w.WritePacket(p); err != nil {
+			fmt.Fprintln(os.Stderr, "telescoped: write:", err)
+			return
+		}
+		packets++
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	started := 0
+	for _, addr := range split(*tcpAddrs) {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telescoped: listen %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telescoped: tcp on %s\n", ln.Addr())
+		d := honeypot.NewDaemon(honeypot.Config{
+			Vantage: "telescope:" + addr, Mode: honeypot.ModeFirstPayload,
+			ReadTimeout: 5 * time.Second, OnRecord: onRecord,
+		})
+		started++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Serve(ctx, ln)
+		}()
+	}
+	for _, addr := range split(*udpAddrs) {
+		pc, err := net.ListenPacket("udp", addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telescoped: udp listen %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telescoped: udp on %s\n", pc.LocalAddr())
+		started++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			honeypot.ServeUDP(ctx, pc, "telescope:"+addr, 0, onRecord)
+		}()
+	}
+	if started == 0 {
+		fmt.Fprintln(os.Stderr, "telescoped: no listeners configured; see -help")
+		os.Exit(2)
+	}
+
+	<-ctx.Done()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "telescoped: flush:", err)
+	}
+	fmt.Fprintf(os.Stderr, "telescoped: wrote %d packets to %s\n", packets, *out)
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

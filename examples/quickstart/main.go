@@ -1,0 +1,26 @@
+// Quickstart: run a scaled-down collection week, then look at the two
+// headline findings — neighboring honeypots receive significantly
+// different traffic (Table 2), and scanners that target real services
+// avoid the network telescope (Table 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cloudwatch"
+)
+
+func main() {
+	study, err := cloudwatch.Run(cloudwatch.QuickStudy(42, 2021))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("collected %d honeypot records and %d telescope packets from %d actors\n\n",
+		len(study.Records), study.Tel.Packets(), len(study.Actors))
+
+	fmt.Println(study.Table1().Render())
+	fmt.Println(study.Table2().Render())
+	fmt.Println(study.Table8().Render())
+}

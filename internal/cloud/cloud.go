@@ -1,0 +1,196 @@
+// Package cloud models the deployment substrate of the paper's §3.1:
+// five cloud providers across 23 countries, two education networks,
+// and the Orion network telescope (Table 1), plus the multi-cloud city
+// matrix of Table 6. It allocates honeypot IPs inside provider address
+// pools — a randomly-assigned, recycled address space, which is what
+// makes §4's IP-structure and service-history effects possible — and
+// produces the netsim.Target set the simulation runs against.
+package cloud
+
+import (
+	"fmt"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/wire"
+)
+
+// Provider identifies a monitored network.
+type Provider string
+
+// The eight networks of Table 1.
+const (
+	AWS       Provider = "aws"
+	Google    Provider = "google"
+	Azure     Provider = "azure"
+	Linode    Provider = "linode"
+	Hurricane Provider = "he"
+	Stanford  Provider = "stanford"
+	Merit     Provider = "merit"
+	Orion     Provider = "orion"
+)
+
+// Kind returns the network kind of the provider.
+func (p Provider) Kind() netsim.NetworkKind {
+	switch p {
+	case Stanford, Merit:
+		return netsim.KindEducation
+	case Orion:
+		return netsim.KindTelescope
+	default:
+		return netsim.KindCloud
+	}
+}
+
+// Region is one (provider, geography) deployment location.
+type Region struct {
+	Provider Provider
+	Name     string // short region slug, e.g. "ap-sydney"
+	Geo      netsim.Geo
+}
+
+// Key returns the stable region identifier "provider:name".
+func (r Region) Key() string { return fmt.Sprintf("%s:%s", r.Provider, r.Name) }
+
+func geo(country, sub, city, continent string) netsim.Geo {
+	return netsim.Geo{Country: country, Sub: sub, City: city, Continent: continent}
+}
+
+// GreyNoiseRegions lists the GreyNoise vantage regions of Table 1:
+// AWS 16, Azure 3, Google 21, Linode 7, Hurricane Electric 1.
+var GreyNoiseRegions = []Region{
+	// AWS: US (OR), US (CA), US (GA), BR, BH, FR, IE, DE, CA, AU, SG,
+	// IN, KR, JP, HK, ZA.
+	{AWS, "us-oregon", geo("US", "OR", "PDX", "NA")},
+	{AWS, "us-california", geo("US", "CA", "SFO", "NA")},
+	{AWS, "us-georgia", geo("US", "GA", "ATL", "NA")},
+	{AWS, "sa-saopaulo", geo("BR", "", "GRU", "OTHER")},
+	{AWS, "me-bahrain", geo("BH", "", "BAH", "OTHER")},
+	{AWS, "eu-paris", geo("FR", "", "PAR", "EU")},
+	{AWS, "eu-dublin", geo("IE", "", "DUB", "EU")},
+	{AWS, "eu-frankfurt", geo("DE", "", "FRA", "EU")},
+	{AWS, "ca-montreal", geo("CA", "", "YUL", "NA")},
+	{AWS, "ap-sydney", geo("AU", "", "SYD", "APAC")},
+	{AWS, "ap-singapore", geo("SG", "", "SIN", "APAC")},
+	{AWS, "ap-mumbai", geo("IN", "", "BOM", "APAC")},
+	{AWS, "ap-seoul", geo("KR", "", "ICN", "APAC")},
+	{AWS, "ap-tokyo", geo("JP", "", "NRT", "APAC")},
+	{AWS, "ap-hongkong", geo("HK", "", "HKG", "APAC")},
+	{AWS, "af-capetown", geo("ZA", "", "CPT", "OTHER")},
+	// Azure: US (TX), SG, IN.
+	{Azure, "us-texas", geo("US", "TX", "SAT", "NA")},
+	{Azure, "ap-singapore", geo("SG", "", "SIN", "APAC")},
+	{Azure, "ap-pune", geo("IN", "", "PNQ", "APAC")},
+	// Google: US (NV), US (UT), US (CA), US (OR), US (VA), US (SC),
+	// US (IA), QC, CH, NL, DE, GB, BE, FI, AU, ID, SG, KR, JP, HK, TW.
+	{Google, "us-nevada", geo("US", "NV", "LAS", "NA")},
+	{Google, "us-utah", geo("US", "UT", "SLC", "NA")},
+	{Google, "us-california", geo("US", "CA", "LAX", "NA")},
+	{Google, "us-oregon", geo("US", "OR", "PDX", "NA")},
+	{Google, "us-virginia", geo("US", "VA", "IAD", "NA")},
+	{Google, "us-southcarolina", geo("US", "SC", "CAE", "NA")},
+	{Google, "us-iowa", geo("US", "IA", "DSM", "NA")},
+	{Google, "ca-quebec", geo("CA", "QC", "YUL", "NA")},
+	{Google, "eu-zurich", geo("CH", "", "ZRH", "EU")},
+	{Google, "eu-netherlands", geo("NL", "", "AMS", "EU")},
+	{Google, "eu-frankfurt", geo("DE", "", "FRA", "EU")},
+	{Google, "eu-london", geo("GB", "", "LON", "EU")},
+	{Google, "eu-belgium", geo("BE", "", "BRU", "EU")},
+	{Google, "eu-finland", geo("FI", "", "HEL", "EU")},
+	{Google, "ap-sydney", geo("AU", "", "SYD", "APAC")},
+	{Google, "ap-jakarta", geo("ID", "", "CGK", "APAC")},
+	{Google, "ap-singapore", geo("SG", "", "SIN", "APAC")},
+	{Google, "ap-seoul", geo("KR", "", "ICN", "APAC")},
+	{Google, "ap-tokyo", geo("JP", "", "NRT", "APAC")},
+	{Google, "ap-hongkong", geo("HK", "", "HKG", "APAC")},
+	{Google, "ap-taiwan", geo("TW", "", "TPE", "APAC")},
+	// Linode: US (CA), US (NY), UK, DE, IN, AU, SG.
+	{Linode, "us-california", geo("US", "CA", "FMT", "NA")},
+	{Linode, "us-newyork", geo("US", "NY", "EWR", "NA")},
+	{Linode, "eu-london", geo("GB", "", "LON", "EU")},
+	{Linode, "eu-frankfurt", geo("DE", "", "FRA", "EU")},
+	{Linode, "ap-mumbai", geo("IN", "", "BOM", "APAC")},
+	{Linode, "ap-sydney", geo("AU", "", "SYD", "APAC")},
+	{Linode, "ap-singapore", geo("SG", "", "SIN", "APAC")},
+	// Hurricane Electric: one /24 in US (OH).
+	{Hurricane, "us-ohio", geo("US", "OH", "CMH", "NA")},
+}
+
+// HoneytrapRegions lists the Honeytrap deployments: the two education
+// /26 networks plus the cloud /26s deployed beside them (§3.1,
+// "to eliminate biases when directly comparing the education and cloud
+// honeypots").
+var HoneytrapRegions = []Region{
+	{Stanford, "us-west", geo("US", "CA", "STF", "NA")},
+	{AWS, "ht-us-west", geo("US", "CA", "SFO", "NA")},
+	{Google, "ht-us-west", geo("US", "CA", "LAX", "NA")},
+	{Merit, "us-east", geo("US", "MI", "MER", "NA")},
+	{Google, "ht-us-east", geo("US", "MI", "DET", "NA")},
+}
+
+// TelescopeRegion is the Orion network telescope (US East).
+var TelescopeRegion = Region{Orion, "us-east", geo("US", "MI", "MER", "NA")}
+
+// MultiCloudCity is one row of Table 6: a city hosting honeypots in
+// several clouds, used for cloud-to-cloud comparisons that "minimize
+// geographic biases". Regions maps each provider to its region key in
+// this deployment.
+type MultiCloudCity struct {
+	City    string
+	Regions map[Provider]string
+	// APACOnly marks cities excluded from the cloud–cloud statistics
+	// per the paper's footnote 7 ("we are only able to verify this
+	// result in North America and Europe").
+	APACOnly bool
+}
+
+// MultiCloudCities mirrors Table 6 for this deployment: every city
+// whose honeypots exist in more than one cloud. The NA/EU rows drive
+// Table 7's cloud–cloud comparisons.
+var MultiCloudCities = []MultiCloudCity{
+	{"CA-US", map[Provider]string{AWS: "aws:us-california", Google: "google:us-california", Linode: "linode:us-california"}, false},
+	{"OR-US", map[Provider]string{AWS: "aws:us-oregon", Google: "google:us-oregon"}, false},
+	{"FRA-DE", map[Provider]string{AWS: "aws:eu-frankfurt", Google: "google:eu-frankfurt", Linode: "linode:eu-frankfurt"}, false},
+	{"SIN-SG", map[Provider]string{AWS: "aws:ap-singapore", Google: "google:ap-singapore", Linode: "linode:ap-singapore", Azure: "azure:ap-singapore"}, true},
+	{"SYD-AU", map[Provider]string{AWS: "aws:ap-sydney", Google: "google:ap-sydney", Linode: "linode:ap-sydney"}, true},
+	{"BOM-IN", map[Provider]string{AWS: "aws:ap-mumbai", Linode: "linode:ap-mumbai"}, true},
+}
+
+// CloudCloudPairs returns the NA/EU same-city cross-provider region
+// pairs used in Table 7's cloud–cloud column.
+func CloudCloudPairs() [][2]string {
+	var out [][2]string
+	for _, c := range MultiCloudCities {
+		if c.APACOnly {
+			continue
+		}
+		var keys []string
+		for _, p := range []Provider{AWS, Google, Azure, Linode} {
+			if r, ok := c.Regions[p]; ok {
+				keys = append(keys, r)
+			}
+		}
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				out = append(out, [2]string{keys[i], keys[j]})
+			}
+		}
+	}
+	return out
+}
+
+// pools assigns each provider a distinct documentation-style super-
+// block; honeypot IPs are drawn from per-region /24s inside it. The
+// telescope gets its own /15-equivalent range carved from 100.64/10.
+var pools = map[Provider]wire.Block{
+	AWS:       wire.MustParseBlock("52.16.0.0/14"),
+	Google:    wire.MustParseBlock("34.64.0.0/14"),
+	Azure:     wire.MustParseBlock("20.192.0.0/14"),
+	Linode:    wire.MustParseBlock("172.104.0.0/15"),
+	Hurricane: wire.MustParseBlock("216.218.128.0/17"),
+	Stanford:  wire.MustParseBlock("171.64.0.0/16"),
+	Merit:     wire.MustParseBlock("198.108.0.0/16"),
+	Orion:     wire.MustParseBlock("100.64.0.0/13"),
+}
+
+// Pool returns the address pool of a provider.
+func Pool(p Provider) wire.Block { return pools[p] }

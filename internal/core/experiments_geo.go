@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudwatch/internal/netsim"
+)
+
+// geoLabel renders a region's geography as the paper's tables do:
+// "US-CA", "AP-SG", "EU-DE", "CA-TOR".
+func geoLabel(g netsim.Geo) string {
+	switch {
+	case g.Country == "US":
+		return "US-" + g.Sub
+	case g.Continent == "APAC":
+		return "AP-" + g.Country
+	case g.Continent == "EU":
+		return "EU-" + g.Country
+	default:
+		return g.Continent + "-" + g.Country
+	}
+}
+
+// Table4Cell is one (provider, slice, characteristic) cell of Table 4:
+// the region deviating most from its network siblings.
+type Table4Cell struct {
+	Provider         string
+	Slice            ProtocolSlice
+	Characteristic   Characteristic
+	MostDiffRegion   string // geo label of the most-different region ("-" if none)
+	AvgPhi           float64
+	SignificantPairs int
+}
+
+// Table4Result reproduces Table 4 (and Table 16 on the 2020 config).
+type Table4Result struct {
+	Year  int
+	Cells []Table4Cell
+}
+
+var table4Axes = []struct {
+	slice ProtocolSlice
+	chars []Characteristic
+}{
+	{SliceSSH22, []Characteristic{CharTopAS, CharTopUsernames, CharFracMalicious}},
+	{SliceTelnet23, []Characteristic{CharTopAS, CharTopUsernames, CharTopPasswords, CharFracMalicious}},
+	{SliceHTTP80, []Characteristic{CharTopAS, CharTopPayloads}},
+	{SliceHTTPAll, []Characteristic{CharTopAS, CharTopPayloads, CharFracMalicious}},
+}
+
+// Table4 finds, per provider and characteristic, the geographic region
+// whose traffic deviates most from the provider's other regions.
+func (s *Study) Table4() Table4Result {
+	res := Table4Result{Year: s.Cfg.Year}
+	for _, provider := range []string{"aws", "google", "linode"} {
+		regionViews := map[string]map[ProtocolSlice]*View{}
+		var regions []string
+		for _, region := range s.U.Regions() {
+			if !strings.HasPrefix(region, provider+":") {
+				continue
+			}
+			regions = append(regions, region)
+			regionViews[region] = map[ProtocolSlice]*View{}
+		}
+		for _, axis := range table4Axes {
+			for _, region := range regions {
+				regionViews[region][axis.slice] = s.regionGroupView(region, axis.slice)
+			}
+			for _, char := range axis.chars {
+				fam := &Family{}
+				type ref struct{ a, b string }
+				var refs []ref
+				for i := 0; i < len(regions); i++ {
+					for j := i + 1; j < len(regions); j++ {
+						r, err := Compare(regionViews[regions[i]][axis.slice], regionViews[regions[j]][axis.slice], char)
+						fam.Add(regions[i]+" vs "+regions[j], r, err == nil)
+						refs = append(refs, ref{regions[i], regions[j]})
+					}
+				}
+				m := fam.Comparisons()
+				counts := map[string]int{}
+				phiSum, phiN := 0.0, 0
+				for idx, p := range fam.Pairs {
+					if !p.OK || !p.Result.Significant(Alpha, m) {
+						continue
+					}
+					counts[refs[idx].a]++
+					counts[refs[idx].b]++
+					phiSum += p.Result.CramersV
+					phiN++
+				}
+				cell := Table4Cell{
+					Provider: provider, Slice: axis.slice, Characteristic: char,
+					MostDiffRegion: "-", SignificantPairs: phiN,
+				}
+				best, bestN := "", 0
+				for region, n := range counts {
+					if n > bestN || (n == bestN && region < best) {
+						best, bestN = region, n
+					}
+				}
+				if bestN > 0 {
+					cell.MostDiffRegion = geoLabel(s.regionGeo(best))
+					cell.AvgPhi = phiSum / float64(phiN)
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res
+}
+
+// regionGroupView merges the GreyNoise views of one region with the
+// §4.4 median filter.
+func (s *Study) regionGroupView(region string, slice ProtocolSlice) *View {
+	var views []*View
+	for _, t := range s.U.Region(region) {
+		if t.Collector != netsim.CollectGreyNoise {
+			continue
+		}
+		views = append(views, s.VantageView(t.ID, slice))
+	}
+	return GroupView(views)
+}
+
+func (s *Study) regionGeo(region string) netsim.Geo {
+	targets := s.U.Region(region)
+	if len(targets) == 0 {
+		return netsim.Geo{}
+	}
+	return targets[0].Geo
+}
+
+// Render formats Table 4.
+func (r Table4Result) Render() string {
+	title := fmt.Sprintf("Table 4 (%d): geographic regions with most different traffic patterns", r.Year)
+	t := newTable(title, "Traffic", "Protocol", "AWS most-dif", "AWS phi", "Google most-dif", "Google phi", "Linode most-dif", "Linode phi")
+	type key struct {
+		slice ProtocolSlice
+		char  Characteristic
+	}
+	cells := map[key]map[string]Table4Cell{}
+	var order []key
+	for _, c := range r.Cells {
+		k := key{c.Slice, c.Characteristic}
+		if cells[k] == nil {
+			cells[k] = map[string]Table4Cell{}
+			order = append(order, k)
+		}
+		cells[k][c.Provider] = c
+	}
+	for _, k := range order {
+		row := []string{k.char.String(), k.slice.String()}
+		for _, p := range []string{"aws", "google", "linode"} {
+			if c, ok := cells[k][p]; ok {
+				row = append(row, c.MostDiffRegion, fmtPhi(c.AvgPhi, magnitudeLabel(c.AvgPhi)))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		t.add(row...)
+	}
+	return t.String()
+}
+
+// Table5Cell is one (slice, characteristic, geo-group) cell of Table 5:
+// the share of same-network region pairs with *similar* traffic.
+type Table5Cell struct {
+	Slice           ProtocolSlice
+	Characteristic  Characteristic
+	GeoGroup        string // "US", "EU", "APAC", "Intercontinental"
+	Pairs           int
+	SimilarFraction float64
+}
+
+// Table5Result reproduces Table 5 (and Table 13 on the 2020 config).
+type Table5Result struct {
+	Year  int
+	Cells []Table5Cell
+}
+
+var table5Axes = []struct {
+	slice ProtocolSlice
+	chars []Characteristic
+}{
+	{SliceSSH22, []Characteristic{CharTopAS, CharFracMalicious, CharTopUsernames, CharTopPasswords}},
+	{SliceTelnet23, []Characteristic{CharTopAS, CharFracMalicious, CharTopUsernames, CharTopPasswords}},
+	{SliceHTTP80, []Characteristic{CharTopAS, CharFracMalicious, CharTopPayloads}},
+	{SliceHTTPAll, []Characteristic{CharTopAS, CharFracMalicious, CharTopPayloads}},
+}
+
+// Table5 compares every same-network pair of regions, grouped by
+// geography: both-US, both-EU, both-APAC, or intercontinental.
+func (s *Study) Table5() Table5Result {
+	res := Table5Result{Year: s.Cfg.Year}
+	type pair struct {
+		a, b  string
+		group string
+	}
+	var pairs []pair
+	for _, provider := range []string{"aws", "google", "linode", "azure"} {
+		var regions []string
+		for _, region := range s.U.Regions() {
+			if strings.HasPrefix(region, provider+":") {
+				regions = append(regions, region)
+			}
+		}
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				ga, gb := s.regionGeo(regions[i]), s.regionGeo(regions[j])
+				group := ""
+				switch {
+				case ga.Country == "US" && gb.Country == "US":
+					group = "US"
+				case ga.Continent == "EU" && gb.Continent == "EU":
+					group = "EU"
+				case ga.Continent == "APAC" && gb.Continent == "APAC":
+					group = "APAC"
+				case ga.Continent != gb.Continent:
+					group = "Intercontinental"
+				default:
+					continue // same non-grouped continent (e.g. both OTHER)
+				}
+				pairs = append(pairs, pair{regions[i], regions[j], group})
+			}
+		}
+	}
+
+	for _, axis := range table5Axes {
+		views := map[string]*View{}
+		for _, p := range pairs {
+			for _, region := range []string{p.a, p.b} {
+				if _, ok := views[region]; !ok {
+					views[region] = s.regionGroupView(region, axis.slice)
+				}
+			}
+		}
+		for _, char := range axis.chars {
+			fam := &Family{}
+			var groups []string
+			for _, p := range pairs {
+				r, err := Compare(views[p.a], views[p.b], char)
+				fam.Add(p.a+" vs "+p.b, r, err == nil)
+				groups = append(groups, p.group)
+			}
+			m := fam.Comparisons()
+			similar := map[string]int{}
+			total := map[string]int{}
+			for idx, pr := range fam.Pairs {
+				if !pr.OK {
+					continue
+				}
+				total[groups[idx]]++
+				if !pr.Result.Significant(Alpha, m) {
+					similar[groups[idx]]++
+				}
+			}
+			for _, g := range []string{"US", "EU", "APAC", "Intercontinental"} {
+				cell := Table5Cell{Slice: axis.slice, Characteristic: char, GeoGroup: g, Pairs: total[g]}
+				if total[g] > 0 {
+					cell.SimilarFraction = float64(similar[g]) / float64(total[g])
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res
+}
+
+// Render formats Table 5.
+func (r Table5Result) Render() string {
+	title := fmt.Sprintf("Table 5 (%d): %% similar pairs of regions in same network, by geography", r.Year)
+	t := newTable(title, "Protocol", "Characteristic", "US", "EU", "APAC", "Intercontinental")
+	type key struct {
+		slice ProtocolSlice
+		char  Characteristic
+	}
+	cells := map[key]map[string]Table5Cell{}
+	var order []key
+	for _, c := range r.Cells {
+		k := key{c.Slice, c.Characteristic}
+		if cells[k] == nil {
+			cells[k] = map[string]Table5Cell{}
+			order = append(order, k)
+		}
+		cells[k][c.GeoGroup] = c
+	}
+	for _, k := range order {
+		row := []string{k.slice.String(), k.char.String()}
+		for _, g := range []string{"US", "EU", "APAC", "Intercontinental"} {
+			c := cells[k][g]
+			if c.Pairs == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%s (n=%d)", fmtPct(c.SimilarFraction), c.Pairs))
+			}
+		}
+		t.add(row...)
+	}
+	return t.String()
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/stats"
+)
+
+// Table3Row is one (service, traffic-kind, leak-group) fold-increase
+// measurement of Table 3.
+type Table3Row struct {
+	Service   string  // "HTTP/80", "SSH/22", "Telnet/23"
+	Traffic   string  // "All" or "Malicious"
+	Group     string  // "censys", "shodan", "prevleaked"
+	Fold      float64 // mean traffic/hour leaked ÷ control
+	MWUSig    bool    // one-sided Mann-Whitney: leaked > control (bold)
+	KSSig     bool    // KS: distributions differ (the table's star)
+	LeakedIPs int
+}
+
+// Table3Result reproduces Table 3: the impact of Internet-service
+// search engines on attack traffic.
+type Table3Result struct {
+	Rows []Table3Row
+	// UniquePasswordFold is the §4.3 side-finding: unique SSH
+	// passwords attempted on leaked vs control services ("attackers
+	// will attempt on average 3 times more unique SSH passwords").
+	UniquePasswordFold float64
+}
+
+var leakServices = []struct {
+	name  string
+	slice ProtocolSlice
+	port  uint16
+}{
+	{"HTTP/80", SliceHTTP80, 80},
+	{"SSH/22", SliceSSH22, 22},
+	{"Telnet/23", SliceTelnet23, 23},
+}
+
+// Table3 measures fold increases of traffic per hour toward leaked
+// services relative to the control group, with Mann-Whitney
+// significance (bold) and KS distribution difference (star).
+func (s *Study) Table3() Table3Result {
+	var res Table3Result
+	control := s.leakGroupTargets(func(t *netsim.Target) bool {
+		return t.Region == "stanford:leak:control"
+	})
+	for _, svc := range leakServices {
+		controlAll, controlMal := s.groupHourly(control, svc.slice)
+		groups := []struct {
+			label string
+			pick  func(*netsim.Target) bool
+		}{
+			{"censys", func(t *netsim.Target) bool {
+				return t.Region == "stanford:leak:leaked" && t.LeakEngine == "censys" && t.LeakPort == svc.port
+			}},
+			{"shodan", func(t *netsim.Target) bool {
+				return t.Region == "stanford:leak:leaked" && t.LeakEngine == "shodan" && t.LeakPort == svc.port
+			}},
+			{"prevleaked", func(t *netsim.Target) bool {
+				return t.Region == "stanford:leak:prevleaked"
+			}},
+		}
+		for _, g := range groups {
+			targets := s.leakGroupTargets(g.pick)
+			leakedAll, leakedMal := s.groupHourly(targets, svc.slice)
+			for _, traffic := range []struct {
+				kind             string
+				leaked, baseline []float64
+			}{
+				{"All", leakedAll, controlAll},
+				{"Malicious", leakedMal, controlMal},
+			} {
+				row := Table3Row{
+					Service: svc.name, Traffic: traffic.kind, Group: g.label,
+					Fold:      stats.FoldIncrease(traffic.leaked, traffic.baseline),
+					LeakedIPs: len(targets),
+				}
+				if mwu, err := stats.MannWhitneyU(traffic.leaked, traffic.baseline, stats.AlternativeGreater); err == nil {
+					row.MWUSig = mwu.P < Alpha
+				}
+				if ks, err := stats.KolmogorovSmirnov(traffic.leaked, traffic.baseline); err == nil {
+					row.KSSig = ks.P < Alpha
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	res.UniquePasswordFold = s.leakPasswordFold()
+	return res
+}
+
+// leakGroupTargets returns leak-experiment targets matching pick.
+func (s *Study) leakGroupTargets(pick func(*netsim.Target) bool) []*netsim.Target {
+	var out []*netsim.Target
+	for _, t := range s.U.Targets() {
+		if strings.HasPrefix(t.Region, "stanford:leak") && pick(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// groupHourly returns the per-IP average hourly volume series (all,
+// malicious) of a target group restricted to a slice.
+func (s *Study) groupHourly(targets []*netsim.Target, slice ProtocolSlice) (all, mal []float64) {
+	all = make([]float64, netsim.StudyHours)
+	mal = make([]float64, netsim.StudyHours)
+	if len(targets) == 0 {
+		return all, mal
+	}
+	for _, t := range targets {
+		v := s.VantageView(t.ID, slice)
+		for h := range v.Hourly {
+			all[h] += v.Hourly[h]
+			mal[h] += v.MalHourly[h]
+		}
+	}
+	n := float64(len(targets))
+	for h := range all {
+		all[h] /= n
+		mal[h] /= n
+	}
+	return all, mal
+}
+
+// leakPasswordFold computes unique SSH passwords per leaked IP ÷ per
+// control IP.
+func (s *Study) leakPasswordFold() float64 {
+	uniquePw := func(targets []*netsim.Target) float64 {
+		if len(targets) == 0 {
+			return 0
+		}
+		total := 0.0
+		for _, t := range targets {
+			v := s.VantageView(t.ID, SliceSSH22)
+			total += float64(len(v.Passwords))
+		}
+		return total / float64(len(targets))
+	}
+	leaked := s.leakGroupTargets(func(t *netsim.Target) bool {
+		return t.Region == "stanford:leak:leaked" && t.LeakPort == 22
+	})
+	control := s.leakGroupTargets(func(t *netsim.Target) bool {
+		return t.Region == "stanford:leak:control"
+	})
+	c := uniquePw(control)
+	if c == 0 {
+		return 0
+	}
+	return uniquePw(leaked) / c
+}
+
+// Render formats the result as Table 3's layout.
+func (r Table3Result) Render() string {
+	t := newTable("Table 3: impact of Internet-service search engines (fold increase in traffic/hour vs control; ** = MWU significant, * = KS significant)",
+		"Service", "Traffic", "Censys Leaked", "Shodan Leaked", "Previously Leaked")
+	type key struct{ svc, traffic string }
+	cells := map[key]map[string]Table3Row{}
+	for _, row := range r.Rows {
+		k := key{row.Service, row.Traffic}
+		if cells[k] == nil {
+			cells[k] = map[string]Table3Row{}
+		}
+		cells[k][row.Group] = row
+	}
+	for _, svc := range leakServices {
+		for _, traffic := range []string{"All", "Malicious"} {
+			k := key{svc.name, traffic}
+			row := []string{svc.name, traffic}
+			for _, g := range []string{"censys", "shodan", "prevleaked"} {
+				if c, ok := cells[k][g]; ok {
+					row = append(row, fmtFold(c.Fold, c.MWUSig, c.KSSig))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.add(row...)
+		}
+	}
+	out := t.String()
+	out += fmt.Sprintf("Unique SSH passwords on leaked vs control: %.1fx\n", r.UniquePasswordFold)
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table2Cell is one (slice, characteristic) cell of Table 2: the share
+// of neighborhoods whose identical services receive significantly
+// different traffic, and the average effect size among the
+// significantly-different pairs.
+type Table2Cell struct {
+	Slice                  ProtocolSlice
+	Characteristic         Characteristic
+	Neighborhoods          int     // neighborhoods with testable pairs (the n)
+	DifferentNeighborhoods int     // neighborhoods with ≥1 significant pair
+	FractionDifferent      float64 // DifferentNeighborhoods / Neighborhoods
+	AvgPhi                 float64 // mean Cramér's V over significant pairs
+	AvgMagnitude           string
+}
+
+// Table2Result reproduces Table 2 (and Table 12 when run on the 2020
+// configuration): attacker discrimination between neighboring
+// services.
+type Table2Result struct {
+	Year  int
+	Cells []Table2Cell
+}
+
+// neighborhoodSlices lists the (slice, characteristics) groups of
+// Table 2.
+var neighborhoodSlices = []struct {
+	slice ProtocolSlice
+	chars []Characteristic
+}{
+	{SliceSSH22, []Characteristic{CharTopAS, CharFracMalicious, CharTopUsernames, CharTopPasswords}},
+	{SliceTelnet23, []Characteristic{CharTopAS, CharFracMalicious, CharTopUsernames, CharTopPasswords}},
+	{SliceHTTP80, []Characteristic{CharTopAS, CharFracMalicious, CharTopPayloads}},
+	{SliceHTTPAll, []Characteristic{CharTopAS, CharFracMalicious, CharTopPayloads}},
+}
+
+// Table2 compares every pair of neighboring GreyNoise honeypots (same
+// region, same network) on every §3.3 characteristic.
+func (s *Study) Table2() Table2Result {
+	res := Table2Result{Year: s.Cfg.Year}
+	for _, group := range neighborhoodSlices {
+		// Build per-vantage views per region once per slice.
+		regionViews := s.greyNoiseRegionViews(group.slice)
+		for _, char := range group.chars {
+			cell := Table2Cell{Slice: group.slice, Characteristic: char}
+			fam := &Family{}
+			type pairRef struct {
+				region string
+				idx    int
+			}
+			var refs []pairRef
+			for region, views := range regionViews {
+				for i := 0; i < len(views); i++ {
+					for j := i + 1; j < len(views); j++ {
+						r, err := Compare(views[i], views[j], char)
+						label := fmt.Sprintf("%s #%d vs #%d", region, i, j)
+						fam.Add(label, r, err == nil)
+						refs = append(refs, pairRef{region, len(fam.Pairs) - 1})
+					}
+				}
+			}
+			m := fam.Comparisons()
+			diffRegions := map[string]bool{}
+			testableRegions := map[string]bool{}
+			var phiSum float64
+			var phiN int
+			for _, ref := range refs {
+				p := fam.Pairs[ref.idx]
+				if !p.OK {
+					continue
+				}
+				testableRegions[ref.region] = true
+				if p.Result.Significant(Alpha, m) {
+					diffRegions[ref.region] = true
+					phiSum += p.Result.CramersV
+					phiN++
+				}
+			}
+			cell.Neighborhoods = len(testableRegions)
+			cell.DifferentNeighborhoods = len(diffRegions)
+			if cell.Neighborhoods > 0 {
+				cell.FractionDifferent = float64(cell.DifferentNeighborhoods) / float64(cell.Neighborhoods)
+			}
+			if phiN > 0 {
+				cell.AvgPhi = phiSum / float64(phiN)
+				cell.AvgMagnitude = magnitudeLabel(cell.AvgPhi)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res
+}
+
+// greyNoiseRegionViews builds the per-honeypot views of every
+// GreyNoise region for one slice, keeping only honeypots with traffic
+// in the slice.
+func (s *Study) greyNoiseRegionViews(slice ProtocolSlice) map[string][]*View {
+	out := map[string][]*View{}
+	for _, region := range s.U.Regions() {
+		if strings.HasPrefix(region, "stanford:leak") {
+			continue
+		}
+		targets := s.U.Region(region)
+		var views []*View
+		for _, t := range targets {
+			if t.Collector.String() != "greynoise" {
+				continue
+			}
+			v := s.VantageView(t.ID, slice)
+			if v.Total > 0 {
+				views = append(views, v)
+			}
+		}
+		if len(views) >= 2 {
+			out[region] = views
+		}
+	}
+	return out
+}
+
+// magnitudeLabel buckets an average φ of a 2×k comparison for display;
+// individual pair magnitudes are dof-aware (stats.Magnitude), but the
+// table-level average uses the df*=1 scale as the paper's color coding
+// does.
+func magnitudeLabel(phi float64) string {
+	switch {
+	case phi >= 0.5:
+		return "large"
+	case phi >= 0.3:
+		return "medium"
+	case phi >= 0.1:
+		return "small"
+	default:
+		return "none"
+	}
+}
+
+// Render formats the result as Table 2's layout.
+func (r Table2Result) Render() string {
+	title := fmt.Sprintf("Table 2 (%d): attackers target neighboring services differently", r.Year)
+	t := newTable(title, "Protocol", "Characteristic", "n", "% Neighborhoods different", "Avg phi")
+	for _, c := range r.Cells {
+		t.add(c.Slice.String(), c.Characteristic.String(),
+			fmt.Sprint(c.Neighborhoods), fmtPct(c.FractionDifferent),
+			fmtPhi(c.AvgPhi, c.AvgMagnitude))
+	}
+	return t.String()
+}

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudwatch/internal/cloud"
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/stats"
+	"cloudwatch/internal/wire"
+)
+
+// Table7Cell is one (comparison-kind, slice, characteristic) cell of
+// Table 7.
+type Table7Cell struct {
+	Kind           string // "cloud-cloud", "cloud-edu", "edu-edu"
+	Slice          ProtocolSlice
+	Characteristic Characteristic
+	Pairs          int
+	Different      int
+	AvgPhi         float64
+	NotComputable  bool // the paper's "×" cells (credential characteristics on Honeytrap)
+}
+
+// Table7Result reproduces Table 7 (and Table 14 on mixed-year
+// configs): differences across network types.
+type Table7Result struct {
+	Year  int
+	Cells []Table7Cell
+}
+
+var table7Axes = []struct {
+	slice ProtocolSlice
+	chars []Characteristic
+}{
+	{SliceSSH22, []Characteristic{CharTopAS, CharTopUsernames, CharTopPasswords, CharFracMalicious}},
+	{SliceTelnet23, []Characteristic{CharTopAS, CharTopUsernames, CharTopPasswords, CharFracMalicious}},
+	{SliceHTTP80, []Characteristic{CharTopAS, CharTopPayloads, CharFracMalicious}},
+	{SliceHTTPAll, []Characteristic{CharTopAS, CharTopPayloads, CharFracMalicious}},
+}
+
+// credChars cannot be computed on plain Honeytrap networks (no
+// credential capture, SSH maliciousness invisible): Table 7/9's "×".
+func credBased(char Characteristic, slice ProtocolSlice) bool {
+	if char == CharTopUsernames || char == CharTopPasswords {
+		return true
+	}
+	return char == CharFracMalicious && (slice == SliceSSH22 || slice == SliceTelnet23)
+}
+
+// Table7 compares traffic across network types: same-city cloud pairs,
+// cloud vs education (Honeytrap fleets), education vs education.
+func (s *Study) Table7() Table7Result {
+	res := Table7Result{Year: s.Cfg.Year}
+
+	cloudPairs := cloud.CloudCloudPairs()
+	eduCloudPairs := [][2]string{
+		{"stanford:us-west", "aws:ht-us-west"},
+		{"stanford:us-west", "google:ht-us-west"},
+		{"merit:us-east", "google:ht-us-east"},
+		{"merit:us-east", "aws:ht-us-west"},
+	}
+	eduPairs := [][2]string{{"stanford:us-west", "merit:us-east"}}
+
+	kinds := []struct {
+		name      string
+		pairs     [][2]string
+		honeytrap bool // comparisons run on Honeytrap data (credential axes not computable)
+	}{
+		{"cloud-cloud", cloudPairs, false},
+		{"cloud-edu", eduCloudPairs, true},
+		{"edu-edu", eduPairs, true},
+	}
+
+	for _, axis := range table7Axes {
+		for _, kind := range kinds {
+			views := map[string]*View{}
+			for _, p := range kind.pairs {
+				for _, region := range []string{p[0], p[1]} {
+					if _, ok := views[region]; !ok {
+						views[region] = s.anyRegionGroupView(region, axis.slice)
+					}
+				}
+			}
+			for _, char := range axis.chars {
+				cell := Table7Cell{Kind: kind.name, Slice: axis.slice, Characteristic: char}
+				if kind.honeytrap && credBased(char, axis.slice) {
+					cell.NotComputable = true
+					res.Cells = append(res.Cells, cell)
+					continue
+				}
+				fam := &Family{}
+				for _, p := range kind.pairs {
+					r, err := Compare(views[p[0]], views[p[1]], char)
+					fam.Add(p[0]+" vs "+p[1], r, err == nil)
+				}
+				cell.Pairs = fam.Comparisons()
+				cell.Different = len(fam.Significant())
+				cell.AvgPhi = fam.AvgSignificantV()
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res
+}
+
+// anyRegionGroupView merges every vantage point of a region (any
+// collector) with the median filter.
+func (s *Study) anyRegionGroupView(region string, slice ProtocolSlice) *View {
+	var views []*View
+	for _, t := range s.U.Region(region) {
+		views = append(views, s.VantageView(t.ID, slice))
+	}
+	return GroupView(views)
+}
+
+// Render formats Table 7.
+func (r Table7Result) Render() string {
+	title := fmt.Sprintf("Table 7 (%d): differences across network types (× = not computable on Honeytrap data)", r.Year)
+	t := newTable(title, "Traffic", "Protocol", "Cloud-Cloud", "CC phi", "Cloud-EDU", "CE phi", "EDU-EDU")
+	type key struct {
+		slice ProtocolSlice
+		char  Characteristic
+	}
+	cells := map[key]map[string]Table7Cell{}
+	var order []key
+	for _, c := range r.Cells {
+		k := key{c.Slice, c.Characteristic}
+		if cells[k] == nil {
+			cells[k] = map[string]Table7Cell{}
+			order = append(order, k)
+		}
+		cells[k][c.Kind] = c
+	}
+	fmtCell := func(c Table7Cell) []string {
+		if c.NotComputable {
+			return []string{"×", "×"}
+		}
+		return []string{fmt.Sprintf("%d/%d", c.Different, c.Pairs), fmtPhi(c.AvgPhi, magnitudeLabel(c.AvgPhi))}
+	}
+	for _, k := range order {
+		row := []string{k.char.String(), k.slice.String()}
+		row = append(row, fmtCell(cells[k]["cloud-cloud"])...)
+		row = append(row, fmtCell(cells[k]["cloud-edu"])...)
+		ee := cells[k]["edu-edu"]
+		if ee.NotComputable {
+			row = append(row, "×")
+		} else {
+			row = append(row, fmt.Sprintf("%d/%d", ee.Different, ee.Pairs))
+		}
+		t.add(row...)
+	}
+	return t.String()
+}
+
+// Table8Row is one port's scanner-overlap measurement (Table 8).
+type Table8Row struct {
+	Port          uint16
+	TelCloudFrac  float64 // |Tel ∩ Cloud| / |Cloud|
+	TelEDUFrac    float64 // |Tel ∩ EDU| / |EDU|
+	CloudEDUFrac  float64 // |Cloud ∩ EDU| / |Cloud|
+	CloudScanners int
+	EDUScanners   int
+}
+
+// Table8Result reproduces Table 8: scanners that target real services
+// avoid telescopes.
+type Table8Result struct {
+	Rows []Table8Row
+}
+
+// Table8Ports are the ports of Table 8, in the paper's order.
+var Table8Ports = []uint16{23, 2323, 80, 8080, 21, 2222, 25, 7547, 22, 443}
+
+// Table8 computes per-port source-IP overlaps between the telescope,
+// cloud networks, and education networks.
+func (s *Study) Table8() Table8Result {
+	var res Table8Result
+	for _, port := range Table8Ports {
+		cloudSrcs := s.networkSources(port, netsim.KindCloud, false)
+		eduSrcs := s.networkSources(port, netsim.KindEducation, false)
+		telSrcs := s.Tel.UniqueSources(port)
+		res.Rows = append(res.Rows, Table8Row{
+			Port:          port,
+			TelCloudFrac:  overlapFrac(telSrcs, cloudSrcs, cloudSrcs),
+			TelEDUFrac:    overlapFrac(telSrcs, eduSrcs, eduSrcs),
+			CloudEDUFrac:  overlapFrac(cloudSrcs, eduSrcs, cloudSrcs),
+			CloudScanners: len(cloudSrcs),
+			EDUScanners:   len(eduSrcs),
+		})
+	}
+	return res
+}
+
+// networkSources collects the (optionally malicious-only) source IPs
+// seen on one port across every vantage of a network kind, excluding
+// the §4.3 experiment hosts.
+func (s *Study) networkSources(port uint16, kind netsim.NetworkKind, maliciousOnly bool) map[wire.Addr]struct{} {
+	out := map[wire.Addr]struct{}{}
+	for _, t := range s.U.Targets() {
+		if t.Kind != kind || strings.HasPrefix(t.Region, "stanford:leak") {
+			continue
+		}
+		for _, rec := range s.VantageRecords(t.ID) {
+			if rec.Port != port {
+				continue
+			}
+			if maliciousOnly && !s.RecordMalicious(rec) {
+				continue
+			}
+			out[rec.Src] = struct{}{}
+		}
+	}
+	return out
+}
+
+// overlapFrac returns |a ∩ b| / |denom|.
+func overlapFrac(a, b, denom map[wire.Addr]struct{}) float64 {
+	if len(denom) == 0 {
+		return 0
+	}
+	n := 0
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	for ip := range small {
+		if _, ok := large[ip]; ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(denom))
+}
+
+// Render formats Table 8.
+func (r Table8Result) Render() string {
+	t := newTable("Table 8: scanners avoid telescopes — source-IP overlap by port",
+		"Port", "|Tel∩Cloud|/|Cloud|", "|Tel∩EDU|/|EDU|", "|Cloud∩EDU|/|Cloud|", "n(Cloud)", "n(EDU)")
+	for _, row := range r.Rows {
+		t.add(fmt.Sprint(row.Port), fmtPct(row.TelCloudFrac), fmtPct(row.TelEDUFrac),
+			fmtPct(row.CloudEDUFrac), fmt.Sprint(row.CloudScanners), fmt.Sprint(row.EDUScanners))
+	}
+	return t.String()
+}
+
+// Table9Row is one port's attacker-overlap measurement (Table 9).
+type Table9Row struct {
+	Port          uint16
+	TelCloudFrac  float64
+	TelEDUFrac    float64
+	EDUComputable bool // false renders the paper's "×"
+	CloudAttacker int
+}
+
+// Table9Result reproduces Table 9: attackers (malicious sources)
+// targeting SSH-assigned ports avoid telescopes.
+type Table9Result struct {
+	Rows []Table9Row
+}
+
+// Table9Ports are the ports of Table 9.
+var Table9Ports = []uint16{23, 2323, 80, 8080, 2222, 22}
+
+// Table9 computes per-port malicious-source overlaps with the
+// telescope. Credential-based maliciousness is invisible on plain
+// Honeytrap EDU networks, so those cells are marked not-computable.
+func (s *Study) Table9() Table9Result {
+	var res Table9Result
+	for _, port := range Table9Ports {
+		cloudMal := s.networkSources(port, netsim.KindCloud, true)
+		telSrcs := s.Tel.UniqueSources(port)
+		row := Table9Row{
+			Port:          port,
+			TelCloudFrac:  overlapFrac(telSrcs, cloudMal, cloudMal),
+			CloudAttacker: len(cloudMal),
+		}
+		if port == 80 || port == 8080 {
+			eduMal := s.networkSources(port, netsim.KindEducation, true)
+			row.TelEDUFrac = overlapFrac(telSrcs, eduMal, eduMal)
+			row.EDUComputable = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats Table 9.
+func (r Table9Result) Render() string {
+	t := newTable("Table 9: attackers targeting SSH-assigned ports avoid telescopes (malicious source overlap)",
+		"Port", "|Tel∩Mal.Cloud|/|Mal.Cloud|", "|Tel∩Mal.EDU|/|Mal.EDU|", "n(Mal.Cloud)")
+	for _, row := range r.Rows {
+		edu := "×"
+		if row.EDUComputable {
+			edu = fmtPct(row.TelEDUFrac)
+		}
+		t.add(fmt.Sprint(row.Port), fmtPct(row.TelCloudFrac), edu, fmt.Sprint(row.CloudAttacker))
+	}
+	return t.String()
+}
+
+// Table10Cell is one (network-kind, slice) comparison of telescope
+// scanning ASes against service networks (Table 10).
+type Table10Cell struct {
+	Kind      string // "telescope-edu" or "telescope-cloud"
+	Slice     ProtocolSlice
+	Networks  int
+	Different int
+	AvgPhi    float64
+}
+
+// Table10Result reproduces Table 10 (and Table 15 on the 2022 config).
+type Table10Result struct {
+	Year  int
+	Cells []Table10Cell
+}
+
+// Table10 compares the top scanning ASes of the telescope against
+// each education network and each cloud network (the US Honeytrap
+// deployments, keeping geography fixed).
+func (s *Study) Table10() Table10Result {
+	res := Table10Result{Year: s.Cfg.Year}
+	eduRegions := []string{"stanford:us-west", "merit:us-east"}
+	cloudRegions := []string{"aws:ht-us-west", "google:ht-us-west", "google:ht-us-east"}
+
+	slices := []struct {
+		slice ProtocolSlice
+		port  uint16 // telescope AS table port (0 = all ports)
+	}{
+		{SliceSSH22, 22},
+		{SliceTelnet23, 23},
+		{SliceHTTP80, 80},
+		{SliceAnyAll, 0},
+	}
+	for _, sl := range slices {
+		telAS := s.Tel.ASFrequencies(sl.port)
+		if sl.port == 0 {
+			telAS = s.Tel.ASFrequenciesAll()
+		}
+		for _, kind := range []struct {
+			name    string
+			regions []string
+		}{
+			{"telescope-edu", eduRegions},
+			{"telescope-cloud", cloudRegions},
+		} {
+			fam := &Family{}
+			for _, region := range kind.regions {
+				view := s.anyRegionGroupView(region, sl.slice)
+				if view.AS.Total() == 0 || telAS.Total() == 0 {
+					fam.Add("tel vs "+region, stats.ChiSquareResult{}, false)
+					continue
+				}
+				r, err := stats.CompareTopK(TopK, telAS, view.AS)
+				fam.Add("tel vs "+region, r, err == nil)
+			}
+			res.Cells = append(res.Cells, Table10Cell{
+				Kind:      kind.name,
+				Slice:     sl.slice,
+				Networks:  fam.Comparisons(),
+				Different: len(fam.Significant()),
+				AvgPhi:    fam.AvgSignificantV(),
+			})
+		}
+	}
+	return res
+}
+
+// Render formats Table 10.
+func (r Table10Result) Render() string {
+	title := fmt.Sprintf("Table 10 (%d): different scanners target telescopes (top-3 AS comparisons)", r.Year)
+	t := newTable(title, "Protocol", "Tel-EDU dif", "Tel-EDU phi", "Tel-Cloud dif", "Tel-Cloud phi")
+	type row struct{ edu, cloud Table10Cell }
+	rows := map[ProtocolSlice]*row{}
+	var order []ProtocolSlice
+	for _, c := range r.Cells {
+		rw, ok := rows[c.Slice]
+		if !ok {
+			rw = &row{}
+			rows[c.Slice] = rw
+			order = append(order, c.Slice)
+		}
+		if c.Kind == "telescope-edu" {
+			rw.edu = c
+		} else {
+			rw.cloud = c
+		}
+	}
+	for _, sl := range order {
+		rw := rows[sl]
+		t.add(sl.String(),
+			fmt.Sprintf("%d/%d", rw.edu.Different, rw.edu.Networks),
+			fmtPhi(rw.edu.AvgPhi, magnitudeLabel(rw.edu.AvgPhi)),
+			fmt.Sprintf("%d/%d", rw.cloud.Different, rw.cloud.Networks),
+			fmtPhi(rw.cloud.AvgPhi, magnitudeLabel(rw.cloud.AvgPhi)))
+	}
+	return t.String()
+}

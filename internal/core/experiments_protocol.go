@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cloudwatch/internal/fingerprint"
+	"cloudwatch/internal/greynoise"
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/wire"
+)
+
+// Table11Row is one (port, expected/unexpected) breakdown of Table 11.
+type Table11Row struct {
+	Port          uint16
+	Expected      bool    // true = the IANA protocol (HTTP), false = ∼HTTP
+	Share         float64 // fraction of classifiable scanners
+	BenignFrac    float64 // GreyNoise-benign share of those scanners
+	MaliciousFrac float64 // GreyNoise-malicious share
+	Scanners      int
+	HasLabels     bool // false on 2022 data (no GreyNoise API labels, Table 17)
+}
+
+// Table11Result reproduces Table 11 (and Table 17 on the 2022 config):
+// scanners target unexpected protocols on HTTP-assigned ports.
+type Table11Result struct {
+	Year      int
+	Rows      []Table11Row
+	ByProto   map[string]int // unexpected scanners per identified protocol (port 80+8080)
+	TopBenign string         // leading benign AS among unexpected-protocol scanners
+}
+
+// Table11 fingerprints the first payloads received on ports 80/8080 by
+// the three /26 Honeytrap networks (Stanford, AWS, Google — §6 uses
+// exactly these) and classifies each scanner as targeting HTTP or an
+// unexpected protocol, then labels actors via GreyNoise.
+func (s *Study) Table11() Table11Result {
+	res := Table11Result{Year: s.Cfg.Year, ByProto: map[string]int{}}
+	networks := map[string]bool{"stanford:us-west": true, "aws:ht-us-west": true, "google:ht-us-west": true}
+	hasLabels := s.Cfg.Year != 2022
+
+	type srcInfo struct {
+		asn      int
+		protos   map[fingerprint.Protocol]int
+		anyKnown bool
+	}
+	benignByAS := map[string]int{}
+
+	for _, port := range []uint16{80, 8080} {
+		srcs := map[wire.Addr]*srcInfo{}
+		for _, t := range s.U.Targets() {
+			if !networks[t.Region] || t.Collector != netsim.CollectHoneytrap {
+				continue
+			}
+			for _, rec := range s.VantageRecords(t.ID) {
+				if rec.Port != port || len(rec.Payload) == 0 {
+					continue
+				}
+				info, ok := srcs[rec.Src]
+				if !ok {
+					info = &srcInfo{asn: rec.ASN, protos: map[fingerprint.Protocol]int{}}
+					srcs[rec.Src] = info
+				}
+				proto := fingerprint.Identify(rec.Payload)
+				if proto != fingerprint.Unknown {
+					info.protos[proto]++
+					info.anyKnown = true
+				}
+			}
+		}
+
+		var expected, unexpected []wire.Addr
+		for ip, info := range srcs {
+			if !info.anyKnown {
+				continue
+			}
+			// A scanner counts as ∼HTTP when its identified payloads
+			// on the port are predominantly non-HTTP.
+			http := info.protos[fingerprint.HTTP]
+			other := 0
+			var domProto fingerprint.Protocol
+			domN := 0
+			for proto, n := range info.protos {
+				if proto != fingerprint.HTTP {
+					other += n
+					if n > domN {
+						domN, domProto = n, proto
+					}
+				}
+			}
+			if other > http {
+				unexpected = append(unexpected, ip)
+				if port == 80 {
+					res.ByProto[domProto.String()]++
+				}
+			} else {
+				expected = append(expected, ip)
+			}
+		}
+
+		classify := func(ips []wire.Addr, countFinders bool) (benign, malicious float64) {
+			if !hasLabels || len(ips) == 0 {
+				return 0, 0
+			}
+			b, m := 0, 0
+			for _, ip := range ips {
+				info := srcs[ip]
+				switch s.GN.Classify(ip, info.asn) {
+				case greynoise.Benign:
+					b++
+					// "Finders of unexpected services" are tallied on
+					// the ∼HTTP side only.
+					if countFinders {
+						if as, ok := netsim.LookupAS(info.asn); ok {
+							benignByAS[as.Key()]++
+						}
+					}
+				case greynoise.Malicious:
+					m++
+				}
+			}
+			return float64(b) / float64(len(ips)), float64(m) / float64(len(ips))
+		}
+
+		total := len(expected) + len(unexpected)
+		if total == 0 {
+			continue
+		}
+		eb, em := classify(expected, false)
+		ub, um := classify(unexpected, true)
+		res.Rows = append(res.Rows,
+			Table11Row{Port: port, Expected: true, Share: float64(len(expected)) / float64(total),
+				BenignFrac: eb, MaliciousFrac: em, Scanners: len(expected), HasLabels: hasLabels},
+			Table11Row{Port: port, Expected: false, Share: float64(len(unexpected)) / float64(total),
+				BenignFrac: ub, MaliciousFrac: um, Scanners: len(unexpected), HasLabels: hasLabels},
+		)
+	}
+
+	best, bestN := "", 0
+	for as, n := range benignByAS {
+		if n > bestN || (n == bestN && as < best) {
+			best, bestN = as, n
+		}
+	}
+	res.TopBenign = best
+	return res
+}
+
+// Render formats Table 11 / Table 17.
+func (r Table11Result) Render() string {
+	name := "Table 11"
+	if r.Year == 2022 {
+		name = "Table 17 (2022, no GreyNoise labels)"
+	}
+	t := newTable(name+": scanner-targeted protocols on HTTP-assigned ports",
+		"Protocol/Port", "Breakdown", "% Benign", "% Malicious", "Scanners")
+	for _, row := range r.Rows {
+		label := fmt.Sprintf("HTTP/%d", row.Port)
+		if !row.Expected {
+			label = fmt.Sprintf("~HTTP/%d", row.Port)
+		}
+		benign, malicious := "-", "-"
+		if row.HasLabels {
+			benign, malicious = fmtPct(row.BenignFrac), fmtPct(row.MaliciousFrac)
+		}
+		t.add(label, fmtPct(row.Share), benign, malicious, fmt.Sprint(row.Scanners))
+	}
+	out := t.String()
+	if len(r.ByProto) > 0 {
+		var parts []string
+		for _, proto := range []string{"tls", "telnet", "mysql", "rtsp", "smb", "redis", "ssh"} {
+			if n := r.ByProto[proto]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s:%d", proto, n))
+			}
+		}
+		out += "Unexpected protocols on port 80: " + strings.Join(parts, " ") + "\n"
+	}
+	if r.TopBenign != "" {
+		out += "Leading benign finder of unexpected services: " + r.TopBenign + "\n"
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudwatch/internal/cloud"
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/wire"
+)
+
+// Table1Row summarizes one vantage network (Table 1).
+type Table1Row struct {
+	Network    string
+	Collection string
+	Regions    int
+	Vantages   int
+	UniqueIPs  int
+	UniqueASes int
+}
+
+// Table1Result is the vantage-point summary of Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 recomputes Table 1 from collected traffic: unique scanning
+// IPs and ASes per vantage network.
+func (s *Study) Table1() Table1Result {
+	type key struct {
+		network, collection string
+	}
+	type agg struct {
+		regions  map[string]struct{}
+		vantages int
+		ips      map[wire.Addr]struct{}
+		ases     map[int]struct{}
+	}
+	groups := map[key]*agg{}
+	order := []key{}
+	for _, t := range s.U.Targets() {
+		if strings.HasPrefix(t.Region, "stanford:leak") {
+			continue // the §4.3 experiment is reported in Table 3
+		}
+		k := key{t.Network, t.Collector.String()}
+		g, ok := groups[k]
+		if !ok {
+			g = &agg{regions: map[string]struct{}{}, ips: map[wire.Addr]struct{}{}, ases: map[int]struct{}{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.regions[t.Region] = struct{}{}
+		g.vantages++
+		for _, rec := range s.VantageRecords(t.ID) {
+			g.ips[rec.Src] = struct{}{}
+			g.ases[rec.ASN] = struct{}{}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].collection != order[j].collection {
+			return order[i].collection < order[j].collection
+		}
+		return order[i].network < order[j].network
+	})
+
+	var res Table1Result
+	for _, k := range order {
+		g := groups[k]
+		res.Rows = append(res.Rows, Table1Row{
+			Network:    k.network,
+			Collection: k.collection,
+			Regions:    len(g.regions),
+			Vantages:   g.vantages,
+			UniqueIPs:  len(g.ips),
+			UniqueASes: len(g.ases),
+		})
+	}
+	// Telescope row: aggregate collector state.
+	telASes := map[string]struct{}{}
+	for k := range s.Tel.ASFrequenciesAll() {
+		telASes[k] = struct{}{}
+	}
+	res.Rows = append(res.Rows, Table1Row{
+		Network:    "orion",
+		Collection: "telescope",
+		Regions:    1,
+		Vantages:   s.U.TelescopeSize(),
+		UniqueIPs:  len(s.Tel.AllSources()),
+		UniqueASes: len(telASes),
+	})
+	return res
+}
+
+// Render formats the result as a text table.
+func (r Table1Result) Render() string {
+	t := newTable("Table 1: vantage points — unique scanning IPs and ASes (July 1-7)",
+		"Network", "Collection", "Regions", "Vantage IPs", "Scan IPs", "Scan ASes")
+	for _, row := range r.Rows {
+		t.add(row.Network, row.Collection,
+			fmt.Sprint(row.Regions), fmt.Sprint(row.Vantages),
+			fmt.Sprint(row.UniqueIPs), fmt.Sprint(row.UniqueASes))
+	}
+	return t.String()
+}
+
+// Table6Result is the multi-cloud deployment matrix of Table 6.
+type Table6Result struct {
+	Cities    []cloud.MultiCloudCity
+	Providers []cloud.Provider
+}
+
+// Table6 returns the deployment's multi-cloud city matrix.
+func (s *Study) Table6() Table6Result {
+	return Table6Result{
+		Cities:    cloud.MultiCloudCities,
+		Providers: []cloud.Provider{cloud.AWS, cloud.Google, cloud.Linode, cloud.Azure},
+	}
+}
+
+// Render formats the matrix.
+func (r Table6Result) Render() string {
+	header := []string{"City"}
+	for _, p := range r.Providers {
+		header = append(header, string(p))
+	}
+	header = append(header, "in cloud-cloud stats")
+	t := newTable("Table 6: honeypots in multiple clouds (same city or state)", header...)
+	for _, c := range r.Cities {
+		row := []string{c.City}
+		for _, p := range r.Providers {
+			if _, ok := c.Regions[p]; ok {
+				row = append(row, "+")
+			} else {
+				row = append(row, "")
+			}
+		}
+		if c.APACOnly {
+			row = append(row, "no (APAC, fn.7)")
+		} else {
+			row = append(row, "yes")
+		}
+		t.add(row...)
+	}
+	return t.String()
+}
+
+// networkKindOf maps a network name to its kind via the deployment.
+func (s *Study) networkKindOf(network string) netsim.NetworkKind {
+	return cloud.Provider(network).Kind()
+}

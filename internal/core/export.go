@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/pcap"
+	"cloudwatch/internal/wire"
+)
+
+// ExportPCAP writes the study's honeypot records as a standard pcap
+// capture — the dataset-release path ("we release our dataset of
+// scanning traffic targeting the cloud"). Each record becomes one
+// synthetic TCP/UDP packet carrying the captured first payload;
+// credential-only records (interactive ports) encode the attempts as
+// the cleartext the wire would have carried. Records are written in
+// timestamp order.
+func (s *Study) ExportPCAP(w io.Writer) (int, error) {
+	idx := make([]int, len(s.Records))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return s.Records[idx[a]].T.Before(s.Records[idx[b]].T)
+	})
+
+	pw := pcap.NewWriter(w)
+	written := 0
+	for _, i := range idx {
+		rec := s.Records[i]
+		t, ok := s.U.ByID(rec.Vantage)
+		if !ok {
+			return written, fmt.Errorf("core: record references unknown vantage %q", rec.Vantage)
+		}
+		payload := rec.Payload
+		if payload == nil && len(rec.Creds) > 0 {
+			payload = credWire(rec.Creds)
+		}
+		pkt := wire.Packet{
+			Time:    rec.T,
+			Src:     rec.Src,
+			Dst:     t.IP,
+			SrcPort: ephemeralPort(rec.Src, rec.Port),
+			DstPort: rec.Port,
+			Proto:   rec.Transport,
+			Flags:   wire.FlagPSH | wire.FlagACK,
+			Payload: payload,
+		}
+		if err := pw.WritePacket(pkt); err != nil {
+			return written, fmt.Errorf("core: exporting record %d: %w", i, err)
+		}
+		written++
+	}
+	return written, pw.Flush()
+}
+
+// credWire renders credentials as the newline-separated cleartext of
+// an interactive login exchange.
+func credWire(creds []netsim.Credential) []byte {
+	var out []byte
+	for _, c := range creds {
+		out = append(out, c.Username...)
+		out = append(out, '\r', '\n')
+		out = append(out, c.Password...)
+		out = append(out, '\r', '\n')
+	}
+	return out
+}
+
+// ephemeralPort derives a stable synthetic client port from the source
+// address so repeated exports are identical.
+func ephemeralPort(src wire.Addr, dstPort uint16) uint16 {
+	h := uint32(src)*2654435761 + uint32(dstPort)
+	return uint16(32768 + (h % 28000))
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cloudwatch/internal/pcap"
+)
+
+func TestExportPCAPRoundTrip(t *testing.T) {
+	s := sharedStudy(t, 2021)
+	var buf bytes.Buffer
+	n, err := s.ExportPCAP(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(s.Records) {
+		t.Fatalf("exported %d packets, want %d", n, len(s.Records))
+	}
+
+	packets, err := pcap.ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("re-reading export: %v", err)
+	}
+	if len(packets) != n {
+		t.Fatalf("read back %d packets, want %d", len(packets), n)
+	}
+	// Timestamp order.
+	for i := 1; i < len(packets); i++ {
+		if packets[i].Time.Before(packets[i-1].Time) {
+			t.Fatalf("packet %d out of order", i)
+		}
+	}
+	// Every packet's destination must be a study vantage IP.
+	for i := 0; i < len(packets); i += 997 {
+		if _, ok := s.U.ByIP(packets[i].Dst); !ok {
+			t.Errorf("packet %d destination %v is not a vantage", i, packets[i].Dst)
+		}
+	}
+	// Credential-only records must carry the cleartext exchange.
+	foundCreds := false
+	for _, p := range packets[:min(5000, len(packets))] {
+		if (p.DstPort == 23 || p.DstPort == 2323) && bytes.Contains(p.Payload, []byte("\r\n")) {
+			foundCreds = true
+			break
+		}
+	}
+	if !foundCreds {
+		t.Error("no telnet credential wire data in export")
+	}
+}
+
+func TestExportPCAPDeterministic(t *testing.T) {
+	s := sharedStudy(t, 2021)
+	var a, b bytes.Buffer
+	if _, err := s.ExportPCAP(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExportPCAP(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("export is not byte-identical across runs")
+	}
+}

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"cloudwatch/internal/honeypot"
+	"cloudwatch/internal/netsim"
+)
+
+// honeypotObserve adapts the honeypot collector; indirection point for
+// tests that inject failures.
+var honeypotObserve = func(t *netsim.Target, p netsim.Probe) (netsim.Record, bool) {
+	return honeypot.Observe(t, p)
+}

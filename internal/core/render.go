@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table is a minimal fixed-width text-table builder for experiment
+// output.
+type table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+func newTable(title string, header ...string) *table {
+	return &table{title: title, header: header}
+}
+
+func (t *table) add(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(t.header)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// fmtPhi renders an effect size with its magnitude, or "-" when the
+// comparison found nothing significant.
+func fmtPhi(v float64, magnitude string) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f (%s)", v, magnitude)
+}
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(f float64) string {
+	return fmt.Sprintf("%.0f%%", f*100)
+}
+
+// fmtFold renders a fold increase, with the significance markers of
+// Table 3: bold (here "**") for a significant Mann-Whitney increase,
+// "*" for a significantly different distribution (KS).
+func fmtFold(fold float64, mwuSig, ksSig bool) string {
+	s := fmt.Sprintf("%.1f", fold)
+	if mwuSig {
+		s += "**"
+	}
+	if ksSig {
+		s += "*"
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+// Package core is the paper's primary contribution in code: the
+// measurement study driver (deploy vantage points, generate attacker
+// traffic, collect records) and the §3.3 statistical comparison
+// methodology, plus one experiment driver per table and figure of the
+// evaluation (experiments*.go).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloudwatch/internal/cloud"
+	"cloudwatch/internal/greynoise"
+	"cloudwatch/internal/ids"
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/scanners"
+	"cloudwatch/internal/searchengine"
+	"cloudwatch/internal/telescope"
+)
+
+// Config assembles a full study: deployment, actor population, and
+// telescope watch ports.
+type Config struct {
+	Seed   int64
+	Year   int
+	Deploy cloud.Config
+	Actors scanners.Config
+	// TelescopeWatch lists ports with per-destination telescope
+	// tracking (Figure 1). Defaults to 22, 80, 445, 7574, 17128.
+	TelescopeWatch []uint16
+}
+
+// DefaultConfig returns the standard study of a given year at default
+// scale.
+func DefaultConfig(seed int64, year int) Config {
+	return Config{
+		Seed:           seed,
+		Year:           year,
+		Deploy:         cloud.DefaultConfig(seed, year),
+		Actors:         scanners.Config{Seed: seed, Year: year, Scale: 1},
+		TelescopeWatch: []uint16{22, 80, 445, 7574, 17128},
+	}
+}
+
+// Study is the outcome of one simulated collection week: everything
+// the analysis pipeline consumes.
+type Study struct {
+	Cfg     Config
+	U       *netsim.Universe
+	Records []netsim.Record // honeypot observations
+	Tel     *telescope.Collector
+	GN      *greynoise.Service
+	Censys  *searchengine.Engine
+	Shodan  *searchengine.Engine
+	Actors  []*scanners.Actor
+	IDS     *ids.Engine
+
+	byVantage    map[string][]int // record indexes per vantage ID
+	maliciousMem map[string]bool  // payload-keyed IDS verdict cache
+}
+
+// Run executes a full study: build the deployment, crawl the search
+// engines, generate the actor population's traffic, route it through
+// the collectors, and feed the GreyNoise classifier.
+func Run(cfg Config) (*Study, error) {
+	if cfg.Year == 0 {
+		cfg.Year = 2021
+	}
+	deployment, err := cloud.Build(cfg.Deploy)
+	if err != nil {
+		return nil, fmt.Errorf("core: building deployment: %w", err)
+	}
+	u, err := deployment.Universe(cfg.Seed, cfg.Year)
+	if err != nil {
+		return nil, fmt.Errorf("core: building universe: %w", err)
+	}
+
+	s := &Study{
+		Cfg:          cfg,
+		U:            u,
+		Tel:          telescope.New(cfg.TelescopeWatch...),
+		GN:           greynoise.NewService(),
+		Censys:       searchengine.New("censys"),
+		Shodan:       searchengine.New("shodan"),
+		IDS:          ids.DefaultEngine(),
+		byVantage:    map[string][]int{},
+		maliciousMem: map[string]bool{},
+	}
+
+	// Search engines crawl before the study window opens; attackers
+	// mine the resulting index during the week (§4.3).
+	crawlTime := netsim.StudyStart.Add(-24 * time.Hour)
+	s.Censys.Crawl(u, crawlTime)
+	s.Shodan.Crawl(u, crawlTime)
+
+	s.Actors = scanners.Population(cfg.Actors)
+	ctx := &scanners.Context{U: u, Censys: s.Censys, Shodan: s.Shodan, Seed: cfg.Seed, Year: cfg.Year}
+
+	for _, actor := range s.Actors {
+		if actor.Benign {
+			s.GN.VetASN(actor.AS.ASN)
+		}
+	}
+	for _, actor := range s.Actors {
+		actor.Run(ctx, s.dispatch)
+	}
+	return s, nil
+}
+
+// dispatch routes one probe to its collector.
+func (s *Study) dispatch(p netsim.Probe) {
+	if s.U.InTelescope(p.Dst) {
+		s.Tel.Observe(p)
+		s.GN.Observe(p.Src)
+		return
+	}
+	t, ok := s.U.ByIP(p.Dst)
+	if !ok {
+		return // probe to unmonitored space: invisible to the study
+	}
+	rec, ok := honeypotObserve(t, p)
+	if !ok {
+		return
+	}
+	s.GN.Observe(p.Src)
+	if s.RecordMalicious(rec) {
+		s.GN.ObserveExploit(p.Src)
+	}
+	s.byVantage[t.ID] = append(s.byVantage[t.ID], len(s.Records))
+	s.Records = append(s.Records, rec)
+}
+
+// RecordMalicious applies the §3.2 malicious-traffic definition to one
+// record: any login attempt (bypassing authentication) is malicious;
+// otherwise the payload is judged by the Suricata-style engine.
+// Verdicts are memoized per distinct payload.
+func (s *Study) RecordMalicious(rec netsim.Record) bool {
+	if len(rec.Creds) > 0 {
+		return true
+	}
+	if len(rec.Payload) == 0 {
+		return false
+	}
+	key := string(rec.Payload)
+	if v, ok := s.maliciousMem[key]; ok {
+		return v
+	}
+	v := s.IDS.Malicious(rec.Transport.String(), rec.Port, rec.Payload)
+	s.maliciousMem[key] = v
+	return v
+}
+
+// VantageRecords returns the records of one vantage point, in arrival
+// order.
+func (s *Study) VantageRecords(id string) []netsim.Record {
+	idxs := s.byVantage[id]
+	out := make([]netsim.Record, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.Records[idx]
+	}
+	return out
+}
+
+// RegionRecords returns the records of every vantage point in a
+// region, keyed by vantage ID.
+func (s *Study) RegionRecords(region string) map[string][]netsim.Record {
+	out := map[string][]netsim.Record{}
+	for _, t := range s.U.Region(region) {
+		out[t.ID] = s.VantageRecords(t.ID)
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+// Package fingerprint identifies the application protocol of a first
+// client payload independent of destination port, in the spirit of LZR
+// ("LZR: Identifying Unexpected Internet Services", USENIX Security
+// 2021), which the paper uses "to fingerprint unexpected services for
+// 13 of the most popular TCP scanning protocols: HTTP, TLS, SSH,
+// TELNET, SMB, RTSP, SIP, NTP, RDP, ADB, FOX, REDIS and SQL" (§6).
+//
+// Identify never panics on arbitrary input and is deterministic; it is
+// the mechanism behind Table 11's finding that ≥15% of scanners on
+// ports 80/8080 target a protocol other than HTTP.
+package fingerprint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol is an application protocol distinguishable from a first
+// client payload.
+type Protocol int
+
+// The 13 LZR protocols plus Unknown.
+const (
+	Unknown Protocol = iota
+	HTTP
+	TLS
+	SSH
+	Telnet
+	SMB
+	RTSP
+	SIP
+	NTP
+	RDP
+	ADB
+	Fox
+	Redis
+	MySQL
+)
+
+var protocolNames = map[Protocol]string{
+	Unknown: "unknown",
+	HTTP:    "http",
+	TLS:     "tls",
+	SSH:     "ssh",
+	Telnet:  "telnet",
+	SMB:     "smb",
+	RTSP:    "rtsp",
+	SIP:     "sip",
+	NTP:     "ntp",
+	RDP:     "rdp",
+	ADB:     "adb",
+	Fox:     "fox",
+	Redis:   "redis",
+	MySQL:   "mysql",
+}
+
+// String returns the lowercase protocol name.
+func (p Protocol) String() string {
+	if s, ok := protocolNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// All lists every identifiable protocol (excluding Unknown) in stable
+// order.
+func All() []Protocol {
+	return []Protocol{HTTP, TLS, SSH, Telnet, SMB, RTSP, SIP, NTP, RDP, ADB, Fox, Redis, MySQL}
+}
+
+// Identify returns the protocol of a first client payload, or Unknown.
+// Binary protocols with strong magic values are checked before the
+// text protocols; among text protocols the request-line version token
+// (HTTP/, RTSP/, SIP/) disambiguates shared method names like OPTIONS.
+func Identify(payload []byte) Protocol {
+	if len(payload) == 0 {
+		return Unknown
+	}
+	switch {
+	case isTLS(payload):
+		return TLS
+	case isSSH(payload):
+		return SSH
+	case isSMB(payload):
+		return SMB
+	case isRDP(payload):
+		return RDP
+	case isADB(payload):
+		return ADB
+	case isNTP(payload):
+		return NTP
+	case isFox(payload):
+		return Fox
+	case isTelnet(payload):
+		return Telnet
+	case isRedis(payload):
+		return Redis
+	case isMySQL(payload):
+		return MySQL
+	}
+	// Text request-line protocols last: cheap prefix checks first,
+	// then version-token disambiguation.
+	switch textRequestProtocol(payload) {
+	case RTSP:
+		return RTSP
+	case SIP:
+		return SIP
+	case HTTP:
+		return HTTP
+	}
+	return Unknown
+}
+
+func isTLS(b []byte) bool {
+	// TLS record: ContentType handshake (0x16), version major 3,
+	// minor 0..4, plausible record length, handshake type ClientHello.
+	if len(b) < 6 {
+		return false
+	}
+	if b[0] != 0x16 || b[1] != 0x03 || b[2] > 0x04 {
+		return false
+	}
+	recLen := int(binary.BigEndian.Uint16(b[3:5]))
+	if recLen < 4 || recLen > 1<<14+256 {
+		return false
+	}
+	return b[5] == 0x01 // ClientHello
+}
+
+func isSSH(b []byte) bool {
+	return bytes.HasPrefix(b, []byte("SSH-"))
+}
+
+func isSMB(b []byte) bool {
+	// NetBIOS session message (0x00) framing an SMB1/SMB2 header.
+	if len(b) >= 8 && b[0] == 0x00 {
+		if bytes.Equal(b[4:8], []byte{0xFF, 'S', 'M', 'B'}) || bytes.Equal(b[4:8], []byte{0xFE, 'S', 'M', 'B'}) {
+			return true
+		}
+	}
+	// Bare SMB header without NetBIOS framing.
+	if len(b) >= 4 && (bytes.Equal(b[:4], []byte{0xFF, 'S', 'M', 'B'}) || bytes.Equal(b[:4], []byte{0xFE, 'S', 'M', 'B'})) {
+		return true
+	}
+	return false
+}
+
+func isRDP(b []byte) bool {
+	// TPKT v3 header + X.224 Connection Request (code 0xE0).
+	if len(b) < 7 {
+		return false
+	}
+	if b[0] != 0x03 || b[1] != 0x00 {
+		return false
+	}
+	tpktLen := int(binary.BigEndian.Uint16(b[2:4]))
+	if tpktLen < 7 || tpktLen > 4096 {
+		return false
+	}
+	return b[5] == 0xE0
+}
+
+func isADB(b []byte) bool {
+	// ADB message header: command "CNXN" (0x4E584E43 LE) with magic =
+	// command XOR 0xFFFFFFFF at offset 20.
+	if len(b) < 24 {
+		return false
+	}
+	cmd := binary.LittleEndian.Uint32(b[0:4])
+	if cmd != 0x4E584E43 {
+		return false
+	}
+	magic := binary.LittleEndian.Uint32(b[20:24])
+	return magic == cmd^0xFFFFFFFF
+}
+
+func isNTP(b []byte) bool {
+	// 48-byte packet; LI/VN/Mode first byte: version 2-4, mode 3
+	// (client) or 6 (control, used by monlist scans).
+	if len(b) != 48 && len(b) != 12 {
+		return false
+	}
+	vn := (b[0] >> 3) & 0x07
+	mode := b[0] & 0x07
+	if vn < 2 || vn > 4 {
+		return false
+	}
+	return mode == 3 || mode == 6 || mode == 7
+}
+
+func isFox(b []byte) bool {
+	// Niagara Fox plaintext hello.
+	return bytes.HasPrefix(b, []byte("fox a 1 -1 fox hello"))
+}
+
+func isTelnet(b []byte) bool {
+	// IAC negotiation: 0xFF followed by WILL/WONT/DO/DONT/SB/SE.
+	if len(b) < 2 || b[0] != 0xFF {
+		return false
+	}
+	switch b[1] {
+	case 0xFB, 0xFC, 0xFD, 0xFE, 0xFA, 0xF0:
+		return true
+	}
+	return false
+}
+
+func isRedis(b []byte) bool {
+	// RESP array of bulk strings, or common inline commands.
+	if bytes.HasPrefix(b, []byte("*")) && bytes.Contains(b, []byte("\r\n$")) {
+		return true
+	}
+	for _, cmd := range [][]byte{[]byte("PING\r\n"), []byte("INFO\r\n"), []byte("info\r\n"), []byte("CONFIG GET")} {
+		if bytes.HasPrefix(b, cmd) {
+			return true
+		}
+	}
+	return false
+}
+
+func isMySQL(b []byte) bool {
+	// Client login packet: 3-byte little-endian length, sequence 1,
+	// capability flags with CLIENT_PROTOCOL_41 (0x0200).
+	if len(b) < 36 {
+		return false
+	}
+	pktLen := int(b[0]) | int(b[1])<<8 | int(b[2])<<16
+	if pktLen != len(b)-4 {
+		return false
+	}
+	if b[3] != 1 {
+		return false
+	}
+	caps := binary.LittleEndian.Uint32(b[4:8])
+	return caps&0x0200 != 0
+}
+
+var httpMethods = [][]byte{
+	[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT "),
+	[]byte("DELETE "), []byte("OPTIONS "), []byte("CONNECT "),
+	[]byte("TRACE "), []byte("PATCH "),
+}
+
+var rtspMethods = [][]byte{
+	[]byte("OPTIONS "), []byte("DESCRIBE "), []byte("SETUP "),
+	[]byte("PLAY "), []byte("TEARDOWN "), []byte("ANNOUNCE "),
+}
+
+var sipMethods = [][]byte{
+	[]byte("REGISTER "), []byte("INVITE "), []byte("OPTIONS "),
+	[]byte("ACK "), []byte("BYE "), []byte("CANCEL "),
+}
+
+// textRequestProtocol distinguishes HTTP/RTSP/SIP request lines. The
+// version token at the end of the first line is authoritative; method
+// names alone are ambiguous (OPTIONS exists in all three).
+func textRequestProtocol(b []byte) Protocol {
+	line := b
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		line = b[:i]
+	}
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	switch {
+	case bytes.Contains(line, []byte(" RTSP/")):
+		return RTSP
+	case bytes.Contains(line, []byte(" SIP/")):
+		return SIP
+	case bytes.Contains(line, []byte(" HTTP/")):
+		if hasMethodPrefix(line, httpMethods) {
+			return HTTP
+		}
+		return Unknown
+	}
+	// Version token missing (HTTP/0.9-style or truncated capture):
+	// fall back to unambiguous method prefixes.
+	if hasMethodPrefix(line, rtspMethods) && !hasMethodPrefix(line, httpMethods) && !hasMethodPrefix(line, sipMethods) {
+		return RTSP
+	}
+	if hasMethodPrefix(line, sipMethods) && bytes.Contains(line, []byte("sip:")) {
+		return SIP
+	}
+	if hasMethodPrefix(line, httpMethods) {
+		return HTTP
+	}
+	return Unknown
+}
+
+func hasMethodPrefix(line []byte, methods [][]byte) bool {
+	for _, m := range methods {
+		if bytes.HasPrefix(line, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// iana maps the well-known ports studied in the paper to their
+// IANA-assigned protocol.
+var iana = map[uint16]Protocol{
+	21:    Unknown, // FTP: not among the 13 fingerprinted protocols
+	22:    SSH,
+	23:    Telnet,
+	25:    Unknown, // SMTP
+	80:    HTTP,
+	443:   TLS,
+	445:   SMB,
+	554:   RTSP,
+	1911:  Fox,
+	2222:  SSH,
+	2323:  Telnet,
+	3306:  MySQL,
+	3389:  RDP,
+	5060:  SIP,
+	5555:  ADB,
+	6379:  Redis,
+	8080:  HTTP,
+	8443:  TLS,
+	30005: Unknown,
+}
+
+// Expected returns the IANA-assigned protocol of a port, or Unknown
+// when the port has no assignment among the studied protocols.
+func Expected(port uint16) Protocol {
+	return iana[port]
+}
+
+// IsUnexpected reports whether a payload targets a protocol other than
+// the port's IANA assignment (§6: "∼Protocol-A/XX ... all protocols
+// that are not Protocol-A that target port XX"). Unidentifiable
+// payloads are not counted as unexpected — this keeps the measurement
+// a lower bound, matching the paper.
+func IsUnexpected(port uint16, payload []byte) bool {
+	got := Identify(payload)
+	if got == Unknown {
+		return false
+	}
+	want := Expected(port)
+	if want == Unknown {
+		return false
+	}
+	return got != want
+}

@@ -1,0 +1,185 @@
+package fingerprint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProbeRoundTrip(t *testing.T) {
+	for _, p := range All() {
+		if got := Identify(Probe(p)); got != p {
+			t.Errorf("Identify(Probe(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestIdentifyHTTPVariants(t *testing.T) {
+	cases := []string{
+		"GET / HTTP/1.1\r\nHost: x\r\n\r\n",
+		"POST /login HTTP/1.0\r\nContent-Length: 2\r\n\r\nhi",
+		"HEAD /favicon.ico HTTP/1.1\r\n\r\n",
+		"PATCH /api HTTP/1.1\r\n\r\n",
+		"GET /index.html", // HTTP/0.9-style without version token
+	}
+	for _, c := range cases {
+		if got := Identify([]byte(c)); got != HTTP {
+			t.Errorf("Identify(%q) = %v, want http", c, got)
+		}
+	}
+}
+
+func TestIdentifyDisambiguatesOptionsMethod(t *testing.T) {
+	cases := map[string]Protocol{
+		"OPTIONS / HTTP/1.1\r\n\r\n":               HTTP,
+		"OPTIONS rtsp://x/ RTSP/1.0\r\n\r\n":       RTSP,
+		"OPTIONS sip:x SIP/2.0\r\n\r\n":            SIP,
+		"DESCRIBE rtsp://cam/live RTSP/1.0\r\n":    RTSP,
+		"REGISTER sip:proxy SIP/2.0\r\nVia: x\r\n": SIP,
+	}
+	for payload, want := range cases {
+		if got := Identify([]byte(payload)); got != want {
+			t.Errorf("Identify(%q) = %v, want %v", payload, got, want)
+		}
+	}
+}
+
+func TestIdentifyBinaryProtocols(t *testing.T) {
+	if got := Identify([]byte("SSH-2.0-OpenSSH_8.9\r\n")); got != SSH {
+		t.Errorf("ssh banner = %v", got)
+	}
+	if got := Identify([]byte{0xFF, 0xFD, 0x01}); got != Telnet {
+		t.Errorf("telnet IAC DO = %v", got)
+	}
+	if got := Identify([]byte("fox a 1 -1 fox hello\n")); got != Fox {
+		t.Errorf("fox hello = %v", got)
+	}
+	if got := Identify([]byte("*2\r\n$6\r\nCONFIG\r\n$3\r\nGET\r\n")); got != Redis {
+		t.Errorf("redis RESP = %v", got)
+	}
+	if got := Identify([]byte("PING\r\n")); got != Redis {
+		t.Errorf("redis inline = %v", got)
+	}
+}
+
+func TestIdentifyRejectsNearMisses(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"garbage text", []byte("hello world\r\n")},
+		{"bad TLS version", []byte{0x16, 0x04, 0x01, 0x00, 0x10, 0x01}},
+		{"TLS server hello (not client)", []byte{0x16, 0x03, 0x03, 0x00, 0x10, 0x02}},
+		{"short telnet", []byte{0xFF}},
+		{"telnet bad command", []byte{0xFF, 0x01}},
+		{"truncated SMB", []byte{0x00, 0x00, 0x00}},
+		{"RDP wrong x224 code", []byte{0x03, 0x00, 0x00, 0x0B, 0x06, 0xD0, 0, 0, 0, 0, 0}},
+		{"NTP wrong size", make([]byte, 47)},
+		{"method without target", []byte("GETX/ HTTP/1.1")},
+		{"version token without method", []byte("FOO / HTTP/1.1\r\n")},
+	}
+	for _, c := range cases {
+		if got := Identify(c.payload); got != Unknown {
+			t.Errorf("%s: Identify = %v, want unknown", c.name, got)
+		}
+	}
+}
+
+func TestIdentifyNTP(t *testing.T) {
+	p := make([]byte, 48)
+	p[0] = 0x1B // v3 client
+	if got := Identify(p); got != NTP {
+		t.Errorf("ntp v3 client = %v", got)
+	}
+	p[0] = 0x17 // v2 mode 7 (monlist)
+	if got := Identify(p); got != NTP {
+		t.Errorf("ntp monlist = %v", got)
+	}
+	p[0] = 0x0B // v1: too old
+	if got := Identify(p); got == NTP {
+		t.Errorf("ntp v1 should not match")
+	}
+}
+
+func TestIdentifyNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_ = Identify(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentifyDeterministicProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		return Identify(data) == Identify(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpected(t *testing.T) {
+	cases := map[uint16]Protocol{
+		22:   SSH,
+		2222: SSH,
+		23:   Telnet,
+		2323: Telnet,
+		80:   HTTP,
+		8080: HTTP,
+		443:  TLS,
+		445:  SMB,
+		3306: MySQL,
+		6379: Redis,
+		9999: Unknown,
+	}
+	for port, want := range cases {
+		if got := Expected(port); got != want {
+			t.Errorf("Expected(%d) = %v, want %v", port, got, want)
+		}
+	}
+}
+
+func TestIsUnexpected(t *testing.T) {
+	// TLS ClientHello on port 80 is the paper's canonical unexpected
+	// protocol (7% of port-80 scanners target TLS).
+	if !IsUnexpected(80, Probe(TLS)) {
+		t.Error("TLS on port 80 should be unexpected")
+	}
+	if IsUnexpected(80, Probe(HTTP)) {
+		t.Error("HTTP on port 80 should be expected")
+	}
+	if IsUnexpected(443, Probe(TLS)) {
+		t.Error("TLS on 443 should be expected")
+	}
+	// Unknown payloads are a lower bound: not counted.
+	if IsUnexpected(80, []byte("garbage")) {
+		t.Error("unidentifiable payload should not count as unexpected")
+	}
+	// Ports without an assignment cannot host unexpected protocols.
+	if IsUnexpected(31337, Probe(HTTP)) {
+		t.Error("unassigned port should not count as unexpected")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if HTTP.String() != "http" || Unknown.String() != "unknown" {
+		t.Errorf("String: %v %v", HTTP, Unknown)
+	}
+	if Protocol(99).String() != "Protocol(99)" {
+		t.Errorf("out of range: %v", Protocol(99))
+	}
+	if len(All()) != 13 {
+		t.Errorf("All() = %d protocols, want 13", len(All()))
+	}
+}
+
+func TestProbePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Probe(Unknown) should panic")
+		}
+	}()
+	Probe(Unknown)
+}

@@ -1,0 +1,129 @@
+package fingerprint
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Probe returns a representative first client payload for proto, as a
+// scanner targeting that protocol would send. The simulator uses these
+// to generate traffic; Identify(Probe(p)) == p for every protocol in
+// All(), which the tests enforce.
+func Probe(proto Protocol) []byte {
+	switch proto {
+	case HTTP:
+		return []byte("GET / HTTP/1.1\r\nHost: target\r\nUser-Agent: Mozilla/5.0\r\nAccept: */*\r\n\r\n")
+	case TLS:
+		return tlsClientHello()
+	case SSH:
+		return []byte("SSH-2.0-Go_scanner\r\n")
+	case Telnet:
+		// IAC DO SUPPRESS-GO-AHEAD, IAC WILL TERMINAL-TYPE.
+		return []byte{0xFF, 0xFD, 0x03, 0xFF, 0xFB, 0x18}
+	case SMB:
+		return smbNegotiate()
+	case RTSP:
+		return []byte("OPTIONS rtsp://target/ RTSP/1.0\r\nCSeq: 1\r\n\r\n")
+	case SIP:
+		return []byte("OPTIONS sip:target SIP/2.0\r\nVia: SIP/2.0/TCP scanner\r\nCSeq: 1 OPTIONS\r\n\r\n")
+	case NTP:
+		p := make([]byte, 48)
+		p[0] = 0x1B // LI=0, VN=3, Mode=3 (client)
+		return p
+	case RDP:
+		return rdpConnectionRequest()
+	case ADB:
+		return adbConnect()
+	case Fox:
+		return []byte("fox a 1 -1 fox hello\n{\nfox.version=s:1.0\nid=i:1\n};;\n")
+	case Redis:
+		return []byte("*1\r\n$4\r\nPING\r\n")
+	case MySQL:
+		return mysqlLogin()
+	default:
+		panic(fmt.Sprintf("fingerprint: no probe for %v", proto))
+	}
+}
+
+func tlsClientHello() []byte {
+	// Minimal syntactically-plausible ClientHello (TLS 1.2 record).
+	body := make([]byte, 41)
+	body[0] = 0x03
+	body[1] = 0x03 // client_version TLS 1.2
+	// 32 random bytes left zero, session id length 0, cipher suites
+	// length 2, one suite, compression methods length 1, null.
+	body[34] = 0
+	body[35] = 0
+	body[36] = 2
+	body[37] = 0x00
+	body[38] = 0x2F // TLS_RSA_WITH_AES_128_CBC_SHA
+	body[39] = 1
+	body[40] = 0
+
+	hs := make([]byte, 4+len(body))
+	hs[0] = 0x01 // ClientHello
+	hs[1] = byte(len(body) >> 16)
+	hs[2] = byte(len(body) >> 8)
+	hs[3] = byte(len(body))
+	copy(hs[4:], body)
+
+	rec := make([]byte, 5+len(hs))
+	rec[0] = 0x16
+	rec[1] = 0x03
+	rec[2] = 0x01
+	binary.BigEndian.PutUint16(rec[3:5], uint16(len(hs)))
+	copy(rec[5:], hs)
+	return rec
+}
+
+func smbNegotiate() []byte {
+	// NetBIOS session message framing an SMB1 Negotiate Protocol
+	// Request header.
+	smb := make([]byte, 35)
+	smb[0] = 0xFF
+	copy(smb[1:4], "SMB")
+	smb[4] = 0x72 // SMB_COM_NEGOTIATE
+	out := make([]byte, 4+len(smb))
+	out[0] = 0x00
+	out[3] = byte(len(smb))
+	copy(out[4:], smb)
+	return out
+}
+
+func rdpConnectionRequest() []byte {
+	payload := []byte("Cookie: mstshash=scanner\r\n")
+	x224Len := 6 + len(payload)
+	tpktLen := 4 + 1 + x224Len
+	out := make([]byte, 0, tpktLen)
+	out = append(out, 0x03, 0x00)
+	out = append(out, byte(tpktLen>>8), byte(tpktLen))
+	out = append(out, byte(x224Len), 0xE0, 0, 0, 0, 0, 0)
+	out = append(out, payload...)
+	return out
+}
+
+func adbConnect() []byte {
+	msg := make([]byte, 24+5)
+	binary.LittleEndian.PutUint32(msg[0:4], 0x4E584E43)   // CNXN
+	binary.LittleEndian.PutUint32(msg[4:8], 0x01000000)   // version
+	binary.LittleEndian.PutUint32(msg[8:12], 4096)        // maxdata
+	binary.LittleEndian.PutUint32(msg[12:16], 5)          // data length
+	binary.LittleEndian.PutUint32(msg[20:24], 0xB1A7B1BC) // magic = cmd ^ 0xFFFFFFFF
+	copy(msg[24:], "host:")
+	return msg
+}
+
+func mysqlLogin() []byte {
+	body := make([]byte, 32+len("scanner")+1)
+	binary.LittleEndian.PutUint32(body[0:4], 0x0200|0x8000|0x00080000) // PROTOCOL_41 | SECURE_CONNECTION | PLUGIN_AUTH
+	binary.LittleEndian.PutUint32(body[4:8], 1<<24)                    // max packet
+	body[8] = 33                                                       // utf8 charset
+	copy(body[32:], "scanner")
+	out := make([]byte, 4+len(body))
+	out[0] = byte(len(body))
+	out[1] = byte(len(body) >> 8)
+	out[2] = byte(len(body) >> 16)
+	out[3] = 1 // sequence
+	copy(out[4:], body)
+	return out
+}

@@ -1,0 +1,99 @@
+// Package greynoise reproduces the labeling side of the GreyNoise API
+// the paper uses in §6: scanner source IPs are classified benign
+// (owner passed a vetting process), malicious (observed actively
+// exploiting services), or unknown (everyone else — 78% of scanning
+// IPs GreyNoise saw in 2022).
+package greynoise
+
+import (
+	"sync"
+
+	"cloudwatch/internal/wire"
+)
+
+// Classification is the GreyNoise verdict for a scanning IP.
+type Classification int
+
+// Verdicts.
+const (
+	Unknown Classification = iota
+	Benign
+	Malicious
+)
+
+// String names the verdict as the API does.
+func (c Classification) String() string {
+	switch c {
+	case Benign:
+		return "benign"
+	case Malicious:
+		return "malicious"
+	default:
+		return "unknown"
+	}
+}
+
+// Service accumulates observations and answers classification queries.
+// It is safe for concurrent use.
+type Service struct {
+	mu        sync.RWMutex
+	vettedASN map[int]bool
+	exploited map[wire.Addr]bool
+	seen      map[wire.Addr]bool
+}
+
+// NewService returns an empty classifier.
+func NewService() *Service {
+	return &Service{
+		vettedASN: map[int]bool{},
+		exploited: map[wire.Addr]bool{},
+		seen:      map[wire.Addr]bool{},
+	}
+}
+
+// VetASN marks an organization as having "undergone a rigorous vetting
+// process"; its scanners classify as benign unless individually
+// observed exploiting.
+func (s *Service) VetASN(asn int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vettedASN[asn] = true
+}
+
+// Observe records that a source IP was seen scanning.
+func (s *Service) Observe(src wire.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[src] = true
+}
+
+// ObserveExploit records that a source IP was "seen actively
+// exploiting services".
+func (s *Service) ObserveExploit(src wire.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[src] = true
+	s.exploited[src] = true
+}
+
+// Classify returns the verdict for a source IP in a given AS. Exploit
+// observations dominate vetting; unseen and unvetted IPs are unknown.
+func (s *Service) Classify(src wire.Addr, asn int) Classification {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.exploited[src] {
+		return Malicious
+	}
+	if s.vettedASN[asn] {
+		return Benign
+	}
+	return Unknown
+}
+
+// Stats returns the number of observed, exploited, and vetted-AS
+// entries.
+func (s *Service) Stats() (seen, exploited, vettedASNs int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.seen), len(s.exploited), len(s.vettedASN)
+}

@@ -1,0 +1,80 @@
+package greynoise
+
+import (
+	"sync"
+	"testing"
+
+	"cloudwatch/internal/wire"
+)
+
+func TestClassification(t *testing.T) {
+	s := NewService()
+	s.VetASN(398324)
+
+	vetted := wire.MustParseAddr("1.1.1.1")
+	attacker := wire.MustParseAddr("2.2.2.2")
+	stranger := wire.MustParseAddr("3.3.3.3")
+
+	s.Observe(vetted)
+	s.ObserveExploit(attacker)
+
+	if got := s.Classify(vetted, 398324); got != Benign {
+		t.Errorf("vetted = %v, want benign", got)
+	}
+	if got := s.Classify(attacker, 4134); got != Malicious {
+		t.Errorf("attacker = %v, want malicious", got)
+	}
+	if got := s.Classify(stranger, 4134); got != Unknown {
+		t.Errorf("stranger = %v, want unknown", got)
+	}
+	// Exploit observation overrides vetting.
+	s.ObserveExploit(vetted)
+	if got := s.Classify(vetted, 398324); got != Malicious {
+		t.Errorf("vetted-but-exploiting = %v, want malicious", got)
+	}
+}
+
+func TestClassificationString(t *testing.T) {
+	if Benign.String() != "benign" || Malicious.String() != "malicious" || Unknown.String() != "unknown" {
+		t.Error("classification strings")
+	}
+	if Classification(9).String() != "unknown" {
+		t.Error("out-of-range classification")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewService()
+	s.VetASN(1)
+	s.Observe(wire.MustParseAddr("1.0.0.1"))
+	s.Observe(wire.MustParseAddr("1.0.0.2"))
+	s.ObserveExploit(wire.MustParseAddr("1.0.0.2"))
+	seen, exploited, vetted := s.Stats()
+	if seen != 2 || exploited != 1 || vetted != 1 {
+		t.Errorf("Stats = %d, %d, %d", seen, exploited, vetted)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewService()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				ip := wire.Addr(uint32(i*1000 + j))
+				s.Observe(ip)
+				if j%3 == 0 {
+					s.ObserveExploit(ip)
+				}
+				s.Classify(ip, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen, _, _ := s.Stats()
+	if seen != 16*200 {
+		t.Errorf("seen = %d, want %d", seen, 16*200)
+	}
+}

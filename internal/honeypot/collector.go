@@ -1,0 +1,80 @@
+// Package honeypot implements the two honeypot collection methods of
+// §3.1 plus real TCP daemons exercising the same session logic over
+// the network:
+//
+//   - GreyNoise-style: Cowrie-like interactive credential capture on
+//     SSH/Telnet-assigned ports; TCP/TLS handshake + first payload on
+//     everything else. Payloads on interactive ports are not kept
+//     (the paper's GreyNoise honeypots "collect SSH (ports 22, 2222)
+//     and Telnet (23, 2323) attempted login credentials; for all other
+//     ports ... records only the first received payload").
+//
+//   - Honeytrap-style: completes the TCP handshake and records the
+//     first payload on any port; emulated SSH/Telnet/HTTP services in
+//     the leak experiment also record credentials.
+//
+// The sim collectors turn netsim.Probe into netsim.Record; the daemons
+// in daemon.go accept real connections and produce the same records.
+package honeypot
+
+import (
+	"cloudwatch/internal/netsim"
+)
+
+// InteractivePorts are the Cowrie-emulated ports of a GreyNoise
+// honeypot.
+var InteractivePorts = map[uint16]bool{22: true, 2222: true, 23: true, 2323: true}
+
+// Observe converts a probe into the record the target's collector
+// would produce, or reports false when the collector would not record
+// it (e.g. a probe to a port the honeypot does not listen on).
+func Observe(t *netsim.Target, p netsim.Probe) (netsim.Record, bool) {
+	if !t.ListensOn(p.Port) {
+		return netsim.Record{}, false
+	}
+	rec := netsim.Record{
+		Vantage:   t.ID,
+		T:         p.T,
+		Src:       p.Src,
+		ASN:       p.ASN,
+		Port:      p.Port,
+		Transport: p.Transport,
+		Handshake: true,
+	}
+	switch t.Collector {
+	case netsim.CollectGreyNoise:
+		if InteractivePorts[p.Port] {
+			rec.Creds = p.Creds
+		} else {
+			rec.Payload = p.Payload
+		}
+	case netsim.CollectHoneytrap:
+		rec.Payload = p.Payload
+		// Honeytrap sees credentials only where it emulates the
+		// service (§4.3 experiment hosts); SSH credentials on a plain
+		// first-payload collector are unobservable (encrypted channel).
+		if t.EmulateAuth {
+			rec.Creds = p.Creds
+		} else if (p.Port == 23 || p.Port == 2323) && len(p.Creds) > 0 && p.Payload == nil {
+			// Telnet logins are cleartext: a payload collector records
+			// them as raw bytes even without emulation.
+			rec.Payload = telnetCredBytes(p.Creds)
+		}
+	default:
+		return netsim.Record{}, false
+	}
+	return rec, true
+}
+
+// telnetCredBytes renders telnet login attempts the way a raw payload
+// capture would see them: newline-separated username/password lines.
+func telnetCredBytes(creds []netsim.Credential) []byte {
+	var out []byte
+	for _, c := range creds {
+		out = append(out, c.Username...)
+		out = append(out, '\r', '\n')
+		out = append(out, c.Password...)
+		out = append(out, '\r', '\n')
+	}
+	return out
+}

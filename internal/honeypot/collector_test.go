@@ -1,0 +1,103 @@
+package honeypot
+
+import (
+	"bytes"
+	"testing"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/wire"
+)
+
+func greyNoiseTarget() *netsim.Target {
+	return &netsim.Target{
+		ID: "gn:1", IP: wire.MustParseAddr("10.0.0.1"),
+		Collector: netsim.CollectGreyNoise,
+		Ports:     []uint16{22, 23, 80},
+	}
+}
+
+func honeytrapTarget(emulate bool) *netsim.Target {
+	return &netsim.Target{
+		ID: "ht:1", IP: wire.MustParseAddr("10.0.0.2"),
+		Collector:   netsim.CollectHoneytrap,
+		Ports:       []uint16{22, 23, 80},
+		EmulateAuth: emulate,
+	}
+}
+
+func probe(port uint16, payload []byte, creds []netsim.Credential) netsim.Probe {
+	return netsim.Probe{
+		Src: wire.MustParseAddr("198.18.0.1"), ASN: 4134,
+		Dst: wire.MustParseAddr("10.0.0.1"), Port: port,
+		Transport: wire.TCP, Payload: payload, Creds: creds,
+	}
+}
+
+func TestObserveGreyNoiseInteractive(t *testing.T) {
+	tg := greyNoiseTarget()
+	creds := []netsim.Credential{{Username: "root", Password: "x"}}
+	rec, ok := Observe(tg, probe(22, []byte("should-drop"), creds))
+	if !ok {
+		t.Fatal("probe to listening port must be observed")
+	}
+	if rec.Payload != nil {
+		t.Error("GreyNoise interactive port must not keep payloads")
+	}
+	if len(rec.Creds) != 1 {
+		t.Error("GreyNoise interactive port must keep credentials")
+	}
+}
+
+func TestObserveGreyNoiseHTTP(t *testing.T) {
+	tg := greyNoiseTarget()
+	rec, ok := Observe(tg, probe(80, []byte("GET /"), nil))
+	if !ok || !bytes.Equal(rec.Payload, []byte("GET /")) {
+		t.Errorf("GreyNoise HTTP port must keep first payload: %+v ok=%v", rec, ok)
+	}
+}
+
+func TestObserveClosedPort(t *testing.T) {
+	tg := greyNoiseTarget()
+	if _, ok := Observe(tg, probe(9999, nil, nil)); ok {
+		t.Error("probe to closed port must not be observed")
+	}
+}
+
+func TestObserveHoneytrapCredentialVisibility(t *testing.T) {
+	creds := []netsim.Credential{{Username: "root", Password: "x"}}
+
+	plain := honeytrapTarget(false)
+	rec, ok := Observe(plain, probe(22, nil, creds))
+	if !ok {
+		t.Fatal("observe failed")
+	}
+	if rec.Creds != nil {
+		t.Error("plain Honeytrap must not see SSH credentials (encrypted channel)")
+	}
+
+	// Telnet credentials are cleartext: captured as raw payload.
+	rec, ok = Observe(plain, probe(23, nil, creds))
+	if !ok {
+		t.Fatal("observe failed")
+	}
+	if rec.Creds != nil {
+		t.Error("plain Honeytrap records telnet creds as payload, not creds")
+	}
+	if !bytes.Contains(rec.Payload, []byte("root")) {
+		t.Errorf("telnet payload capture missing username: %q", rec.Payload)
+	}
+
+	emul := honeytrapTarget(true)
+	rec, ok = Observe(emul, probe(22, nil, creds))
+	if !ok || len(rec.Creds) != 1 {
+		t.Error("emulating Honeytrap (§4.3 hosts) must capture credentials")
+	}
+}
+
+func TestObserveTelescopeKindRejected(t *testing.T) {
+	tg := greyNoiseTarget()
+	tg.Collector = netsim.CollectTelescope
+	if _, ok := Observe(tg, probe(22, nil, nil)); ok {
+		t.Error("telescope targets are not honeypots")
+	}
+}

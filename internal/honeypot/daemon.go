@@ -1,0 +1,306 @@
+package honeypot
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/wire"
+)
+
+// Mode selects a daemon's collection behavior.
+type Mode int
+
+// Daemon modes.
+const (
+	// ModeFirstPayload completes the TCP handshake and records the
+	// first payload (Honeytrap's behavior and GreyNoise's behavior on
+	// non-interactive ports).
+	ModeFirstPayload Mode = iota
+	// ModeTelnet emulates an interactive Telnet login (Cowrie-style):
+	// IAC negotiation, login/password prompts, credential capture.
+	ModeTelnet
+	// ModeSSH performs the SSH version exchange and records the client
+	// banner. Full key exchange requires non-stdlib crypto; credential
+	// capture for SSH is modeled at the simulation layer.
+	ModeSSH
+)
+
+// Config parameterizes a honeypot daemon.
+type Config struct {
+	Vantage     string // vantage ID stamped on records
+	Mode        Mode
+	Banner      string        // SSH banner or Telnet greeting (defaults applied)
+	ReadTimeout time.Duration // per-connection I/O deadline (default 10s)
+	MaxConns    int           // concurrent connection cap (default 128)
+	MaxPayload  int           // first-payload capture limit (default 8 KiB)
+	MaxAttempts int           // login attempts per Telnet session (default 3)
+	// OnRecord receives one record per connection. Called from
+	// connection goroutines; must be safe for concurrent use.
+	OnRecord func(netsim.Record)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 128
+	}
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = 8 << 10
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Banner == "" {
+		switch c.Mode {
+		case ModeSSH:
+			c.Banner = "SSH-2.0-OpenSSH_7.4"
+		case ModeTelnet:
+			c.Banner = "login: "
+		}
+	}
+	return c
+}
+
+// Daemon is a low-interaction honeypot server. Per the paper's ethics
+// stance (§3.1) it is low-interaction by construction: responses are
+// small and fixed, no command executes, and UDP is never answered.
+type Daemon struct {
+	cfg Config
+	wg  sync.WaitGroup
+}
+
+// NewDaemon returns a daemon with the given configuration.
+func NewDaemon(cfg Config) *Daemon {
+	return &Daemon{cfg: cfg.withDefaults()}
+}
+
+// Serve accepts connections on ln until ctx is canceled, then closes
+// the listener and waits for in-flight sessions to finish. It returns
+// nil on a clean shutdown.
+func (d *Daemon) Serve(ctx context.Context, ln net.Listener) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		ln.Close()
+	}()
+
+	sem := make(chan struct{}, d.cfg.MaxConns)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			d.wg.Wait()
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("honeypot: accept: %w", err)
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			conn.Close()
+			d.wg.Wait()
+			return nil
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer func() { <-sem }()
+			defer conn.Close()
+			d.handle(conn)
+		}()
+	}
+}
+
+func (d *Daemon) handle(conn net.Conn) {
+	deadline := time.Now().Add(d.cfg.ReadTimeout)
+	conn.SetDeadline(deadline)
+
+	rec := netsim.Record{
+		Vantage:   d.cfg.Vantage,
+		T:         time.Now().UTC(),
+		Transport: wire.TCP,
+		Handshake: true,
+	}
+	if addr, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		if v4 := addr.IP.To4(); v4 != nil {
+			rec.Src = wire.AddrFrom4(v4[0], v4[1], v4[2], v4[3])
+		}
+	}
+	if addr, ok := conn.LocalAddr().(*net.TCPAddr); ok {
+		rec.Port = uint16(addr.Port)
+	}
+
+	switch d.cfg.Mode {
+	case ModeTelnet:
+		rec.Creds = d.telnetSession(conn)
+	case ModeSSH:
+		fmt.Fprintf(conn, "%s\r\n", d.cfg.Banner)
+		rec.Payload = d.readFirst(conn)
+	default:
+		rec.Payload = d.readFirst(conn)
+	}
+	if d.cfg.OnRecord != nil {
+		d.cfg.OnRecord(rec)
+	}
+}
+
+// readFirst reads the first payload up to the capture limit.
+func (d *Daemon) readFirst(conn net.Conn) []byte {
+	buf := make([]byte, d.cfg.MaxPayload)
+	n, _ := conn.Read(buf)
+	if n == 0 {
+		return nil
+	}
+	return buf[:n]
+}
+
+// Telnet protocol bytes.
+const (
+	telnetIAC  = 0xFF
+	telnetDO   = 0xFD
+	telnetDONT = 0xFE
+	telnetWILL = 0xFB
+	telnetWONT = 0xFC
+	telnetSB   = 0xFA
+	telnetSE   = 0xF0
+
+	telnetOptEcho = 0x01
+	telnetOptSGA  = 0x03
+)
+
+// telnetSession runs a Cowrie-style interactive login: negotiate
+// options, prompt login:/Password: pairs, record every attempt, always
+// reject.
+func (d *Daemon) telnetSession(conn net.Conn) []netsim.Credential {
+	// Server-side option negotiation: WILL ECHO, WILL SGA, DO SGA.
+	conn.Write([]byte{
+		telnetIAC, telnetWILL, telnetOptEcho,
+		telnetIAC, telnetWILL, telnetOptSGA,
+		telnetIAC, telnetDO, telnetOptSGA,
+	})
+	var creds []netsim.Credential
+	for attempt := 0; attempt < d.cfg.MaxAttempts; attempt++ {
+		if _, err := conn.Write([]byte(d.cfg.Banner)); err != nil {
+			break
+		}
+		user, err := d.telnetReadLine(conn)
+		if err != nil || len(user) == 0 {
+			break
+		}
+		if _, err := conn.Write([]byte("Password: ")); err != nil {
+			break
+		}
+		pass, err := d.telnetReadLine(conn)
+		if err != nil {
+			break
+		}
+		creds = append(creds, netsim.Credential{Username: string(user), Password: string(pass)})
+		if _, err := conn.Write([]byte("\r\nLogin incorrect\r\n")); err != nil {
+			break
+		}
+	}
+	return creds
+}
+
+// telnetReadLine reads one line, stripping IAC command sequences and
+// CR/LF, bounded by the payload limit.
+func (d *Daemon) telnetReadLine(conn net.Conn) ([]byte, error) {
+	var line []byte
+	buf := make([]byte, 1)
+	inIAC := 0 // bytes of the current IAC sequence still to consume
+	subNeg := false
+	for len(line) < d.cfg.MaxPayload {
+		if _, err := conn.Read(buf); err != nil {
+			if len(line) > 0 {
+				return line, nil
+			}
+			return nil, err
+		}
+		b := buf[0]
+		switch {
+		case subNeg:
+			if b == telnetSE {
+				subNeg = false
+			}
+		case inIAC == 1: // command byte after IAC
+			inIAC = 0
+			switch b {
+			case telnetDO, telnetDONT, telnetWILL, telnetWONT:
+				inIAC = 2 // one option byte follows
+			case telnetSB:
+				subNeg = true
+			case telnetIAC:
+				line = append(line, telnetIAC) // escaped 0xFF data byte
+			}
+		case inIAC == 2: // option byte
+			inIAC = 0
+		case b == telnetIAC:
+			inIAC = 1
+		case b == '\n':
+			return bytes.TrimRight(line, "\r"), nil
+		case b == 0:
+			// NUL after CR in NVT encoding: ignore.
+		default:
+			line = append(line, b)
+		}
+	}
+	return line, nil
+}
+
+// ServeUDP records first UDP payloads without ever responding (§3.1:
+// "our honeypots do not respond to UDP messages, ensuring that no
+// UDP-based DDoS amplification attacks occur"). It returns when ctx is
+// canceled.
+func ServeUDP(ctx context.Context, pc net.PacketConn, vantage string, maxPayload int, onRecord func(netsim.Record)) error {
+	if maxPayload <= 0 {
+		maxPayload = 8 << 10
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		pc.Close()
+	}()
+	buf := make([]byte, maxPayload)
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("honeypot: udp read: %w", err)
+		}
+		rec := netsim.Record{
+			Vantage:   vantage,
+			T:         time.Now().UTC(),
+			Transport: wire.UDP,
+			Payload:   append([]byte(nil), buf[:n]...),
+		}
+		if ua, ok := addr.(*net.UDPAddr); ok {
+			if v4 := ua.IP.To4(); v4 != nil {
+				rec.Src = wire.AddrFrom4(v4[0], v4[1], v4[2], v4[3])
+			}
+		}
+		if la, ok := pc.LocalAddr().(*net.UDPAddr); ok {
+			rec.Port = uint16(la.Port)
+		}
+		if onRecord != nil {
+			onRecord(rec)
+		}
+	}
+}

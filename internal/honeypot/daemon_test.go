@@ -1,0 +1,281 @@
+package honeypot
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/wire"
+)
+
+// recordSink collects records concurrently.
+type recordSink struct {
+	mu   sync.Mutex
+	recs []netsim.Record
+}
+
+func (s *recordSink) add(r netsim.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, r)
+}
+
+func (s *recordSink) wait(t *testing.T, n int) []netsim.Record {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s.mu.Lock()
+		if len(s.recs) >= n {
+			out := append([]netsim.Record(nil), s.recs...)
+			s.mu.Unlock()
+			return out
+		}
+		s.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d records", n)
+	return nil
+}
+
+// startDaemon runs a daemon on a loopback listener and returns its
+// address and a stop function.
+func startDaemon(t *testing.T, cfg Config) (string, *recordSink, func()) {
+	t.Helper()
+	sink := &recordSink{}
+	cfg.OnRecord = sink.add
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := NewDaemon(cfg)
+	errCh := make(chan error, 1)
+	go func() { errCh <- d.Serve(ctx, ln) }()
+	stop := func() {
+		cancel()
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Errorf("Serve returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("daemon did not shut down")
+		}
+	}
+	return ln.Addr().String(), sink, stop
+}
+
+func TestFirstPayloadDaemon(t *testing.T) {
+	addr, sink, stop := startDaemon(t, Config{Vantage: "test:hp", Mode: ModeFirstPayload})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := "GET / HTTP/1.1\r\nHost: x\r\n\r\n"
+	if _, err := conn.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	recs := sink.wait(t, 1)
+	if string(recs[0].Payload) != payload {
+		t.Errorf("payload = %q, want %q", recs[0].Payload, payload)
+	}
+	if recs[0].Vantage != "test:hp" || !recs[0].Handshake {
+		t.Errorf("record metadata: %+v", recs[0])
+	}
+	if recs[0].Src != wire.MustParseAddr("127.0.0.1") {
+		t.Errorf("src = %v", recs[0].Src)
+	}
+}
+
+func TestSSHDaemonSendsBannerAndRecordsClient(t *testing.T) {
+	addr, sink, stop := startDaemon(t, Config{Vantage: "test:ssh", Mode: ModeSSH})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banner, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(banner, "SSH-2.0-") {
+		t.Errorf("server banner = %q", banner)
+	}
+	conn.Write([]byte("SSH-2.0-Go_test_client\r\n"))
+	conn.Close()
+
+	recs := sink.wait(t, 1)
+	if !bytes.HasPrefix(recs[0].Payload, []byte("SSH-2.0-Go_test_client")) {
+		t.Errorf("recorded client banner = %q", recs[0].Payload)
+	}
+}
+
+func TestTelnetDaemonCapturesCredentials(t *testing.T) {
+	addr, sink, stop := startDaemon(t, Config{Vantage: "test:telnet", Mode: ModeTelnet, MaxAttempts: 2})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// Client answers server negotiation with IAC DONT/WONT, then logs
+	// in twice with Mirai-style credentials.
+	conn.Write([]byte{0xFF, 0xFE, 0x01, 0xFF, 0xFC, 0x03})
+	readUntil(t, conn, "login: ")
+	conn.Write([]byte("root\r\n"))
+	readUntil(t, conn, "Password: ")
+	conn.Write([]byte("xc3511\r\n"))
+	readUntil(t, conn, "login: ")
+	conn.Write([]byte("admin\r\n"))
+	readUntil(t, conn, "Password: ")
+	conn.Write([]byte("admin1234\r\n"))
+
+	recs := sink.wait(t, 1)
+	if len(recs[0].Creds) != 2 {
+		t.Fatalf("captured %d credentials, want 2 (%+v)", len(recs[0].Creds), recs[0].Creds)
+	}
+	if recs[0].Creds[0] != (netsim.Credential{Username: "root", Password: "xc3511"}) {
+		t.Errorf("cred 0 = %+v", recs[0].Creds[0])
+	}
+	if recs[0].Creds[1] != (netsim.Credential{Username: "admin", Password: "admin1234"}) {
+		t.Errorf("cred 1 = %+v", recs[0].Creds[1])
+	}
+}
+
+func TestTelnetDaemonStripsIACMidLine(t *testing.T) {
+	addr, sink, stop := startDaemon(t, Config{Vantage: "t", Mode: ModeTelnet, MaxAttempts: 1})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	readUntil(t, conn, "login: ")
+	// Username with an embedded IAC DO option sequence.
+	conn.Write([]byte{'r', 'o', 0xFF, 0xFD, 0x18, 'o', 't', '\r', '\n'})
+	readUntil(t, conn, "Password: ")
+	conn.Write([]byte("pass\r\n"))
+
+	recs := sink.wait(t, 1)
+	if len(recs[0].Creds) != 1 || recs[0].Creds[0].Username != "root" {
+		t.Errorf("creds = %+v, want username 'root' with IAC stripped", recs[0].Creds)
+	}
+}
+
+func TestDaemonGracefulShutdownUnderLoad(t *testing.T) {
+	addr, sink, stop := startDaemon(t, Config{Vantage: "t", Mode: ModeFirstPayload})
+
+	const n = 20
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			conn.Write([]byte("probe"))
+			conn.Close()
+		}()
+	}
+	wg.Wait()
+	sink.wait(t, n)
+	stop() // must return without hanging
+
+	// After shutdown the port must refuse connections.
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Close()
+		t.Error("daemon still accepting after shutdown")
+	}
+}
+
+func TestDaemonReadTimeout(t *testing.T) {
+	addr, sink, stop := startDaemon(t, Config{
+		Vantage: "t", Mode: ModeFirstPayload, ReadTimeout: 50 * time.Millisecond,
+	})
+	defer stop()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing: the daemon must still produce a (payload-less)
+	// record once the deadline fires.
+	recs := sink.wait(t, 1)
+	if recs[0].Payload != nil {
+		t.Errorf("payload = %q, want nil on timeout", recs[0].Payload)
+	}
+}
+
+func TestServeUDPNeverResponds(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordSink{}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- ServeUDP(ctx, pc, "test:udp", 0, sink.add) }()
+
+	client, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Write([]byte("udp probe"))
+
+	recs := sink.wait(t, 1)
+	if string(recs[0].Payload) != "udp probe" || recs[0].Transport != wire.UDP {
+		t.Errorf("record = %+v", recs[0])
+	}
+
+	// No response may arrive (§3.1 amplification ethics).
+	client.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := client.Read(buf); err == nil {
+		t.Errorf("honeypot responded to UDP with %q", buf[:n])
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("ServeUDP returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("ServeUDP did not stop")
+	}
+}
+
+func readUntil(t *testing.T, conn net.Conn, marker string) {
+	t.Helper()
+	var got []byte
+	buf := make([]byte, 1)
+	for !bytes.HasSuffix(got, []byte(marker)) {
+		if _, err := conn.Read(buf); err != nil {
+			t.Fatalf("waiting for %q, got %q: %v", marker, got, err)
+		}
+		got = append(got, buf[0])
+		if len(got) > 4096 {
+			t.Fatalf("marker %q not found in %q", marker, got)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+// Package ids implements a Suricata-style network intrusion detection
+// rule language and matching engine. The paper (§3.2) uses Suricata
+// with a manually-curated ruleset to decide whether a payload
+// "attempts to bypass authority or alter the state of a service"; this
+// package provides the same payload→verdict oracle. The rule grammar
+// is a compatible subset of Suricata's: header (action, protocol,
+// addresses, ports, direction) plus content options with nocase /
+// offset / depth / distance / within modifiers, classtype, msg, sid.
+package ids
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Classtype is the Suricata classification of a rule. The paper's
+// final rule set "belongs in the following Suricata class types":
+// these eight.
+type Classtype string
+
+// The eight classtypes retained by the paper's rule filtering.
+const (
+	TrojanActivity       Classtype = "trojan-activity"
+	WebApplicationAttack Classtype = "web-application-attack"
+	ProtocolCommand      Classtype = "protocol-command-decode"
+	AttemptedUser        Classtype = "attempted-user"
+	AttemptedAdmin       Classtype = "attempted-admin"
+	AttemptedRecon       Classtype = "attempted-recon"
+	BadUnknown           Classtype = "bad-unknown"
+	MiscActivity         Classtype = "misc-activity"
+)
+
+// MaliciousClasstypes are the classtypes whose alerts mark a payload
+// as malicious ("bypassing authority or altering the state of
+// service"). Reconnaissance and misc activity alert but do not flag
+// maliciousness on their own, mirroring the paper's manual
+// verification step.
+var MaliciousClasstypes = map[Classtype]bool{
+	TrojanActivity:       true,
+	WebApplicationAttack: true,
+	AttemptedUser:        true,
+	AttemptedAdmin:       true,
+	BadUnknown:           true,
+	ProtocolCommand:      true,
+}
+
+// ContentMatch is one content option with its modifiers.
+type ContentMatch struct {
+	Pattern []byte
+	Negated bool // content:!"..."
+	Nocase  bool
+	// Absolute anchors (first content in a chain).
+	Offset int // start search at byte Offset (default 0)
+	Depth  int // search only the first Depth bytes from Offset (0 = unlimited)
+	// Relative anchors (subsequent contents).
+	Distance int  // start at least Distance bytes after previous match end
+	Within   int  // match must end within Within bytes of previous match end (0 = unlimited)
+	Relative bool // true when distance/within were given
+}
+
+// Rule is a parsed detection rule.
+type Rule struct {
+	Action    string // "alert" (only action supported)
+	Proto     string // "tcp", "udp" or "any"
+	Ports     PortSet
+	Msg       string
+	Classtype Classtype
+	SID       int
+	Rev       int
+	Contents  []ContentMatch
+	raw       string
+}
+
+// String returns the original rule text.
+func (r Rule) String() string { return r.raw }
+
+// PortSet matches destination ports: any, a single port, a
+// comma-separated list, or a lo:hi range.
+type PortSet struct {
+	any    bool
+	single map[uint16]bool
+	ranges [][2]uint16
+}
+
+// AnyPort matches every port.
+func AnyPort() PortSet { return PortSet{any: true} }
+
+// Contains reports whether the set matches port.
+func (s PortSet) Contains(port uint16) bool {
+	if s.any {
+		return true
+	}
+	if s.single[port] {
+		return true
+	}
+	for _, r := range s.ranges {
+		if port >= r[0] && port <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse errors.
+var (
+	ErrRuleSyntax = errors.New("ids: rule syntax error")
+	ErrRuleField  = errors.New("ids: invalid rule field")
+)
+
+// ParseRule parses one rule line. Comment lines (starting with '#')
+// and blank lines yield (Rule{}, false, nil).
+func ParseRule(line string) (Rule, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Rule{}, false, nil
+	}
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return Rule{}, false, fmt.Errorf("%w: missing option block in %q", ErrRuleSyntax, line)
+	}
+	header := strings.Fields(line[:open])
+	// action proto srcaddr srcport -> dstaddr dstport
+	if len(header) != 7 {
+		return Rule{}, false, fmt.Errorf("%w: header needs 7 fields, got %d in %q", ErrRuleSyntax, len(header), line)
+	}
+	r := Rule{raw: line, Rev: 1}
+	r.Action = header[0]
+	if r.Action != "alert" {
+		return Rule{}, false, fmt.Errorf("%w: unsupported action %q", ErrRuleField, r.Action)
+	}
+	r.Proto = header[1]
+	switch r.Proto {
+	case "tcp", "udp", "any", "ip":
+	default:
+		return Rule{}, false, fmt.Errorf("%w: unsupported protocol %q", ErrRuleField, r.Proto)
+	}
+	if header[4] != "->" && header[4] != "<>" {
+		return Rule{}, false, fmt.Errorf("%w: bad direction %q", ErrRuleSyntax, header[4])
+	}
+	ports, err := parsePorts(header[6])
+	if err != nil {
+		return Rule{}, false, err
+	}
+	r.Ports = ports
+
+	opts, err := splitOptions(line[open+1 : len(line)-1])
+	if err != nil {
+		return Rule{}, false, err
+	}
+	if err := r.applyOptions(opts); err != nil {
+		return Rule{}, false, err
+	}
+	if r.SID == 0 {
+		return Rule{}, false, fmt.Errorf("%w: rule missing sid", ErrRuleField)
+	}
+	return r, true, nil
+}
+
+func parsePorts(s string) (PortSet, error) {
+	if s == "any" {
+		return AnyPort(), nil
+	}
+	s = strings.TrimPrefix(s, "[")
+	s = strings.TrimSuffix(s, "]")
+	set := PortSet{single: map[uint16]bool{}}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, ":"); ok {
+			l, err1 := parsePort(lo)
+			h, err2 := parsePort(hi)
+			if err1 != nil || err2 != nil || l > h {
+				return PortSet{}, fmt.Errorf("%w: bad port range %q", ErrRuleField, part)
+			}
+			set.ranges = append(set.ranges, [2]uint16{l, h})
+			continue
+		}
+		p, err := parsePort(part)
+		if err != nil {
+			return PortSet{}, err
+		}
+		set.single[p] = true
+	}
+	if len(set.single) == 0 && len(set.ranges) == 0 {
+		return PortSet{}, fmt.Errorf("%w: empty port set %q", ErrRuleField, s)
+	}
+	return set, nil
+}
+
+func parsePort(s string) (uint16, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || v < 0 || v > 65535 {
+		return 0, fmt.Errorf("%w: bad port %q", ErrRuleField, s)
+	}
+	return uint16(v), nil
+}
+
+// splitOptions splits "k:v; k; k:v" respecting quoted strings.
+func splitOptions(s string) ([]string, error) {
+	var opts []string
+	var cur strings.Builder
+	inQuote := false
+	escaped := false
+	for _, c := range s {
+		switch {
+		case escaped:
+			cur.WriteRune(c)
+			escaped = false
+		case c == '\\' && inQuote:
+			cur.WriteRune(c)
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteRune(c)
+		case c == ';' && !inQuote:
+			opts = append(opts, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("%w: unterminated quote", ErrRuleSyntax)
+	}
+	if tail := strings.TrimSpace(cur.String()); tail != "" {
+		opts = append(opts, tail)
+	}
+	return opts, nil
+}
+
+func (r *Rule) applyOptions(opts []string) error {
+	for _, opt := range opts {
+		if opt == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(opt, ":")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "msg":
+			r.Msg = unquote(val)
+		case "classtype":
+			r.Classtype = Classtype(val)
+		case "sid":
+			v, err := strconv.Atoi(val)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("%w: bad sid %q", ErrRuleField, val)
+			}
+			r.SID = v
+		case "rev":
+			v, err := strconv.Atoi(val)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("%w: bad rev %q", ErrRuleField, val)
+			}
+			r.Rev = v
+		case "content":
+			if !hasVal {
+				return fmt.Errorf("%w: content needs a value", ErrRuleField)
+			}
+			cm := ContentMatch{}
+			if strings.HasPrefix(val, "!") {
+				cm.Negated = true
+				val = val[1:]
+			}
+			pat, err := decodeContent(unquote(val))
+			if err != nil {
+				return err
+			}
+			if len(pat) == 0 {
+				return fmt.Errorf("%w: empty content", ErrRuleField)
+			}
+			cm.Pattern = pat
+			r.Contents = append(r.Contents, cm)
+		case "nocase", "offset", "depth", "distance", "within":
+			if len(r.Contents) == 0 {
+				return fmt.Errorf("%w: %s before any content", ErrRuleField, key)
+			}
+			cm := &r.Contents[len(r.Contents)-1]
+			switch key {
+			case "nocase":
+				cm.Nocase = true
+			default:
+				v, err := strconv.Atoi(val)
+				if err != nil || v < 0 {
+					return fmt.Errorf("%w: bad %s %q", ErrRuleField, key, val)
+				}
+				switch key {
+				case "offset":
+					cm.Offset = v
+				case "depth":
+					cm.Depth = v
+				case "distance":
+					cm.Distance = v
+					cm.Relative = true
+				case "within":
+					cm.Within = v
+					cm.Relative = true
+				}
+			}
+		case "flow", "reference", "metadata", "threshold", "flowbits", "http_uri", "http_method", "fast_pattern":
+			// Accepted and ignored: these narrow matches in Suricata
+			// but do not change verdicts for first-payload analysis.
+		default:
+			return fmt.Errorf("%w: unknown option %q", ErrRuleField, key)
+		}
+	}
+	return nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	s = strings.ReplaceAll(s, `\\`, `\`)
+	return s
+}
+
+// decodeContent expands Suricata hex escapes: "a|0D 0A|b" →
+// {'a', 0x0D, 0x0A, 'b'}.
+func decodeContent(s string) ([]byte, error) {
+	var out []byte
+	for i := 0; i < len(s); {
+		if s[i] != '|' {
+			out = append(out, s[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(s[i+1:], '|')
+		if end < 0 {
+			return nil, fmt.Errorf("%w: unterminated hex escape in %q", ErrRuleSyntax, s)
+		}
+		hexPart := s[i+1 : i+1+end]
+		for _, tok := range strings.Fields(hexPart) {
+			v, err := strconv.ParseUint(tok, 16, 8)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad hex byte %q", ErrRuleSyntax, tok)
+			}
+			out = append(out, byte(v))
+		}
+		i += end + 2
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package ids
+
+import "sync"
+
+// DefaultRuleText is the curated ruleset used throughout the
+// reproduction. It mirrors the paper's §3.2 filtering of the Emerging
+// Threats corpus: content-based rules only (no IP/port blocklists),
+// restricted to the eight classtypes the paper retains, each verified
+// to fire only on payloads that bypass authority or alter service
+// state (plus recon/misc rules that alert without marking
+// maliciousness).
+const DefaultRuleText = `
+# --- Web application exploitation -------------------------------------------
+alert tcp any any -> any any (msg:"EXPLOIT Log4Shell JNDI lookup attempt (CVE-2021-44228)"; content:"${jndi:"; nocase; classtype:attempted-admin; sid:1000001; rev:3;)
+alert tcp any any -> any any (msg:"EXPLOIT Shellshock bash env injection (CVE-2014-6271)"; content:"() {"; content:"|3B|"; within:20; classtype:attempted-admin; sid:1000002; rev:2;)
+alert tcp any any -> any any (msg:"EXPLOIT PHPUnit eval-stdin remote code execution (CVE-2017-9841)"; content:"/vendor/phpunit/phpunit/src/Util/PHP/eval-stdin.php"; classtype:web-application-attack; sid:1000003;)
+alert tcp any any -> any any (msg:"EXPLOIT ThinkPHP invokefunction RCE"; content:"invokefunction"; content:"call_user_func_array"; distance:0; classtype:web-application-attack; sid:1000004;)
+alert tcp any any -> any any (msg:"EXPLOIT GPON router authentication bypass (CVE-2018-10561)"; content:"/GponForm/diag_Form"; classtype:attempted-admin; sid:1000005;)
+alert tcp any any -> any any (msg:"EXPLOIT Huawei HG532 SOAP RCE (CVE-2017-17215)"; content:"/ctrlt/DeviceUpgrade_1"; classtype:attempted-admin; sid:1000006;)
+alert tcp any any -> any any (msg:"EXPLOIT Linksys E-series tmUnblock RCE (TheMoon)"; content:"/tmUnblock.cgi"; classtype:attempted-admin; sid:1000007;)
+alert tcp any any -> any any (msg:"EXPLOIT NETGEAR DGN setup.cgi unauthenticated command execution"; content:"/setup.cgi?next_file=netgear.cfg"; classtype:attempted-admin; sid:1000008;)
+alert tcp any any -> any any (msg:"EXPLOIT D-Link HNAP1 SOAPAction command injection"; content:"/HNAP1"; content:"SOAPAction"; nocase; classtype:attempted-admin; sid:1000009;)
+alert tcp any any -> any any (msg:"EXPLOIT Realtek miniigd UPnP SOAP command execution (CVE-2014-8361)"; content:"/picsdesc.xml"; classtype:attempted-admin; sid:1000010;)
+alert tcp any any -> any any (msg:"EXPLOIT JAWS webserver unauthenticated shell command"; content:"/shell?cd+/tmp"; classtype:trojan-activity; sid:1000011;)
+alert tcp any any -> any any (msg:"EXPLOIT Citrix ADC path traversal (CVE-2019-19781)"; content:"/vpn/../vpns/"; classtype:web-application-attack; sid:1000012;)
+alert tcp any any -> any any (msg:"EXPLOIT F5 BIG-IP TMUI path traversal (CVE-2020-5902)"; content:"/tmui/login.jsp/..|3B|/"; classtype:web-application-attack; sid:1000013;)
+alert tcp any any -> any any (msg:"EXPLOIT Hadoop YARN unauthenticated application submission"; content:"/ws/v1/cluster/apps/new-application"; classtype:attempted-user; sid:1000014;)
+alert tcp any any -> any any (msg:"EXPLOIT Docker Engine API unauthenticated container create"; content:"/containers/create"; content:"POST"; offset:0; depth:5; classtype:attempted-user; sid:1000015;)
+alert tcp any any -> any any (msg:"EXPLOIT Jenkins CLI deserialization probe"; content:"/cli?remoting=false"; classtype:attempted-user; sid:1000016;)
+alert tcp any any -> any any (msg:"EXPLOIT Spring Boot actuator gateway abuse"; content:"/actuator/gateway/routes"; classtype:attempted-user; sid:1000017;)
+alert tcp any any -> any any (msg:"EXPLOIT Boa/boaform admin login bruteforce (Netlink GPON)"; content:"/boaform/admin/formLogin"; classtype:attempted-admin; sid:1000018;)
+alert tcp any any -> any any (msg:"ATTACK SQL injection UNION SELECT in request"; content:"union"; nocase; content:"select"; nocase; distance:1; within:40; classtype:web-application-attack; sid:1000019;)
+alert tcp any any -> any any (msg:"ATTACK directory traversal to /etc/passwd"; content:"../"; content:"/etc/passwd"; distance:0; classtype:web-application-attack; sid:1000020;)
+alert tcp any any -> any any (msg:"ATTACK directory traversal to /etc/shadow"; content:"/etc/shadow"; classtype:bad-unknown; sid:1000021;)
+alert tcp any any -> any any (msg:"EXPLOIT Tomcat manager deployment attempt"; content:"PUT /manager/"; offset:0; depth:13; classtype:attempted-admin; sid:1000022;)
+alert tcp any any -> any any (msg:"EXPLOIT Exchange ProxyLogon SSRF (CVE-2021-26855)"; content:"/ecp/"; content:"X-BEResource"; nocase; classtype:attempted-admin; sid:1000023;)
+alert tcp any any -> any any (msg:"ATTACK WordPress xmlrpc.php pingback abuse"; content:"/xmlrpc.php"; content:"pingback.ping"; classtype:web-application-attack; sid:1000024;)
+alert tcp any any -> any any (msg:"ATTACK WordPress wp-login.php bruteforce POST"; content:"POST"; offset:0; depth:4; content:"/wp-login.php"; distance:1; within:20; classtype:attempted-user; sid:1000025;)
+alert tcp any any -> any any (msg:"EXPLOIT Apache normalize_path traversal RCE (CVE-2021-41773)"; content:"/cgi-bin/.%2e/"; classtype:web-application-attack; sid:1000026;)
+
+# --- Malware / botnet delivery ----------------------------------------------
+alert tcp any any -> any any (msg:"TROJAN wget-to-shell dropper command"; content:"wget http"; content:"|3B| sh"; distance:0; classtype:trojan-activity; sid:1000027;)
+alert tcp any any -> any any (msg:"TROJAN curl-pipe-shell dropper command"; content:"curl "; content:"|7C| sh"; distance:0; classtype:trojan-activity; sid:1000028;)
+alert tcp any any -> any any (msg:"TROJAN busybox invocation in remote command (Mirai-style)"; content:"/bin/busybox"; nocase; classtype:trojan-activity; sid:1000029;)
+alert tcp any any -> any any (msg:"TROJAN Mozi botnet UPnP propagation URI"; content:"Mozi.m"; classtype:trojan-activity; sid:1000030;)
+alert tcp any any -> any any (msg:"TROJAN ADB remote shell payload over TCP 5555"; content:"OPEN"; offset:0; depth:4; content:"shell:"; classtype:trojan-activity; sid:1000031;)
+alert tcp any any -> any any (msg:"TROJAN chmod 777 staging of dropped binary"; content:"chmod 777"; content:"./"; distance:0; within:20; classtype:trojan-activity; sid:1000032;)
+
+# --- Service state alteration ------------------------------------------------
+alert tcp any any -> any any (msg:"ATTACK Redis CONFIG SET dir persistence attempt"; content:"CONFIG"; nocase; content:"SET"; nocase; distance:1; within:10; content:"dir"; nocase; distance:1; within:30; classtype:attempted-admin; sid:1000033;)
+alert tcp any any -> any any (msg:"ATTACK Redis SLAVEOF takeover attempt"; content:"SLAVEOF"; nocase; classtype:attempted-admin; sid:1000034;)
+alert tcp any any -> any any (msg:"ATTACK crontab modification in remote command"; content:"crontab -"; classtype:attempted-admin; sid:1000035;)
+alert tcp any any -> any 80 (msg:"PROTOCOL SMB negotiate on HTTP-assigned port"; content:"|FF|SMB"; offset:4; depth:8; classtype:protocol-command-decode; sid:1000036;)
+alert tcp any any -> any any (msg:"PROTOCOL telnet IAC negotiation embedded in HTTP-port payload"; content:"|FF FB|"; offset:0; depth:2; classtype:protocol-command-decode; sid:1000037;)
+
+# --- Reconnaissance & misc (alerts, not malicious on their own) --------------
+alert tcp any any -> any any (msg:"RECON Tomcat manager probe"; content:"GET /manager/html"; offset:0; depth:17; classtype:attempted-recon; sid:1000038;)
+alert tcp any any -> any any (msg:"RECON phpMyAdmin panel probe"; content:"/phpmyadmin"; nocase; classtype:attempted-recon; sid:1000039;)
+alert tcp any any -> any any (msg:"RECON environment file disclosure probe"; content:"GET /.env"; offset:0; depth:9; classtype:attempted-recon; sid:1000040;)
+alert tcp any any -> any any (msg:"RECON git repository disclosure probe"; content:"/.git/config"; classtype:attempted-recon; sid:1000041;)
+alert tcp any any -> any any (msg:"RECON nmap http scripting engine user-agent"; content:"Nmap Scripting Engine"; nocase; classtype:attempted-recon; sid:1000042;)
+alert tcp any any -> any any (msg:"MISC zgrab research scanner user-agent"; content:"Mozilla/5.0 zgrab"; classtype:misc-activity; sid:1000043;)
+alert tcp any any -> any any (msg:"MISC masscan banner check"; content:"User-Agent: masscan"; nocase; classtype:misc-activity; sid:1000044;)
+alert tcp any any -> any any (msg:"MISC open proxy CONNECT probe"; content:"CONNECT "; offset:0; depth:8; classtype:misc-activity; sid:1000045;)
+`
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+	defaultErr    error
+)
+
+// DefaultEngine returns the engine compiled from DefaultRuleText. The
+// ruleset is a package constant, so compilation happens once; a parse
+// failure is a programming error and panics.
+func DefaultEngine() *Engine {
+	defaultOnce.Do(func() {
+		defaultEngine, defaultErr = NewEngineFromText(DefaultRuleText)
+	})
+	if defaultErr != nil {
+		panic("ids: default ruleset failed to compile: " + defaultErr.Error())
+	}
+	return defaultEngine
+}

@@ -1,0 +1,114 @@
+package netsim
+
+import "fmt"
+
+// ASKind categorizes an autonomous system for actor construction.
+type ASKind int
+
+// AS categories.
+const (
+	ASResearch ASKind = iota // vetted research / search-engine scanners
+	ASCloud                  // cloud / hosting providers
+	ASISP                    // consumer or national ISPs
+	ASBullet                 // bulletproof hosting
+	ASSecurity               // commercial security vendors
+)
+
+// AS is an autonomous system in the simulated Internet.
+type AS struct {
+	ASN     int
+	Name    string
+	Country string // ISO country code of the operator
+	Kind    ASKind
+}
+
+// Key renders the stable "ASN name" form used as a frequency-table
+// category ("who is scanning" comparisons identify actors "by their
+// autonomous system, as opposed to IP address", §3.3).
+func (a AS) Key() string { return fmt.Sprintf("AS%d %s", a.ASN, a.Name) }
+
+// The registry mirrors the operators named in the paper plus enough
+// filler to give traffic a realistic long tail of scanning ASes.
+var registry = []AS{
+	// Named in the paper.
+	{398324, "Censys", "US", ASResearch},
+	{10439, "Shodan (CariNet)", "US", ASResearch},
+	{6503, "Axtel", "MX", ASISP},
+	{53667, "PonyNet (FranTech)", "US", ASBullet},
+	{4134, "Chinanet", "CN", ASISP},
+	{56046, "China Mobile", "CN", ASISP},
+	{9808, "China Mobile Guangdong", "CN", ASISP},
+	{174, "Cogent", "US", ASCloud},
+	{198605, "Avast", "CZ", ASSecurity},
+	{9009, "M247", "GB", ASCloud},
+	{60068, "CDN77", "GB", ASCloud},
+	{5384, "Emirates Internet", "AE", ASISP},
+	{14522, "SATNET", "EC", ASISP},
+	// Long-tail filler: hosting, ISPs, and abuse sources.
+	{16276, "OVH", "FR", ASCloud},
+	{14061, "DigitalOcean", "US", ASCloud},
+	{24940, "Hetzner", "DE", ASCloud},
+	{45090, "Tencent", "CN", ASCloud},
+	{37963, "Alibaba", "CN", ASCloud},
+	{4766, "Korea Telecom", "KR", ASISP},
+	{9121, "Turk Telekom", "TR", ASISP},
+	{8452, "TE-AS Egypt", "EG", ASISP},
+	{7922, "Comcast", "US", ASISP},
+	{3462, "HiNet Taiwan", "TW", ASISP},
+	{17974, "Telkomnet Indonesia", "ID", ASISP},
+	{45899, "VNPT Vietnam", "VN", ASISP},
+	{131090, "CAT Telecom Thailand", "TH", ASISP},
+	{9829, "BSNL India", "IN", ASISP},
+	{8151, "Uninet Mexico", "MX", ASISP},
+	{28573, "Claro Brazil", "BR", ASISP},
+	{12389, "Rostelecom", "RU", ASISP},
+	{49505, "Selectel", "RU", ASCloud},
+	{202425, "IP Volume", "NL", ASBullet},
+	{204428, "SS-Net", "RO", ASBullet},
+	{48693, "Rices Privately", "RO", ASBullet},
+	{211252, "Delis LLC", "US", ASBullet},
+	{47890, "Unmanaged LTD", "GB", ASBullet},
+	{36352, "ColoCrossing", "US", ASCloud},
+	{63949, "Linode LLC", "US", ASCloud},
+	{396982, "Google Cloud", "US", ASCloud},
+	{16509, "Amazon AWS", "US", ASCloud},
+	{8075, "Microsoft Azure", "US", ASCloud},
+	{701, "Verizon", "US", ASISP},
+	{3320, "Deutsche Telekom", "DE", ASISP},
+	{1221, "Telstra", "AU", ASISP},
+	{4837, "China Unicom", "CN", ASISP},
+	{18403, "FPT Vietnam", "VN", ASISP},
+	{24560, "Airtel India", "IN", ASISP},
+	{55836, "Reliance Jio", "IN", ASISP},
+}
+
+var registryByASN = func() map[int]AS {
+	m := make(map[int]AS, len(registry))
+	for _, a := range registry {
+		m[a.ASN] = a
+	}
+	return m
+}()
+
+// LookupAS returns the registry entry for an ASN.
+func LookupAS(asn int) (AS, bool) {
+	a, ok := registryByASN[asn]
+	return a, ok
+}
+
+// MustAS returns the registry entry for an ASN or panics; for actor
+// construction, where a missing ASN is a programming error.
+func MustAS(asn int) AS {
+	a, ok := registryByASN[asn]
+	if !ok {
+		panic(fmt.Sprintf("netsim: ASN %d not in registry", asn))
+	}
+	return a
+}
+
+// AllAS returns the full registry in declaration order.
+func AllAS() []AS {
+	out := make([]AS, len(registry))
+	copy(out, registry)
+	return out
+}

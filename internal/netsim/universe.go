@@ -1,0 +1,136 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudwatch/internal/wire"
+)
+
+// Universe is the set of monitored addresses an actor population
+// scans: every honeypot IP (materialized as a Target) plus the
+// telescope address blocks (kept as ranges — the paper's telescope
+// spans 475K IPs, far too many to materialize per-address state for).
+// It is the simulated stand-in for "the parts of the Internet our
+// sensors can see".
+type Universe struct {
+	Seed int64
+	Year int // dataset year (2020, 2021, 2022) for Appendix C variants
+
+	// TelescopeBlocks are the darknet ranges; traffic to them reaches
+	// the telescope collector, which records first packets only.
+	TelescopeBlocks []wire.Block
+
+	targets []*Target
+	byIP    map[wire.Addr]*Target
+	byID    map[string]*Target
+	regions map[string][]*Target
+}
+
+// NewUniverse builds a universe over the given honeypot targets.
+// Target IPs and IDs must be unique.
+func NewUniverse(seed int64, year int, targets []*Target) (*Universe, error) {
+	u := &Universe{
+		Seed:    seed,
+		Year:    year,
+		byIP:    make(map[wire.Addr]*Target, len(targets)),
+		byID:    make(map[string]*Target, len(targets)),
+		regions: map[string][]*Target{},
+	}
+	for _, t := range targets {
+		if t.ID == "" {
+			return nil, fmt.Errorf("netsim: target %s has empty ID", t.IP)
+		}
+		if _, dup := u.byIP[t.IP]; dup {
+			return nil, fmt.Errorf("netsim: duplicate target IP %s", t.IP)
+		}
+		if _, dup := u.byID[t.ID]; dup {
+			return nil, fmt.Errorf("netsim: duplicate target ID %s", t.ID)
+		}
+		u.byIP[t.IP] = t
+		u.byID[t.ID] = t
+		u.targets = append(u.targets, t)
+		u.regions[t.Region] = append(u.regions[t.Region], t)
+	}
+	return u, nil
+}
+
+// Targets returns every target in insertion order. The slice is
+// shared; callers must not mutate it.
+func (u *Universe) Targets() []*Target { return u.targets }
+
+// ByIP resolves the target monitoring an address.
+func (u *Universe) ByIP(ip wire.Addr) (*Target, bool) {
+	t, ok := u.byIP[ip]
+	return t, ok
+}
+
+// ByID resolves a target by vantage identifier.
+func (u *Universe) ByID(id string) (*Target, bool) {
+	t, ok := u.byID[id]
+	return t, ok
+}
+
+// Region returns the targets of one region key.
+func (u *Universe) Region(key string) []*Target { return u.regions[key] }
+
+// Regions returns all region keys in sorted order.
+func (u *Universe) Regions() []string {
+	keys := make([]string, 0, len(u.regions))
+	for k := range u.regions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Filter returns targets satisfying pred, in insertion order.
+func (u *Universe) Filter(pred func(*Target) bool) []*Target {
+	var out []*Target
+	for _, t := range u.targets {
+		if pred(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ServiceTargets returns targets on networks that host real services
+// (cloud + education) — the set telescope-avoiding scanners restrict
+// themselves to (§5.2).
+func (u *Universe) ServiceTargets() []*Target {
+	return u.Filter(func(t *Target) bool { return t.Kind != KindTelescope })
+}
+
+// InTelescope reports whether an address lies inside a telescope
+// block.
+func (u *Universe) InTelescope(ip wire.Addr) bool {
+	for _, b := range u.TelescopeBlocks {
+		if b.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// TelescopeSize returns the total number of telescope addresses.
+func (u *Universe) TelescopeSize() int {
+	n := 0
+	for _, b := range u.TelescopeBlocks {
+		n += b.Size()
+	}
+	return n
+}
+
+// TelescopeAddr maps a global index in [0, TelescopeSize()) to the
+// corresponding telescope address, block by block. It panics when i is
+// out of range, mirroring slice indexing.
+func (u *Universe) TelescopeAddr(i int) wire.Addr {
+	for _, b := range u.TelescopeBlocks {
+		if i < b.Size() {
+			return b.Nth(i)
+		}
+		i -= b.Size()
+	}
+	panic(fmt.Sprintf("netsim: telescope index %d out of range", i))
+}

@@ -1,0 +1,208 @@
+// Package pcap reads and writes libpcap-format capture files
+// (tcpdump's classic format, magic 0xA1B2C3D4, link type Ethernet).
+// The paper releases its honeypot/telescope traffic dataset; this
+// package is the on-disk format for ours, and the files it writes are
+// readable by standard analyzers.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"cloudwatch/internal/wire"
+)
+
+const (
+	magicMicroseconds = 0xA1B2C3D4
+	versionMajor      = 2
+	versionMinor      = 4
+	linkTypeEthernet  = 1
+	maxSnapLen        = 262144
+)
+
+// Format errors.
+var (
+	ErrBadMagic   = errors.New("pcap: bad magic number")
+	ErrBadVersion = errors.New("pcap: unsupported version")
+	ErrBadLink    = errors.New("pcap: unsupported link type")
+	ErrShortRead  = errors.New("pcap: truncated file")
+	ErrTooLarge   = errors.New("pcap: packet exceeds snap length")
+)
+
+// Writer writes packets to a pcap stream. It buffers internally; call
+// Flush (or use WriteFile) before closing the underlying writer.
+type Writer struct {
+	w       *bufio.Writer
+	wroteHd bool
+}
+
+// NewWriter returns a Writer emitting to w. The file header is written
+// lazily on the first packet (or by Flush on an empty capture).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (w *Writer) header() error {
+	if w.wroteHd {
+		return nil
+	}
+	var hd [24]byte
+	binary.LittleEndian.PutUint32(hd[0:4], magicMicroseconds)
+	binary.LittleEndian.PutUint16(hd[4:6], versionMajor)
+	binary.LittleEndian.PutUint16(hd[6:8], versionMinor)
+	// thiszone = 0, sigfigs = 0.
+	binary.LittleEndian.PutUint32(hd[16:20], maxSnapLen)
+	binary.LittleEndian.PutUint32(hd[20:24], linkTypeEthernet)
+	if _, err := w.w.Write(hd[:]); err != nil {
+		return fmt.Errorf("pcap: writing file header: %w", err)
+	}
+	w.wroteHd = true
+	return nil
+}
+
+// WritePacket encodes p as an Ethernet frame and appends it with a
+// pcap record header carrying p.Time.
+func (w *Writer) WritePacket(p wire.Packet) error {
+	frame, err := wire.EncodeFrame(p)
+	if err != nil {
+		return err
+	}
+	return w.WriteFrame(p.Time, frame)
+}
+
+// WriteFrame appends a raw Ethernet frame with the given timestamp.
+func (w *Writer) WriteFrame(ts time.Time, frame []byte) error {
+	if len(frame) > maxSnapLen {
+		return ErrTooLarge
+	}
+	if err := w.header(); err != nil {
+		return err
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(len(frame)))
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return fmt.Errorf("pcap: writing record header: %w", err)
+	}
+	if _, err := w.w.Write(frame); err != nil {
+		return fmt.Errorf("pcap: writing frame: %w", err)
+	}
+	return nil
+}
+
+// Flush writes any buffered data (and the file header, if no packet
+// was ever written) to the underlying writer.
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Reader reads packets from a pcap stream produced by Writer (or any
+// microsecond-precision little-endian Ethernet pcap).
+type Reader struct {
+	r      *bufio.Reader
+	readHd bool
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+func (r *Reader) fileHeader() error {
+	if r.readHd {
+		return nil
+	}
+	var hd [24]byte
+	if _, err := io.ReadFull(r.r, hd[:]); err != nil {
+		return fmt.Errorf("%w: file header: %v", ErrShortRead, err)
+	}
+	if binary.LittleEndian.Uint32(hd[0:4]) != magicMicroseconds {
+		return ErrBadMagic
+	}
+	if binary.LittleEndian.Uint16(hd[4:6]) != versionMajor {
+		return ErrBadVersion
+	}
+	if binary.LittleEndian.Uint32(hd[20:24]) != linkTypeEthernet {
+		return ErrBadLink
+	}
+	r.readHd = true
+	return nil
+}
+
+// NextFrame returns the next raw frame and its timestamp, or io.EOF at
+// the clean end of the capture.
+func (r *Reader) NextFrame() (time.Time, []byte, error) {
+	if err := r.fileHeader(); err != nil {
+		return time.Time{}, nil, err
+	}
+	var rec [16]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return time.Time{}, nil, io.EOF
+		}
+		return time.Time{}, nil, fmt.Errorf("%w: record header: %v", ErrShortRead, err)
+	}
+	sec := binary.LittleEndian.Uint32(rec[0:4])
+	usec := binary.LittleEndian.Uint32(rec[4:8])
+	capLen := binary.LittleEndian.Uint32(rec[8:12])
+	if capLen > maxSnapLen {
+		return time.Time{}, nil, ErrTooLarge
+	}
+	frame := make([]byte, capLen)
+	if _, err := io.ReadFull(r.r, frame); err != nil {
+		return time.Time{}, nil, fmt.Errorf("%w: frame body: %v", ErrShortRead, err)
+	}
+	ts := time.Unix(int64(sec), int64(usec)*1000).UTC()
+	return ts, frame, nil
+}
+
+// NextPacket returns the next frame decoded into a wire.Packet (with
+// the record timestamp filled in), or io.EOF at end of capture.
+func (r *Reader) NextPacket() (wire.Packet, error) {
+	ts, frame, err := r.NextFrame()
+	if err != nil {
+		return wire.Packet{}, err
+	}
+	p, err := wire.DecodeFrame(frame)
+	if err != nil {
+		return wire.Packet{}, err
+	}
+	p.Time = ts
+	return p, nil
+}
+
+// ReadAll decodes every packet in the stream.
+func ReadAll(r io.Reader) ([]wire.Packet, error) {
+	pr := NewReader(r)
+	var out []wire.Packet
+	for {
+		p, err := pr.NextPacket()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+// WriteAll writes every packet to w in pcap format and flushes.
+func WriteAll(w io.Writer, packets []wire.Packet) error {
+	pw := NewWriter(w)
+	for _, p := range packets {
+		if err := pw.WritePacket(p); err != nil {
+			return err
+		}
+	}
+	return pw.Flush()
+}

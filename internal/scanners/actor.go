@@ -1,0 +1,285 @@
+package scanners
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/searchengine"
+	"cloudwatch/internal/wire"
+)
+
+// Context carries everything an actor consults while generating
+// traffic: the monitored universe and the two search-engine indexes.
+type Context struct {
+	U      *netsim.Universe
+	Censys *searchengine.Engine
+	Shodan *searchengine.Engine
+	Seed   int64
+	Year   int
+}
+
+// Actor is one scanning organization or botnet: a set of source IPs in
+// one AS plus a traffic-generation behavior.
+type Actor struct {
+	Name   string
+	AS     netsim.AS
+	Benign bool // GreyNoise-vetted organization
+	IPs    []wire.Addr
+	Gen    func(a *Actor, ctx *Context, emit func(netsim.Probe))
+}
+
+// Run generates the actor's traffic for the study week.
+func (a *Actor) Run(ctx *Context, emit func(netsim.Probe)) {
+	if a.Gen != nil {
+		a.Gen(a, ctx, emit)
+	}
+}
+
+// rng returns the actor's deterministic random stream.
+func (a *Actor) rng(ctx *Context) *rand.Rand {
+	return netsim.Stream(ctx.Seed, "actor:"+a.Name)
+}
+
+// safeFirstOctets are first octets guaranteed disjoint from every
+// vantage-point pool in internal/cloud, so scanner sources never
+// collide with monitored addresses.
+var safeFirstOctets = []byte{
+	5, 11, 14, 24, 27, 31, 38, 41, 45, 59, 61, 77, 89, 91, 101, 103,
+	109, 113, 121, 133, 151, 163, 177, 185, 190, 195, 200, 203, 211, 221,
+}
+
+// SourceIPs derives n deterministic source addresses for an AS: a /16
+// chosen by hashing the ASN, hosts spread through it. Distinct actors
+// in the same AS get distinct hosts via the salt.
+func SourceIPs(as netsim.AS, salt string, n int, seed int64) []wire.Addr {
+	rng := netsim.Stream(seed, fmt.Sprintf("srcips:%d:%s", as.ASN, salt))
+	first := safeFirstOctets[as.ASN%len(safeFirstOctets)]
+	second := byte((as.ASN / len(safeFirstOctets)) % 256)
+	base := wire.AddrFrom4(first, second, 0, 0)
+	seen := make(map[wire.Addr]bool, n)
+	out := make([]wire.Addr, 0, n)
+	for len(out) < n {
+		ip := base + wire.Addr(rng.Intn(65536))
+		if ip == base || seen[ip] {
+			continue
+		}
+		seen[ip] = true
+		out = append(out, ip)
+	}
+	return out
+}
+
+// uniformTime draws a timestamp uniformly over the study week.
+func uniformTime(rng *rand.Rand) time.Time {
+	sec := rng.Int63n(int64(netsim.StudyHours) * 3600)
+	return netsim.StudyStart.Add(time.Duration(sec) * time.Second)
+}
+
+// burstTime draws a timestamp inside a burst window starting at start.
+func burstTime(rng *rand.Rand, start time.Time, width time.Duration) time.Time {
+	if width <= 0 {
+		return start
+	}
+	return start.Add(time.Duration(rng.Int63n(int64(width))))
+}
+
+// ServiceScan describes a sweep over the honeypot targets.
+type ServiceScan struct {
+	Ports       []uint16                                                   // destination ports probed
+	Transport   wire.Transport                                             // defaults to TCP
+	Filter      func(*netsim.Target) bool                                  // eligible targets (nil = all service targets)
+	Cover       float64                                                    // P(src hits an eligible target)
+	Weight      func(*netsim.Target) float64                               // per-target cover multiplier (nil = 1)
+	MinAttempts int                                                        // probes per (src, target, port) hit
+	MaxAttempts int                                                        // inclusive; 0 means MinAttempts
+	Payload     func(rng *rand.Rand, t *netsim.Target) []byte              // first payload (nil = none)
+	Creds       func(rng *rand.Rand, t *netsim.Target) []netsim.Credential // login attempts per probe (nil = none)
+	Time        func(rng *rand.Rand) time.Time                             // probe timestamp (nil = uniform over week)
+}
+
+// ScanServices runs one ServiceScan for every source IP of the actor.
+func (a *Actor) ScanServices(ctx *Context, emit func(netsim.Probe), s ServiceScan) {
+	rng := netsim.Stream(ctx.Seed, "svc:"+a.Name)
+	transport := s.Transport
+	if transport == 0 {
+		transport = wire.TCP
+	}
+	timeFn := s.Time
+	if timeFn == nil {
+		timeFn = uniformTime
+	}
+	targets := ctx.U.ServiceTargets()
+	for _, src := range a.IPs {
+		for _, t := range targets {
+			if s.Filter != nil && !s.Filter(t) {
+				continue
+			}
+			cover := s.Cover
+			if s.Weight != nil {
+				cover *= s.Weight(t)
+			}
+			if cover <= 0 || rng.Float64() >= clampProb(cover) {
+				continue
+			}
+			for _, port := range s.Ports {
+				if !t.ListensOn(port) {
+					continue
+				}
+				attempts := s.MinAttempts
+				if s.MaxAttempts > s.MinAttempts {
+					attempts += rng.Intn(s.MaxAttempts - s.MinAttempts + 1)
+				}
+				if attempts < 1 {
+					attempts = 1
+				}
+				for k := 0; k < attempts; k++ {
+					p := netsim.Probe{
+						T:         timeFn(rng),
+						Src:       src,
+						ASN:       a.AS.ASN,
+						Dst:       t.IP,
+						Port:      port,
+						Transport: transport,
+					}
+					if s.Payload != nil {
+						p.Payload = s.Payload(rng, t)
+					}
+					if s.Creds != nil {
+						p.Creds = s.Creds(rng, t)
+					}
+					emit(p)
+				}
+			}
+		}
+	}
+}
+
+// TelescopeScan describes a sweep over the darknet ranges.
+type TelescopeScan struct {
+	Ports     []uint16
+	Transport wire.Transport // defaults to TCP
+	PerIP     int            // telescope addresses sampled per source IP
+	// Pick chooses a telescope address (nil = uniform). Structure-
+	// biased scanners install rejection samplers here.
+	Pick func(rng *rand.Rand, u *netsim.Universe) wire.Addr
+	Time func(rng *rand.Rand) time.Time
+}
+
+// ScanTelescope runs one TelescopeScan for every source IP. Telescope
+// probes carry no payload: the collector would not record one anyway
+// (telescopes never complete the handshake).
+func (a *Actor) ScanTelescope(ctx *Context, emit func(netsim.Probe), s TelescopeScan) {
+	if ctx.U.TelescopeSize() == 0 || s.PerIP <= 0 {
+		return
+	}
+	rng := netsim.Stream(ctx.Seed, "tel:"+a.Name)
+	transport := s.Transport
+	if transport == 0 {
+		transport = wire.TCP
+	}
+	timeFn := s.Time
+	if timeFn == nil {
+		timeFn = uniformTime
+	}
+	pick := s.Pick
+	if pick == nil {
+		pick = UniformTelescope
+	}
+	for _, src := range a.IPs {
+		for i := 0; i < s.PerIP; i++ {
+			dst := pick(rng, ctx.U)
+			for _, port := range s.Ports {
+				emit(netsim.Probe{
+					T:         timeFn(rng),
+					Src:       src,
+					ASN:       a.AS.ASN,
+					Dst:       dst,
+					Port:      port,
+					Transport: transport,
+				})
+			}
+		}
+	}
+}
+
+// UniformTelescope picks telescope addresses uniformly.
+func UniformTelescope(rng *rand.Rand, u *netsim.Universe) wire.Addr {
+	return u.TelescopeAddr(rng.Intn(u.TelescopeSize()))
+}
+
+// Avoid255 builds a telescope picker that keeps addresses containing a
+// 255 octet with probability 1/factor — the §4.2 avoidance behavior
+// ("61 times less likely" for 7574/Oracle, "9 times less" for
+// 445/SMB).
+func Avoid255(factor float64) func(*rand.Rand, *netsim.Universe) wire.Addr {
+	return func(rng *rand.Rand, u *netsim.Universe) wire.Addr {
+		for i := 0; i < 64; i++ {
+			a := UniformTelescope(rng, u)
+			if !a.HasOctet(255) || rng.Float64() < 1/factor {
+				return a
+			}
+		}
+		return UniformTelescope(rng, u)
+	}
+}
+
+// PreferSlash16Start builds a picker that makes the first address of
+// each /16 `multiplier` times more likely than any other address —
+// Mirai/PonyNet's port-22 preference ("one order of magnitude more
+// likely to choose the first address of a /16 as its first scanning
+// target" ⇒ multiplier ≈ 10). The bias is scale-aware: it adapts to
+// however many /16 starts the telescope contains.
+func PreferSlash16Start(multiplier float64) func(*rand.Rand, *netsim.Universe) wire.Addr {
+	return func(rng *rand.Rand, u *netsim.Universe) wire.Addr {
+		starts := slash16Starts(u)
+		if len(starts) > 0 {
+			p := (multiplier - 1) * float64(len(starts)) / float64(u.TelescopeSize())
+			if rng.Float64() < p {
+				return starts[rng.Intn(len(starts))]
+			}
+		}
+		return UniformTelescope(rng, u)
+	}
+}
+
+// slash16Starts enumerates the /16-start addresses within the
+// telescope blocks.
+func slash16Starts(u *netsim.Universe) []wire.Addr {
+	var out []wire.Addr
+	seen := map[wire.Addr]bool{}
+	for _, b := range u.TelescopeBlocks {
+		start := b.Base & 0xFFFF0000
+		// Walk /16 boundaries overlapping the block.
+		for a := start; ; a += 1 << 16 {
+			if b.Contains(a) && !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+			if a+1<<16 < a || a+1<<16 > b.Base+wire.Addr(b.Size()) {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FixedTelescopeSet builds a picker latched onto specific offsets into
+// the telescope space — the Figure 1d four-address botnet.
+func FixedTelescopeSet(offsets []int) func(*rand.Rand, *netsim.Universe) wire.Addr {
+	return func(rng *rand.Rand, u *netsim.Universe) wire.Addr {
+		off := offsets[rng.Intn(len(offsets))]
+		return u.TelescopeAddr(off % u.TelescopeSize())
+	}
+}
+
+func clampProb(p float64) float64 {
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}

@@ -1,0 +1,176 @@
+package scanners
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudwatch/internal/netsim"
+)
+
+// --- Internet background radiation (telescope-only) --------------------------
+
+// backgroundRadiation floods the darknet with the broad, shallow
+// population that makes telescopes see orders of magnitude more unique
+// sources than any honeypot (Table 1: Orion observes 5.1M unique IPs
+// against ~100K per honeypot network). These sources never touch the
+// honeypots, which is also why they do not perturb the Table 8 overlap
+// fractions.
+func backgroundRadiation(cfg Config) []*Actor {
+	ports := []uint16{23, 445, 80, 22, 8080, 2323, 1433, 5060, 3389, 8443, 81, 5555}
+	var actors []*Actor
+	for i, as := range netsim.AllAS() {
+		i, as := i, as
+		name := fmt.Sprintf("ibr-%d", as.ASN)
+		actors = append(actors, newActor(cfg, name, as.ASN, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			a.ScanTelescope(ctx, emit, TelescopeScan{
+				Ports: []uint16{ports[i%len(ports)], ports[(i+5)%len(ports)]},
+				PerIP: 4,
+			})
+		}))
+	}
+	return actors
+}
+
+// --- Narrow web sweeps (HTTP/All payload divergence, §4.1) -------------------
+
+// narrowWebSweeps are low-coverage single-payload campaigns on the
+// HTTP-family ports. Because each campaign samples only a small
+// fraction of targets, neighboring honeypots end up with different
+// top-3 payload sets across all ports — the paper's strongest
+// neighborhood effect (77% of neighborhoods differ on HTTP/All
+// payloads).
+func narrowWebSweeps(cfg Config) []*Actor {
+	sweeps := []struct {
+		name    string
+		asn     int
+		port    uint16
+		payload []byte
+	}{
+		{"sweep-log4shell-8080", 202425, 8080, exploitLog4Shell},
+		{"sweep-boaform-8080", 45899, 8080, exploitBoaform},
+		{"sweep-hnap-8080", 17974, 8080, exploitHNAP},
+		{"sweep-thinkphp-8080", 4837, 8080, exploitThinkPHP},
+		{"sweep-jaws-8080", 9829, 8080, exploitJAWS},
+		{"sweep-citrix-443", 16276, 443, exploitCitrix},
+		{"sweep-traversal-443", 24940, 443, exploitTraversal},
+		{"sweep-env-8080", 49505, 8080, exploitEnvProbe},
+		{"sweep-git-443", 14061, 443, exploitGitProbe},
+		{"sweep-wplogin-8080", 36352, 8080, exploitWPLogin},
+		{"sweep-docker-8080", 45090, 8080, exploitDocker},
+		{"sweep-hadoop-8080", 37963, 8080, exploitHadoop},
+	}
+	var actors []*Actor
+	for _, sw := range sweeps {
+		sw := sw
+		actors = append(actors, newActor(cfg, sw.name, sw.asn, false, 8, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			a.ScanServices(ctx, emit, ServiceScan{
+				Ports: []uint16{sw.port}, Cover: 0.20,
+				MinAttempts: 3, MaxAttempts: 8,
+				Payload: func(rng *rand.Rand, t *netsim.Target) []byte { return sw.payload },
+			})
+			// Web sweeps walk the whole address space: they reach the
+			// darknet too (Table 8: 73-80% overlap on 80/8080).
+			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{sw.port}, PerIP: 4, Pick: Avoid255(4)})
+		}))
+	}
+	return actors
+}
+
+// --- Benign monitor latchers (fraction-malicious divergence, §4.1) -----------
+
+// monitorLatchers attach benign connect-and-banner clients (uptime
+// monitors, misconfigured clients) to single honeypots. They dilute
+// the malicious fraction of their victim only, which is what makes
+// "Fraction Malicious" differ between neighbors with a small effect
+// size (Table 2: 36% of SSH/22 neighborhoods, φ≈0.12). Their source
+// ASes mirror the protocol's dominant scanning ASes in roughly the
+// population's proportions, so the AS distribution of the victim is
+// scaled rather than reshaped and the Top-3-AS comparisons stay
+// untouched.
+func monitorLatchers(cfg Config) []*Actor {
+	regions := greyNoiseRegionKeys()
+	rng := netsim.Stream(cfg.Seed, "monitor-plan")
+	// (asn, ips): proportional to the SSH and Telnet campaign sizes.
+	sshMix := []struct{ asn, ips int }{{4134, 5}, {56046, 2}, {174, 2}, {16276, 1}, {24940, 1}}
+	telnetMix := []struct{ asn, ips int }{{4134, 3}, {4837, 2}, {3462, 2}, {17974, 2}, {9829, 1}}
+	var actors []*Actor
+	for _, region := range regions {
+		region := region
+		var port uint16
+		switch {
+		case rng.Float64() < 0.38:
+			port = 22
+		case rng.Float64() < 0.28:
+			port = 23
+		default:
+			continue
+		}
+		mix := sshMix
+		if port == 23 {
+			mix = telnetMix
+		}
+		for _, m := range mix {
+			m := m
+			port := port
+			name := fmt.Sprintf("monitor-%d-%d-%s", port, m.asn, region)
+			actors = append(actors, newActor(cfg, name, m.asn, false, m.ips, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+				victim := pickRegionVictim(ctx, region, fmt.Sprintf("monitor-%d", port))
+				if victim == nil {
+					return
+				}
+				a.ScanServices(ctx, emit, ServiceScan{
+					Ports: []uint16{port}, Cover: 0.95,
+					Filter:      func(t *netsim.Target) bool { return t == victim },
+					MinAttempts: 5, MaxAttempts: 10,
+					// No credentials, no payload: a pure benign
+					// connection stream on an interactive port.
+				})
+				if port == 23 {
+					a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{23}, PerIP: 4})
+				}
+			}))
+		}
+	}
+	return actors
+}
+
+// telnetVendorDicts are per-campaign credential sets with vendor-
+// specific passwords; latch campaigns draw from these so neighboring
+// Telnet honeypots see different top password sets (Table 2: 19% of
+// neighborhoods differ on Telnet passwords with large φ).
+var telnetVendorDicts = [][]netsim.Credential{
+	{
+		{Username: "hikuser", Password: "hikvision"},
+		{Username: "hikadmin", Password: "hikvision"},
+		{Username: "hikuser", Password: "hichiphone"},
+	},
+	{
+		{Username: "dreambox", Password: "dreambox"},
+		{Username: "dreambox", Password: "realtek"},
+		{Username: "realtek", Password: "1001chin"},
+	},
+	{
+		{Username: "telnetadmin", Password: "telnetadmin"},
+		{Username: "telnetadmin", Password: "taZz@23495859"},
+		{Username: "tech", Password: "20080826"},
+	},
+	{
+		{Username: "default", Password: "S2fGqNFs"},
+		{Username: "default", Password: "OxhlwSG8"},
+		{Username: "daemon", Password: "GM8182"},
+	},
+	{
+		{Username: "e8ehome", Password: "e8ehome"},
+		{Username: "e8telnet", Password: "e8telnet"},
+		{Username: "e8ehome", Password: "Zte521"},
+	},
+}
+
+// sshAltPasswords is the rare alternate SSH password set; only a small
+// share of SSH latch campaigns use it, keeping SSH password
+// divergence rare (Table 2: 4% of neighborhoods).
+var sshAltPasswords = []netsim.Credential{
+	{Username: "root", Password: "changeme"},
+	{Username: "root", Password: "letmein"},
+	{Username: "admin", Password: "qwerty123"},
+}

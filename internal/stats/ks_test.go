@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKolmogorovSmirnovIdentical(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	res, err := KolmogorovSmirnov(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 0 {
+		t.Errorf("D = %v, want 0 for identical samples", res.D)
+	}
+	if res.P < 0.99 {
+		t.Errorf("p = %v, want ≈1", res.P)
+	}
+}
+
+func TestKolmogorovSmirnovDisjoint(t *testing.T) {
+	x := make([]float64, 50)
+	y := make([]float64, 50)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = float64(i + 1000)
+	}
+	res, err := KolmogorovSmirnov(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 1 {
+		t.Errorf("D = %v, want 1 for disjoint supports", res.D)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("p = %v, want ≈0", res.P)
+	}
+}
+
+func TestKolmogorovSmirnovKnownD(t *testing.T) {
+	// x CDF jumps at 1,2; y CDF jumps at 2,3. At v=1: F1=0.5, F2=0 → D=0.5.
+	res, err := KolmogorovSmirnov([]float64{1, 2}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(res.D, 0.5, 1e-12) {
+		t.Errorf("D = %v, want 0.5", res.D)
+	}
+}
+
+func TestKolmogorovSmirnovEmpty(t *testing.T) {
+	if _, err := KolmogorovSmirnov(nil, []float64{1}); err != ErrSampleSize {
+		t.Errorf("err = %v, want ErrSampleSize", err)
+	}
+}
+
+func TestKolmogorovSmirnovDRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 1 + rng.Intn(50)
+		n2 := 1 + rng.Intn(50)
+		x := make([]float64, n1)
+		y := make([]float64, n2)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64() * 2
+		}
+		res, err := KolmogorovSmirnov(x, y)
+		if err != nil {
+			return false
+		}
+		return res.D >= 0 && res.D <= 1 && res.P >= 0 && res.P <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKolmogorovSmirnovSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(10))
+			y[i] = float64(rng.Intn(10))
+		}
+		r1, err1 := KolmogorovSmirnov(x, y)
+		r2, err2 := KolmogorovSmirnov(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(r1.D, r2.D, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKolmogorovSmirnovDoesNotMutateInput(t *testing.T) {
+	x := []float64{3, 1, 2}
+	y := []float64{5, 4}
+	if _, err := KolmogorovSmirnov(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 || y[0] != 5 {
+		t.Errorf("inputs mutated: x=%v y=%v", x, y)
+	}
+}
+
+func TestSpikeCount(t *testing.T) {
+	// Median 1; threshold 3 → cutoff max(3, minAbs=2)=3. Spikes: 10 and 20.
+	hourly := []float64{1, 1, 1, 10, 1, 20, 1}
+	if got := SpikeCount(hourly, 3, 2); got != 2 {
+		t.Errorf("SpikeCount = %d, want 2", got)
+	}
+	// All-zero series with minAbs floor: no spikes.
+	if got := SpikeCount([]float64{0, 0, 0}, 3, 2); got != 0 {
+		t.Errorf("SpikeCount zeros = %d, want 0", got)
+	}
+	if got := SpikeCount(nil, 3, 2); got != 0 {
+		t.Errorf("SpikeCount nil = %d, want 0", got)
+	}
+	// Zero-median series where minAbs floor matters.
+	if got := SpikeCount([]float64{0, 0, 0, 5}, 3, 2); got != 1 {
+		t.Errorf("SpikeCount floor = %d, want 1", got)
+	}
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrSampleSize reports a sample too small for the requested test.
+var ErrSampleSize = errors.New("stats: sample too small")
+
+// MWUAlternative selects the alternative hypothesis of a Mann-Whitney
+// U test.
+type MWUAlternative int
+
+// Alternatives for MannWhitneyU. The paper's §4.3 uses Greater: "we use
+// a one-sided Mann-Whitney U test to evaluate whether the volume of
+// traffic per hour that targets leaked services is stochastically
+// greater than the volume targeting the control group".
+const (
+	// AlternativeTwoSided tests x ≠ y.
+	AlternativeTwoSided MWUAlternative = iota
+	// AlternativeGreater tests that x is stochastically greater than y.
+	AlternativeGreater
+	// AlternativeLess tests that x is stochastically less than y.
+	AlternativeLess
+)
+
+// MannWhitneyResult holds the outcome of a Mann-Whitney U test.
+type MannWhitneyResult struct {
+	U1 float64 // U statistic of sample x
+	U2 float64 // U statistic of sample y (U1 + U2 = len(x)*len(y))
+	Z  float64 // tie-corrected normal approximation with continuity correction
+	P  float64 // p-value under the requested alternative
+}
+
+// MannWhitneyU performs the Mann-Whitney U rank-sum test comparing two
+// independent samples using the tie-corrected normal approximation
+// with continuity correction. Both samples must contain at least one
+// observation; the normal approximation is reasonable from n≈8
+// onward, matching the experiment sizes in §4.3 (traffic-per-hour
+// vectors over a week: n=168).
+func MannWhitneyU(x, y []float64, alt MWUAlternative) (MannWhitneyResult, error) {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return MannWhitneyResult{}, ErrSampleSize
+	}
+	ranks, tieTerm := midRanks(x, y)
+	r1 := 0.0
+	for i := 0; i < n1; i++ {
+		r1 += ranks[i]
+	}
+	fn1, fn2 := float64(n1), float64(n2)
+	u1 := r1 - fn1*(fn1+1)/2
+	u2 := fn1*fn2 - u1
+
+	mu := fn1 * fn2 / 2
+	n := fn1 + fn2
+	sigma2 := fn1 * fn2 / 12 * ((n + 1) - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations tied: no evidence against the null.
+		return MannWhitneyResult{U1: u1, U2: u2, Z: 0, P: 1}, nil
+	}
+	sigma := math.Sqrt(sigma2)
+
+	var z, p float64
+	switch alt {
+	case AlternativeGreater:
+		z = (u1 - mu - 0.5) / sigma
+		p = NormalSurvival(z)
+	case AlternativeLess:
+		z = (u1 - mu + 0.5) / sigma
+		p = 1 - NormalSurvival(z)
+	default:
+		z = u1 - mu
+		if z > 0 {
+			z -= 0.5
+		} else if z < 0 {
+			z += 0.5
+		}
+		z /= sigma
+		p = 2 * NormalSurvival(math.Abs(z))
+		if p > 1 {
+			p = 1
+		}
+	}
+	return MannWhitneyResult{U1: u1, U2: u2, Z: z, P: p}, nil
+}
+
+// midRanks returns mid-ranks of the concatenation (x then y) and the
+// tie correction term Σ(t³−t) over tie groups of size t.
+func midRanks(x, y []float64) (ranks []float64, tieTerm float64) {
+	n := len(x) + len(y)
+	vals := make([]float64, 0, n)
+	vals = append(vals, x...)
+	vals = append(vals, y...)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] < vals[idx[b]] })
+
+	ranks = make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && vals[idx[j+1]] == vals[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j] (1-based ranks).
+		avg := float64(i+j+2) / 2
+		t := float64(j - i + 1)
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks, tieTerm
+}
+
+// FoldIncrease returns mean(x)/mean(y), the "fold increase in traffic
+// per hour" metric of Table 3. It returns +Inf when y's mean is zero
+// and x's is not, and 1 when both are zero.
+func FoldIncrease(x, y []float64) float64 {
+	mx, my := Mean(x), Mean(y)
+	switch {
+	case my == 0 && mx == 0:
+		return 1
+	case my == 0:
+		return math.Inf(1)
+	default:
+		return mx / my
+	}
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (average of the two middle values
+// for even lengths), or 0 for an empty slice. The paper compares
+// "median expected values ... across groups" to filter per-IP attacker
+// preferences (§4.4).
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

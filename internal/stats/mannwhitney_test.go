@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMannWhitneyUSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 1 + rng.Intn(40)
+		n2 := 1 + rng.Intn(40)
+		x := make([]float64, n1)
+		y := make([]float64, n2)
+		for i := range x {
+			x[i] = float64(rng.Intn(20))
+		}
+		for i := range y {
+			y[i] = float64(rng.Intn(20))
+		}
+		res, err := MannWhitneyU(x, y, AlternativeTwoSided)
+		if err != nil {
+			return false
+		}
+		return almostEqual(res.U1+res.U2, float64(n1*n2), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMannWhitneyUClearSeparation(t *testing.T) {
+	x := []float64{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	y := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	res, err := MannWhitneyU(x, y, AlternativeGreater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U1 != 100 {
+		t.Errorf("U1 = %v, want 100 (complete dominance)", res.U1)
+	}
+	if res.P > 0.001 {
+		t.Errorf("p = %v, want < 0.001", res.P)
+	}
+	// Reversed direction should not be significant.
+	resLess, err := MannWhitneyU(x, y, AlternativeLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resLess.P < 0.99 {
+		t.Errorf("less-direction p = %v, want ≈1", resLess.P)
+	}
+}
+
+func TestMannWhitneyUIdenticalSamples(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5}
+	res, err := MannWhitneyU(x, x, AlternativeTwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("all-tied p = %v, want 1", res.P)
+	}
+}
+
+func TestMannWhitneyUSymmetricSamplesNotSignificant(t *testing.T) {
+	x := []float64{1, 3, 5, 7, 9, 11, 13, 15}
+	y := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	res, err := MannWhitneyU(x, y, AlternativeTwoSided)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.5 {
+		t.Errorf("interleaved p = %v, want > 0.5", res.P)
+	}
+}
+
+func TestMannWhitneyUEmpty(t *testing.T) {
+	if _, err := MannWhitneyU(nil, []float64{1}, AlternativeGreater); err != ErrSampleSize {
+		t.Errorf("err = %v, want ErrSampleSize", err)
+	}
+	if _, err := MannWhitneyU([]float64{1}, nil, AlternativeGreater); err != ErrSampleSize {
+		t.Errorf("err = %v, want ErrSampleSize", err)
+	}
+}
+
+func TestMannWhitneyPValueRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 2 + rng.Intn(30)
+		n2 := 2 + rng.Intn(30)
+		x := make([]float64, n1)
+		y := make([]float64, n2)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		for _, alt := range []MWUAlternative{AlternativeTwoSided, AlternativeGreater, AlternativeLess} {
+			res, err := MannWhitneyU(x, y, alt)
+			if err != nil || res.P < 0 || res.P > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMidRanksTies(t *testing.T) {
+	ranks, tie := midRanks([]float64{1, 2, 2}, []float64{2, 3})
+	// Sorted: 1(rank 1), 2,2,2 (ranks 2,3,4 -> mid 3), 3 (rank 5).
+	want := []float64{1, 3, 3, 3, 5}
+	for i, w := range want {
+		if ranks[i] != w {
+			t.Errorf("rank[%d] = %v, want %v", i, ranks[i], w)
+		}
+	}
+	if tie != 27-3 { // one tie group of size 3: 3^3-3 = 24
+		t.Errorf("tieTerm = %v, want 24", tie)
+	}
+}
+
+func TestFoldIncrease(t *testing.T) {
+	if got := FoldIncrease([]float64{4, 6}, []float64{1, 1}); got != 5 {
+		t.Errorf("fold = %v, want 5", got)
+	}
+	if got := FoldIncrease([]float64{1}, []float64{0}); !math.IsInf(got, 1) {
+		t.Errorf("fold vs zero = %v, want +Inf", got)
+	}
+	if got := FoldIncrease([]float64{0}, []float64{0}); got != 1 {
+		t.Errorf("fold 0/0 = %v, want 1", got)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("Median(nil) = %v", got)
+	}
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Errorf("Median odd = %v, want 5", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}

@@ -1,0 +1,153 @@
+// Package stats implements the statistical methodology of "Cloud
+// Watching" §3.3: the chi-squared test of homogeneity with Bonferroni
+// correction and Cramér's V effect sizes used for vantage-point
+// comparisons, plus the one-sided Mann-Whitney U test and the
+// two-sample Kolmogorov-Smirnov test used for the search-engine leak
+// experiment (§4.3). All routines are pure Go (stdlib math only) and
+// deterministic.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDomain reports an argument outside a function's domain.
+var ErrDomain = errors.New("stats: argument out of domain")
+
+const (
+	gammaEpsilon = 1e-14
+	gammaMaxIter = 600
+)
+
+// GammaP computes the regularized lower incomplete gamma function
+// P(a, x) = γ(a, x) / Γ(a) for a > 0, x >= 0.
+func GammaP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, ErrDomain
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		return gammaSeries(a, x), nil
+	}
+	return 1 - gammaContinuedFraction(a, x), nil
+}
+
+// GammaQ computes the regularized upper incomplete gamma function
+// Q(a, x) = 1 - P(a, x). It is the survival function of the gamma
+// distribution and yields chi-squared p-values via
+// p = Q(k/2, x/2) for k degrees of freedom.
+func GammaQ(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, ErrDomain
+	}
+	if x == 0 {
+		return 1, nil
+	}
+	if x < a+1 {
+		return 1 - gammaSeries(a, x), nil
+	}
+	return gammaContinuedFraction(a, x), nil
+}
+
+// gammaSeries evaluates P(a,x) by its power series, valid for x < a+1.
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEpsilon {
+			break
+		}
+	}
+	v := sum * math.Exp(-x+a*math.Log(x)-lg)
+	return clamp01(v)
+}
+
+// gammaContinuedFraction evaluates Q(a,x) by its continued fraction
+// (modified Lentz), valid for x >= a+1.
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEpsilon {
+			break
+		}
+	}
+	v := math.Exp(-x+a*math.Log(x)-lg) * h
+	return clamp01(v)
+}
+
+// ChiSquareSurvival returns the probability that a chi-squared random
+// variable with df degrees of freedom exceeds x (the p-value of an
+// observed statistic x).
+func ChiSquareSurvival(x float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, ErrDomain
+	}
+	if x <= 0 {
+		return 1, nil
+	}
+	return GammaQ(float64(df)/2, x/2)
+}
+
+// NormalSurvival returns P(Z > z) for a standard normal Z, computed
+// from the complementary error function.
+func NormalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// KolmogorovSurvival returns the asymptotic survival function
+// Q_KS(λ) = 2 Σ_{j≥1} (-1)^{j-1} exp(-2 j² λ²) of the Kolmogorov
+// distribution, used for two-sample KS p-values.
+func KolmogorovSurvival(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const maxTerms = 101
+	sum := 0.0
+	sign := 1.0
+	for j := 1; j < maxTerms; j++ {
+		term := sign * math.Exp(-2*float64(j)*float64(j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12*math.Abs(sum) {
+			break
+		}
+		sign = -sign
+	}
+	return clamp01(2 * sum)
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

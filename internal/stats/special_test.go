@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x); P(0.5, x) = erf(sqrt(x)).
+	cases := []struct {
+		a, x, want float64
+	}{
+		{1, 0, 0},
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 5, 1 - math.Exp(-5)},
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+		{2, 3, 1 - math.Exp(-3)*(1+3)},
+		{3, 2, 1 - math.Exp(-2)*(1+2+2)},
+	}
+	for _, c := range cases {
+		got, err := GammaP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("GammaP(%v,%v): %v", c.a, c.x, err)
+		}
+		if !almostEqual(got, c.want, 1e-10) {
+			t.Errorf("GammaP(%v,%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaPQComplementary(t *testing.T) {
+	for _, a := range []float64{0.3, 0.5, 1, 2.5, 7, 30, 100} {
+		for _, x := range []float64{0.01, 0.5, 1, 3, 10, 50, 200} {
+			p, err1 := GammaP(a, x)
+			q, err2 := GammaQ(a, x)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("a=%v x=%v: %v %v", a, x, err1, err2)
+			}
+			if !almostEqual(p+q, 1, 1e-9) {
+				t.Errorf("P+Q = %v for a=%v x=%v", p+q, a, x)
+			}
+		}
+	}
+}
+
+func TestGammaDomainErrors(t *testing.T) {
+	if _, err := GammaP(0, 1); err != ErrDomain {
+		t.Errorf("GammaP(0,1) err = %v, want ErrDomain", err)
+	}
+	if _, err := GammaP(1, -1); err != ErrDomain {
+		t.Errorf("GammaP(1,-1) err = %v, want ErrDomain", err)
+	}
+	if _, err := GammaQ(-2, 1); err != ErrDomain {
+		t.Errorf("GammaQ(-2,1) err = %v, want ErrDomain", err)
+	}
+	if _, err := GammaQ(math.NaN(), 1); err != ErrDomain {
+		t.Errorf("GammaQ(NaN,1) err = %v, want ErrDomain", err)
+	}
+}
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Reference values from standard chi-squared tables.
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{6.635, 1, 0.01},
+		{5.991, 2, 0.05},
+		{7.815, 3, 0.05},
+		{9.488, 4, 0.05},
+		{18.307, 10, 0.05},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareSurvival(c.x, c.df)
+		if err != nil {
+			t.Fatalf("ChiSquareSurvival(%v,%d): %v", c.x, c.df, err)
+		}
+		if !almostEqual(got, c.want, 5e-4) {
+			t.Errorf("ChiSquareSurvival(%v,%d) = %v, want ≈%v", c.x, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareSurvivalEdge(t *testing.T) {
+	if p, _ := ChiSquareSurvival(0, 3); p != 1 {
+		t.Errorf("survival at 0 = %v, want 1", p)
+	}
+	if p, _ := ChiSquareSurvival(-5, 3); p != 1 {
+		t.Errorf("survival at negative = %v, want 1", p)
+	}
+	if _, err := ChiSquareSurvival(1, 0); err == nil {
+		t.Error("df=0 should error")
+	}
+}
+
+func TestNormalSurvivalKnownValues(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.6449, 0.05},
+		{1.96, 0.025},
+		{2.3263, 0.01},
+		{-1.96, 0.975},
+	}
+	for _, c := range cases {
+		if got := NormalSurvival(c.z); !almostEqual(got, c.want, 5e-4) {
+			t.Errorf("NormalSurvival(%v) = %v, want ≈%v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestKolmogorovSurvival(t *testing.T) {
+	// Q(1.36) ≈ 0.049 (classic critical value for α=0.05).
+	if got := KolmogorovSurvival(1.36); !almostEqual(got, 0.049, 2e-3) {
+		t.Errorf("KolmogorovSurvival(1.36) = %v, want ≈0.049", got)
+	}
+	if got := KolmogorovSurvival(0); got != 1 {
+		t.Errorf("KolmogorovSurvival(0) = %v, want 1", got)
+	}
+	if got := KolmogorovSurvival(10); got > 1e-10 {
+		t.Errorf("KolmogorovSurvival(10) = %v, want ≈0", got)
+	}
+}
+
+func TestGammaPMonotoneInXProperty(t *testing.T) {
+	f := func(aRaw, xRaw, dxRaw float64) bool {
+		a := 0.1 + math.Abs(math.Mod(aRaw, 50))
+		x := math.Abs(math.Mod(xRaw, 100))
+		dx := math.Abs(math.Mod(dxRaw, 10))
+		p1, err1 := GammaP(a, x)
+		p2, err2 := GammaP(a, x+dx)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p2 >= p1-1e-9 && p1 >= 0 && p2 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKolmogorovSurvivalMonotoneProperty(t *testing.T) {
+	f := func(aRaw, dRaw float64) bool {
+		a := math.Abs(math.Mod(aRaw, 3))
+		d := math.Abs(math.Mod(dRaw, 1))
+		q1 := KolmogorovSurvival(a)
+		q2 := KolmogorovSurvival(a + d)
+		return q2 <= q1+1e-9 && q1 >= 0 && q1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import "sort"
+
+// Freq is a frequency table over string-keyed categories (ASes,
+// usernames, passwords, payload hashes, ...).
+type Freq map[string]float64
+
+// Add increments the count of key by n.
+func (f Freq) Add(key string, n float64) { f[key] += n }
+
+// Total returns the sum of all counts.
+func (f Freq) Total() float64 {
+	t := 0.0
+	for _, v := range f {
+		t += v
+	}
+	return t
+}
+
+// Clone returns a deep copy of the table.
+func (f Freq) Clone() Freq {
+	c := make(Freq, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// TopK returns the k highest-count keys, ties broken by lexicographic
+// key order so results are deterministic across runs. Fewer than k
+// keys are returned when the table is smaller.
+func (f Freq) TopK(k int) []string {
+	keys := make([]string, 0, len(f))
+	for key := range f {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if f[keys[a]] != f[keys[b]] {
+			return f[keys[a]] > f[keys[b]]
+		}
+		return keys[a] < keys[b]
+	})
+	if len(keys) > k {
+		keys = keys[:k]
+	}
+	return keys
+}
+
+// UnionTopK returns the sorted union of each table's top-k keys. This
+// is the category set of the paper's §3.3 methodology: "we always
+// choose the most popular 3 values for each characteristic for each
+// vantage point and perform the chi-squared test on the union of all
+// unique top 3 characteristics across vantage points."
+func UnionTopK(k int, tables ...Freq) []string {
+	set := map[string]struct{}{}
+	for _, t := range tables {
+		for _, key := range t.TopK(k) {
+			set[key] = struct{}{}
+		}
+	}
+	union := make([]string, 0, len(set))
+	for key := range set {
+		union = append(union, key)
+	}
+	sort.Strings(union)
+	return union
+}
+
+// Contingency builds an observed-count matrix with one row per table
+// and one column per category, in the given category order.
+func Contingency(categories []string, tables ...Freq) [][]float64 {
+	obs := make([][]float64, len(tables))
+	for i, t := range tables {
+		row := make([]float64, len(categories))
+		for j, c := range categories {
+			row[j] = t[c]
+		}
+		obs[i] = row
+	}
+	return obs
+}
+
+// CompareTopK runs the full §3.3 comparison between two frequency
+// tables: union of top-k categories, contingency table, chi-squared
+// test. Categories in the union that have zero counts in both tables
+// cannot occur (they came from a top-k), but a category may be zero in
+// one table; all-zero *columns* are impossible by construction while
+// all-zero rows (an empty vantage point) surface as ErrZeroMargin.
+func CompareTopK(k int, a, b Freq) (ChiSquareResult, error) {
+	cats := UnionTopK(k, a, b)
+	if len(cats) < 2 {
+		// Identical single-category tables: indistinguishable.
+		return ChiSquareResult{P: 1, N: int(a.Total() + b.Total())}, nil
+	}
+	return ChiSquare(Contingency(cats, a, b))
+}
+
+// CompareBinary compares two (success, failure) splits — e.g. the
+// "fraction malicious" characteristic — via a 2×2 chi-squared test.
+func CompareBinary(aYes, aNo, bYes, bNo float64) (ChiSquareResult, error) {
+	return ChiSquare([][]float64{{aYes, aNo}, {bYes, bNo}})
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFreqBasics(t *testing.T) {
+	f := Freq{}
+	f.Add("a", 3)
+	f.Add("a", 2)
+	f.Add("b", 1)
+	if f["a"] != 5 {
+		t.Errorf("a = %v, want 5", f["a"])
+	}
+	if f.Total() != 6 {
+		t.Errorf("total = %v, want 6", f.Total())
+	}
+	c := f.Clone()
+	c.Add("a", 1)
+	if f["a"] != 5 {
+		t.Error("Clone is not a deep copy")
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	f := Freq{"zeta": 10, "alpha": 10, "mid": 5, "low": 1}
+	got := f.TopK(3)
+	want := []string{"alpha", "zeta", "mid"} // ties broken lexicographically
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopK = %v, want %v", got, want)
+	}
+	if got := f.TopK(10); len(got) != 4 {
+		t.Errorf("TopK(10) len = %d, want 4", len(got))
+	}
+	if got := (Freq{}).TopK(3); len(got) != 0 {
+		t.Errorf("TopK on empty = %v", got)
+	}
+}
+
+func TestUnionTopK(t *testing.T) {
+	a := Freq{"x": 9, "y": 8, "z": 7, "w": 1}
+	b := Freq{"p": 9, "y": 8, "q": 7, "x": 1}
+	got := UnionTopK(3, a, b)
+	want := []string{"p", "q", "x", "y", "z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("UnionTopK = %v, want %v", got, want)
+	}
+}
+
+func TestContingency(t *testing.T) {
+	a := Freq{"x": 2, "y": 3}
+	b := Freq{"x": 4}
+	obs := Contingency([]string{"x", "y"}, a, b)
+	want := [][]float64{{2, 3}, {4, 0}}
+	if !reflect.DeepEqual(obs, want) {
+		t.Errorf("Contingency = %v, want %v", obs, want)
+	}
+}
+
+func TestCompareTopKIdentical(t *testing.T) {
+	a := Freq{"as1": 100, "as2": 50, "as3": 25}
+	res, err := CompareTopK(3, a, a.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.999 {
+		t.Errorf("identical tables p = %v, want ≈1", res.P)
+	}
+}
+
+func TestCompareTopKDisjoint(t *testing.T) {
+	a := Freq{"as1": 100, "as2": 90, "as3": 80}
+	b := Freq{"as4": 100, "as5": 90, "as6": 80}
+	res, err := CompareTopK(3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("disjoint tables p = %v, want ≈0", res.P)
+	}
+	if res.CramersV < 0.9 {
+		t.Errorf("disjoint tables V = %v, want ≈1", res.CramersV)
+	}
+}
+
+func TestCompareTopKSingleSharedCategory(t *testing.T) {
+	a := Freq{"only": 10}
+	b := Freq{"only": 20}
+	res, err := CompareTopK(3, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("single shared category p = %v, want 1", res.P)
+	}
+	if res.N != 30 {
+		t.Errorf("N = %d, want 30", res.N)
+	}
+}
+
+func TestCompareBinary(t *testing.T) {
+	res, err := CompareBinary(50, 50, 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.999 {
+		t.Errorf("identical splits p = %v", res.P)
+	}
+	res, err = CompareBinary(95, 5, 5, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-10 {
+		t.Errorf("opposite splits p = %v", res.P)
+	}
+}
+
+func TestCompareTopKSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() Freq {
+			fr := Freq{}
+			n := 1 + rng.Intn(8)
+			for i := 0; i < n; i++ {
+				fr.Add(string(rune('a'+rng.Intn(10))), float64(1+rng.Intn(100)))
+			}
+			return fr
+		}
+		a, b := mk(), mk()
+		r1, err1 := CompareTopK(3, a, b)
+		r2, err2 := CompareTopK(3, b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true // both erroring symmetrically is fine
+		}
+		return almostEqual(r1.Statistic, r2.Statistic, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fr := Freq{}
+		n := rng.Intn(12)
+		for i := 0; i < n; i++ {
+			fr.Add(string(rune('a'+rng.Intn(8))), float64(rng.Intn(5)+1))
+		}
+		a := fr.TopK(3)
+		b := fr.TopK(3)
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

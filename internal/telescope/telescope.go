@@ -1,0 +1,203 @@
+// Package telescope implements the Orion-style network telescope of
+// §3.1: a passive collector over unused address space that records
+// only the first packet of each connection — no handshake, no
+// payloads, no credentials. Because the darknet spans hundreds of
+// thousands of addresses, the collector aggregates in place rather
+// than materializing per-packet records: unique sources and AS
+// frequencies per port (Tables 8–10), and per-destination unique-
+// source counts for the watched ports (Figure 1).
+package telescope
+
+import (
+	"sort"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/stats"
+	"cloudwatch/internal/wire"
+)
+
+// Collector aggregates darknet traffic. Not safe for concurrent use;
+// the study driver serializes observation.
+type Collector struct {
+	srcsByPort map[uint16]map[wire.Addr]struct{}
+	asByPort   map[uint16]stats.Freq
+	perAddr    map[uint16]map[wire.Addr]map[wire.Addr]struct{}
+	watch      map[uint16]bool
+	packets    int
+}
+
+// New returns a collector tracking per-destination detail for the
+// watched ports (Figure 1 needs ports 22, 80, 445, 17128).
+func New(watchPorts ...uint16) *Collector {
+	w := make(map[uint16]bool, len(watchPorts))
+	for _, p := range watchPorts {
+		w[p] = true
+	}
+	return &Collector{
+		srcsByPort: map[uint16]map[wire.Addr]struct{}{},
+		asByPort:   map[uint16]stats.Freq{},
+		perAddr:    map[uint16]map[wire.Addr]map[wire.Addr]struct{}{},
+		watch:      w,
+	}
+}
+
+// Observe records the first packet of a probe. Telescopes do not
+// complete handshakes, so payloads and credentials are dropped by
+// construction.
+func (c *Collector) Observe(p netsim.Probe) {
+	c.packets++
+	srcs, ok := c.srcsByPort[p.Port]
+	if !ok {
+		srcs = map[wire.Addr]struct{}{}
+		c.srcsByPort[p.Port] = srcs
+	}
+	srcs[p.Src] = struct{}{}
+
+	freq, ok := c.asByPort[p.Port]
+	if !ok {
+		freq = stats.Freq{}
+		c.asByPort[p.Port] = freq
+	}
+	if as, found := netsim.LookupAS(p.ASN); found {
+		freq.Add(as.Key(), 1)
+	} else {
+		freq.Add("unknown", 1)
+	}
+
+	if c.watch[p.Port] {
+		byDst, ok := c.perAddr[p.Port]
+		if !ok {
+			byDst = map[wire.Addr]map[wire.Addr]struct{}{}
+			c.perAddr[p.Port] = byDst
+		}
+		set, ok := byDst[p.Dst]
+		if !ok {
+			set = map[wire.Addr]struct{}{}
+			byDst[p.Dst] = set
+		}
+		set[p.Src] = struct{}{}
+	}
+}
+
+// Packets returns the total packet count observed.
+func (c *Collector) Packets() int { return c.packets }
+
+// UniqueSources returns the set of source addresses seen on a port.
+// The returned map is shared; callers must not mutate it.
+func (c *Collector) UniqueSources(port uint16) map[wire.Addr]struct{} {
+	return c.srcsByPort[port]
+}
+
+// UniqueSourceCount returns the number of distinct sources on a port.
+func (c *Collector) UniqueSourceCount(port uint16) int {
+	return len(c.srcsByPort[port])
+}
+
+// AllSources returns the distinct sources across every port.
+func (c *Collector) AllSources() map[wire.Addr]struct{} {
+	out := map[wire.Addr]struct{}{}
+	for _, srcs := range c.srcsByPort {
+		for s := range srcs {
+			out[s] = struct{}{}
+		}
+	}
+	return out
+}
+
+// ASFrequencies returns the AS frequency table of a port. The table is
+// shared; callers must not mutate it.
+func (c *Collector) ASFrequencies(port uint16) stats.Freq {
+	f := c.asByPort[port]
+	if f == nil {
+		return stats.Freq{}
+	}
+	return f
+}
+
+// ASFrequenciesAll merges the AS tables of every port.
+func (c *Collector) ASFrequenciesAll() stats.Freq {
+	out := stats.Freq{}
+	for _, f := range c.asByPort {
+		for k, v := range f {
+			out.Add(k, v)
+		}
+	}
+	return out
+}
+
+// PerAddressSeries returns, for a watched port, the unique-source
+// count of every destination address in u's telescope space in address
+// order — the raw series behind Figure 1. Unwatched ports return nil.
+func (c *Collector) PerAddressSeries(u *netsim.Universe, port uint16) []int {
+	byDst, ok := c.perAddr[port]
+	if !ok {
+		return nil
+	}
+	n := u.TelescopeSize()
+	out := make([]int, n)
+	// Addresses inside the blocks are ordered; walk the map and place
+	// counts by global index.
+	offsets := telescopeOffsets(u)
+	for dst, srcs := range byDst {
+		if idx, ok := offsets.index(dst); ok {
+			out[idx] = len(srcs)
+		}
+	}
+	return out
+}
+
+// RollingMedianWindow smooths a per-address series with a trailing
+// window average ("we compute a rolling average of the # of scanning
+// IPs across every consecutive 512 IPs", Figure 1 caption).
+func RollingMedianWindow(series []int, window int) []float64 {
+	if window <= 0 || len(series) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(series)/window)
+	for start := 0; start+window <= len(series); start += window {
+		sum := 0
+		for i := start; i < start+window; i++ {
+			sum += series[i]
+		}
+		out = append(out, float64(sum)/float64(window))
+	}
+	return out
+}
+
+// telescopeOffsets maps telescope addresses to global indexes.
+type offsets struct {
+	blocks []wire.Block
+	starts []int
+}
+
+func telescopeOffsets(u *netsim.Universe) offsets {
+	o := offsets{blocks: u.TelescopeBlocks}
+	total := 0
+	for _, b := range o.blocks {
+		o.starts = append(o.starts, total)
+		total += b.Size()
+	}
+	return o
+}
+
+func (o offsets) index(a wire.Addr) (int, bool) {
+	// Blocks are few (≤ 1856); linear scan is fine, but keep them
+	// sorted lookups cheap by early exit on Contains.
+	for i, b := range o.blocks {
+		if b.Contains(a) {
+			off, _ := b.Index(a)
+			return o.starts[i] + off, true
+		}
+	}
+	return 0, false
+}
+
+// WatchedPorts returns the ports with per-destination tracking, sorted.
+func (c *Collector) WatchedPorts() []uint16 {
+	var out []uint16
+	for p := range c.watch {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,125 @@
+package telescope
+
+import (
+	"testing"
+
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/wire"
+)
+
+func telUniverse(t *testing.T) *netsim.Universe {
+	t.Helper()
+	u, err := netsim.NewUniverse(1, 2021, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.TelescopeBlocks = []wire.Block{
+		wire.MustParseBlock("100.64.0.0/24"),
+		wire.MustParseBlock("100.64.1.0/24"),
+	}
+	return u
+}
+
+func mkProbe(src, dst string, port uint16, asn int) netsim.Probe {
+	return netsim.Probe{
+		Src: wire.MustParseAddr(src), Dst: wire.MustParseAddr(dst),
+		Port: port, ASN: asn, Transport: wire.TCP,
+	}
+}
+
+func TestCollectorAggregation(t *testing.T) {
+	c := New(22)
+	c.Observe(mkProbe("1.1.1.1", "100.64.0.5", 22, 4134))
+	c.Observe(mkProbe("1.1.1.1", "100.64.0.6", 22, 4134)) // same src, 2nd dst
+	c.Observe(mkProbe("2.2.2.2", "100.64.0.5", 22, 174))
+	c.Observe(mkProbe("3.3.3.3", "100.64.1.9", 80, 174)) // unwatched port
+
+	if c.Packets() != 4 {
+		t.Errorf("packets = %d", c.Packets())
+	}
+	if c.UniqueSourceCount(22) != 2 {
+		t.Errorf("unique srcs port 22 = %d, want 2", c.UniqueSourceCount(22))
+	}
+	if c.UniqueSourceCount(80) != 1 {
+		t.Errorf("unique srcs port 80 = %d, want 1", c.UniqueSourceCount(80))
+	}
+	if len(c.AllSources()) != 3 {
+		t.Errorf("all srcs = %d, want 3", len(c.AllSources()))
+	}
+	if got := c.ASFrequencies(22)["AS4134 Chinanet"]; got != 2 {
+		t.Errorf("AS4134 count = %v, want 2", got)
+	}
+	if got := c.ASFrequenciesAll().Total(); got != 4 {
+		t.Errorf("all-port AS total = %v, want 4", got)
+	}
+	if got := c.ASFrequencies(443); len(got) != 0 {
+		t.Errorf("unseen port should have empty AS table: %v", got)
+	}
+}
+
+func TestCollectorUnknownAS(t *testing.T) {
+	c := New()
+	c.Observe(mkProbe("1.1.1.1", "100.64.0.5", 22, 999999))
+	if got := c.ASFrequencies(22)["unknown"]; got != 1 {
+		t.Errorf("unknown AS count = %v", got)
+	}
+}
+
+func TestPerAddressSeries(t *testing.T) {
+	u := telUniverse(t)
+	c := New(445)
+	// Three distinct scanners on .5 of block 0; one on .9 of block 1.
+	c.Observe(mkProbe("1.1.1.1", "100.64.0.5", 445, 4134))
+	c.Observe(mkProbe("2.2.2.2", "100.64.0.5", 445, 4134))
+	c.Observe(mkProbe("2.2.2.2", "100.64.0.5", 445, 4134)) // repeat: same src
+	c.Observe(mkProbe("3.3.3.3", "100.64.1.9", 445, 4134))
+
+	series := c.PerAddressSeries(u, 445)
+	if len(series) != 512 {
+		t.Fatalf("series length = %d, want 512", len(series))
+	}
+	if series[5] != 2 {
+		t.Errorf("series[5] = %d, want 2 unique scanners", series[5])
+	}
+	if series[256+9] != 1 {
+		t.Errorf("series[265] = %d, want 1", series[256+9])
+	}
+	if series[0] != 0 {
+		t.Errorf("untouched address should be 0")
+	}
+	if got := c.PerAddressSeries(u, 80); got != nil {
+		t.Errorf("unwatched port series = %v, want nil", got)
+	}
+}
+
+func TestRollingMedianWindow(t *testing.T) {
+	series := []int{1, 1, 1, 1, 9, 9, 9, 9}
+	got := RollingMedianWindow(series, 4)
+	if len(got) != 2 || got[0] != 1 || got[1] != 9 {
+		t.Errorf("windows = %v, want [1 9]", got)
+	}
+	if got := RollingMedianWindow(series, 0); got != nil {
+		t.Errorf("zero window = %v", got)
+	}
+	if got := RollingMedianWindow(nil, 4); got != nil {
+		t.Errorf("empty series = %v", got)
+	}
+	// Window larger than series: no complete window.
+	if got := RollingMedianWindow([]int{1, 2}, 4); len(got) != 0 {
+		t.Errorf("oversized window = %v", got)
+	}
+}
+
+func TestWatchedPorts(t *testing.T) {
+	c := New(445, 22, 17128)
+	got := c.WatchedPorts()
+	want := []uint16{22, 445, 17128}
+	if len(got) != 3 {
+		t.Fatalf("watched = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("watched = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame encoding: we emit Ethernet II + IPv4 + TCP/UDP frames with
+// valid checksums so captures written by internal/pcap open cleanly in
+// standard analyzers. Decoding is strict about lengths and tolerant of
+// trailing padding, mirroring how capture tooling treats short frames.
+
+const (
+	ethHeaderLen  = 14
+	ipv4HeaderLen = 20
+	tcpHeaderLen  = 20
+	udpHeaderLen  = 8
+	etherTypeIPv4 = 0x0800
+)
+
+// Frame-decoding errors.
+var (
+	ErrFrameShort    = errors.New("wire: frame too short")
+	ErrNotIPv4       = errors.New("wire: not an IPv4 frame")
+	ErrBadIPHeader   = errors.New("wire: bad IPv4 header")
+	ErrUnknownProto  = errors.New("wire: unsupported transport protocol")
+	ErrBadChecksum   = errors.New("wire: checksum mismatch")
+	ErrTruncatedBody = errors.New("wire: truncated transport body")
+)
+
+// EncodeFrame serializes p as Ethernet II + IPv4 + TCP/UDP with
+// computed IPv4 and transport checksums. MAC addresses are synthetic
+// (derived from the IPs) since the simulation has no link layer.
+func EncodeFrame(p Packet) ([]byte, error) {
+	var transport []byte
+	switch p.Proto {
+	case TCP:
+		transport = encodeTCP(p)
+	case UDP:
+		transport = encodeUDP(p)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownProto, p.Proto)
+	}
+
+	totalIP := ipv4HeaderLen + len(transport)
+	if totalIP > 0xFFFF {
+		return nil, fmt.Errorf("wire: payload too large for IPv4 (%d bytes)", totalIP)
+	}
+	frame := make([]byte, ethHeaderLen+totalIP)
+
+	// Ethernet II header with synthetic locally-administered MACs.
+	copy(frame[0:6], syntheticMAC(p.Dst))
+	copy(frame[6:12], syntheticMAC(p.Src))
+	binary.BigEndian.PutUint16(frame[12:14], etherTypeIPv4)
+
+	ip := frame[ethHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(totalIP))
+	ip[8] = 64 // TTL
+	ip[9] = byte(p.Proto)
+	binary.BigEndian.PutUint32(ip[12:16], uint32(p.Src))
+	binary.BigEndian.PutUint32(ip[16:20], uint32(p.Dst))
+	binary.BigEndian.PutUint16(ip[10:12], internetChecksum(ip[:ipv4HeaderLen]))
+
+	copy(ip[ipv4HeaderLen:], transport)
+	// Transport checksum over pseudo-header + segment.
+	csumOff := ipv4HeaderLen + transportChecksumOffset(p.Proto)
+	seg := ip[ipv4HeaderLen:]
+	binary.BigEndian.PutUint16(ip[csumOff:csumOff+2], pseudoChecksum(p.Src, p.Dst, p.Proto, seg))
+	return frame, nil
+}
+
+func transportChecksumOffset(t Transport) int {
+	if t == TCP {
+		return 16
+	}
+	return 6
+}
+
+func encodeTCP(p Packet) []byte {
+	seg := make([]byte, tcpHeaderLen+len(p.Payload))
+	binary.BigEndian.PutUint16(seg[0:2], p.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:4], p.DstPort)
+	// Sequence/ack numbers are synthetic but deterministic.
+	binary.BigEndian.PutUint32(seg[4:8], uint32(p.Src)^uint32(p.SrcPort))
+	seg[12] = (tcpHeaderLen / 4) << 4 // data offset
+	seg[13] = byte(p.Flags)
+	binary.BigEndian.PutUint16(seg[14:16], 65535) // window
+	copy(seg[tcpHeaderLen:], p.Payload)
+	return seg
+}
+
+func encodeUDP(p Packet) []byte {
+	seg := make([]byte, udpHeaderLen+len(p.Payload))
+	binary.BigEndian.PutUint16(seg[0:2], p.SrcPort)
+	binary.BigEndian.PutUint16(seg[2:4], p.DstPort)
+	binary.BigEndian.PutUint16(seg[4:6], uint16(len(seg)))
+	copy(seg[udpHeaderLen:], p.Payload)
+	return seg
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame (or any Ethernet
+// II + IPv4 + TCP/UDP frame) back into a Packet. The IPv4 header
+// checksum is verified; the transport checksum is verified when the
+// full segment is present.
+func DecodeFrame(frame []byte) (Packet, error) {
+	var p Packet
+	if len(frame) < ethHeaderLen+ipv4HeaderLen {
+		return p, ErrFrameShort
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != etherTypeIPv4 {
+		return p, ErrNotIPv4
+	}
+	ip := frame[ethHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return p, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0x0F) * 4
+	if ihl < ipv4HeaderLen || len(ip) < ihl {
+		return p, ErrBadIPHeader
+	}
+	if internetChecksum(ip[:ihl]) != 0 {
+		return p, fmt.Errorf("%w: IPv4 header", ErrBadChecksum)
+	}
+	totalIP := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalIP < ihl || totalIP > len(ip) {
+		return p, ErrBadIPHeader
+	}
+	p.Proto = Transport(ip[9])
+	p.Src = Addr(binary.BigEndian.Uint32(ip[12:16]))
+	p.Dst = Addr(binary.BigEndian.Uint32(ip[16:20]))
+
+	seg := ip[ihl:totalIP]
+	switch p.Proto {
+	case TCP:
+		if len(seg) < tcpHeaderLen {
+			return p, ErrTruncatedBody
+		}
+		p.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+		p.DstPort = binary.BigEndian.Uint16(seg[2:4])
+		dataOff := int(seg[12]>>4) * 4
+		if dataOff < tcpHeaderLen || dataOff > len(seg) {
+			return p, ErrTruncatedBody
+		}
+		p.Flags = TCPFlags(seg[13])
+		if pseudoChecksum(p.Src, p.Dst, TCP, seg) != 0 {
+			return p, fmt.Errorf("%w: TCP segment", ErrBadChecksum)
+		}
+		p.Payload = append([]byte(nil), seg[dataOff:]...)
+	case UDP:
+		if len(seg) < udpHeaderLen {
+			return p, ErrTruncatedBody
+		}
+		p.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+		p.DstPort = binary.BigEndian.Uint16(seg[2:4])
+		ulen := int(binary.BigEndian.Uint16(seg[4:6]))
+		if ulen < udpHeaderLen || ulen > len(seg) {
+			return p, ErrTruncatedBody
+		}
+		if pseudoChecksum(p.Src, p.Dst, UDP, seg[:ulen]) != 0 {
+			return p, fmt.Errorf("%w: UDP datagram", ErrBadChecksum)
+		}
+		p.Payload = append([]byte(nil), seg[udpHeaderLen:ulen]...)
+	default:
+		return p, fmt.Errorf("%w: %d", ErrUnknownProto, ip[9])
+	}
+	if len(p.Payload) == 0 {
+		p.Payload = nil
+	}
+	return p, nil
+}
+
+// internetChecksum is the RFC 1071 ones'-complement sum.
+func internetChecksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header. When the segment already carries its checksum, a
+// valid segment sums to zero.
+func pseudoChecksum(src, dst Addr, proto Transport, seg []byte) uint16 {
+	pseudo := make([]byte, 12, 12+len(seg)+1)
+	binary.BigEndian.PutUint32(pseudo[0:4], uint32(src))
+	binary.BigEndian.PutUint32(pseudo[4:8], uint32(dst))
+	pseudo[9] = byte(proto)
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)))
+	pseudo = append(pseudo, seg...)
+	return internetChecksum(pseudo)
+}
+
+// syntheticMAC derives a stable locally-administered MAC from an IPv4
+// address so frames are self-consistent without a modeled link layer.
+func syntheticMAC(a Addr) []byte {
+	o := a.Octets()
+	return []byte{0x02, 0x00, o[0], o[1], o[2], o[3]}
+}

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func samplePacket(proto Transport) Packet {
+	return Packet{
+		Time:    time.Unix(1625097600, 0),
+		Src:     MustParseAddr("203.0.113.7"),
+		Dst:     MustParseAddr("198.51.100.9"),
+		SrcPort: 54321,
+		DstPort: 22,
+		Proto:   proto,
+		Flags:   FlagSYN,
+		Payload: []byte("SSH-2.0-OpenSSH_8.2\r\n"),
+	}
+}
+
+func TestFrameRoundTripTCP(t *testing.T) {
+	p := samplePacket(TCP)
+	frame, err := EncodeFrame(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != p.Src || got.Dst != p.Dst || got.SrcPort != p.SrcPort || got.DstPort != p.DstPort {
+		t.Errorf("addressing mismatch: %+v", got)
+	}
+	if got.Proto != TCP || got.Flags != FlagSYN {
+		t.Errorf("proto/flags mismatch: %v %v", got.Proto, got.Flags)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("payload = %q, want %q", got.Payload, p.Payload)
+	}
+}
+
+func TestFrameRoundTripUDP(t *testing.T) {
+	p := samplePacket(UDP)
+	p.Flags = 0
+	frame, err := EncodeFrame(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Proto != UDP || !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("UDP round trip: %+v", got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	p := samplePacket(TCP)
+	p.Payload = nil
+	frame, err := EncodeFrame(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != nil {
+		t.Errorf("payload = %v, want nil", got.Payload)
+	}
+}
+
+func TestEncodeFrameUnknownProto(t *testing.T) {
+	p := samplePacket(Transport(99))
+	if _, err := EncodeFrame(p); err == nil {
+		t.Error("unknown transport should fail")
+	}
+}
+
+func TestEncodeFrameTooLarge(t *testing.T) {
+	p := samplePacket(TCP)
+	p.Payload = make([]byte, 70000)
+	if _, err := EncodeFrame(p); err == nil {
+		t.Error("oversized payload should fail")
+	}
+}
+
+func TestDecodeFrameCorruption(t *testing.T) {
+	p := samplePacket(TCP)
+	frame, err := EncodeFrame(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := frame[:10]
+	if _, err := DecodeFrame(short); err == nil {
+		t.Error("short frame should fail")
+	}
+
+	badEther := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint16(badEther[12:14], 0x86DD) // IPv6 ethertype
+	if _, err := DecodeFrame(badEther); err == nil {
+		t.Error("non-IPv4 ethertype should fail")
+	}
+
+	badIPSum := append([]byte(nil), frame...)
+	badIPSum[ethHeaderLen+12] ^= 0xFF // flip a source-address byte
+	if _, err := DecodeFrame(badIPSum); err == nil {
+		t.Error("corrupted IP header should fail checksum")
+	}
+
+	badPayload := append([]byte(nil), frame...)
+	badPayload[len(badPayload)-1] ^= 0xFF
+	if _, err := DecodeFrame(badPayload); err == nil {
+		t.Error("corrupted payload should fail TCP checksum")
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		proto := TCP
+		if rng.Intn(2) == 0 {
+			proto = UDP
+		}
+		payload := make([]byte, rng.Intn(600))
+		rng.Read(payload)
+		p := Packet{
+			Src:     Addr(rng.Uint32()),
+			Dst:     Addr(rng.Uint32()),
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: uint16(rng.Intn(65536)),
+			Proto:   proto,
+			Flags:   TCPFlags(rng.Intn(256)),
+			Payload: payload,
+		}
+		frame, err := EncodeFrame(p)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeFrame(frame)
+		if err != nil {
+			return false
+		}
+		if got.Src != p.Src || got.Dst != p.Dst || got.SrcPort != p.SrcPort || got.DstPort != p.DstPort {
+			return false
+		}
+		if proto == TCP && got.Flags != p.Flags {
+			return false
+		}
+		if len(payload) == 0 {
+			return got.Payload == nil
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeFrameNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = DecodeFrame(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternetChecksumOddLength(t *testing.T) {
+	// Verifies the odd-byte padding path against a manual computation:
+	// bytes 0x01 0x02 0x03 -> words 0x0102, 0x0300.
+	sum := internetChecksum([]byte{0x01, 0x02, 0x03})
+	want := ^uint16(0x0102 + 0x0300)
+	if sum != want {
+		t.Errorf("checksum = %#x, want %#x", sum, want)
+	}
+}
