@@ -57,6 +57,35 @@ func BenchmarkStudyGeneration(b *testing.B) {
 	}
 }
 
+// benchmarkStudyWorkers measures the full collection pipeline at a
+// fixed worker count, reporting throughput as records/sec so the
+// parallel-vs-serial speedup is visible in benchmark diffs.
+func benchmarkStudyWorkers(b *testing.B, workers int) {
+	cfg := QuickStudy(42, 2021)
+	cfg.Workers = workers
+	records := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = len(s.Records)
+	}
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	if perOp > 0 {
+		b.ReportMetric(float64(records)/perOp, "records/sec")
+	}
+}
+
+// BenchmarkStudySerial is the single-worker baseline of the sharded
+// pipeline.
+func BenchmarkStudySerial(b *testing.B) { benchmarkStudyWorkers(b, 1) }
+
+// BenchmarkStudyParallel runs the pipeline at the default worker count
+// (GOMAXPROCS); compare its records/sec against BenchmarkStudySerial.
+func BenchmarkStudyParallel(b *testing.B) { benchmarkStudyWorkers(b, 0) }
+
 func BenchmarkTable1VantagePoints(b *testing.B) {
 	s := benchStudy(b, 2021, false)
 	b.ResetTimer()

@@ -69,7 +69,10 @@ func FigureStudy(seed int64, year int) StudyConfig {
 }
 
 // Run executes a study: build the deployment, crawl the search
-// engines, generate the population's traffic, and collect it.
+// engines, generate the population's traffic, and collect it. The
+// actor population is sharded across cfg.Workers pipeline workers
+// (GOMAXPROCS by default); results are byte-identical for every
+// worker count.
 func Run(cfg StudyConfig) (*Study, error) {
 	return core.Run(cfg)
 }

@@ -26,11 +26,13 @@ func main() {
 		experiment = flag.String("experiment", "all", "experiment to run: table1..table11, figure1, appendix, all")
 		scale      = flag.Float64("scale", 1.0, "actor population scale")
 		full       = flag.Bool("full", false, "use the paper-scale telescope (1856 /24s) instead of the default 128")
+		workers    = flag.Int("workers", 0, "pipeline workers sharding the actor population (0 = GOMAXPROCS); results are identical for every count")
 	)
 	flag.Parse()
 
 	cfg := core.DefaultConfig(*seed, *year)
 	cfg.Actors.Scale = *scale
+	cfg.Workers = *workers
 	if *full {
 		cfg.Deploy.TelescopeSlash24s = 1856
 	}

@@ -1,0 +1,3 @@
+module cloudwatch
+
+go 1.24

@@ -112,16 +112,16 @@ func (s *Study) Table4() Table4Result {
 }
 
 // regionGroupView merges the GreyNoise views of one region with the
-// §4.4 median filter.
+// §4.4 median filter; per-vantage view builds fan out across cores.
 func (s *Study) regionGroupView(region string, slice ProtocolSlice) *View {
-	var views []*View
+	var targets []*netsim.Target
 	for _, t := range s.U.Region(region) {
 		if t.Collector != netsim.CollectGreyNoise {
 			continue
 		}
-		views = append(views, s.VantageView(t.ID, slice))
+		targets = append(targets, t)
 	}
-	return GroupView(views)
+	return GroupView(s.vantageViews(targets, slice))
 }
 
 func (s *Study) regionGeo(region string) netsim.Geo {

@@ -105,13 +105,10 @@ func (s *Study) Table7() Table7Result {
 }
 
 // anyRegionGroupView merges every vantage point of a region (any
-// collector) with the median filter.
+// collector) with the median filter; per-vantage view builds fan out
+// across cores.
 func (s *Study) anyRegionGroupView(region string, slice ProtocolSlice) *View {
-	var views []*View
-	for _, t := range s.U.Region(region) {
-		views = append(views, s.VantageView(t.ID, slice))
-	}
-	return GroupView(views)
+	return GroupView(s.vantageViews(s.U.Region(region), slice))
 }
 
 // Render formats Table 7.

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+
+	"cloudwatch/internal/netsim"
+)
+
+// runTestStudyWorkers runs the scaled-down test study with an explicit
+// worker count.
+func runTestStudyWorkers(t *testing.T, seed int64, workers int) *Study {
+	t.Helper()
+	cfg := testConfig(seed, 2021)
+	cfg.Workers = workers
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func recordsEqual(a, b netsim.Record) bool {
+	if a.Vantage != b.Vantage || !a.T.Equal(b.T) || a.Src != b.Src ||
+		a.ASN != b.ASN || a.Port != b.Port || a.Transport != b.Transport ||
+		a.Handshake != b.Handshake {
+		return false
+	}
+	if !bytes.Equal(a.Payload, b.Payload) {
+		return false
+	}
+	if len(a.Creds) != len(b.Creds) {
+		return false
+	}
+	for i := range a.Creds {
+		if a.Creds[i] != b.Creds[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertStudiesIdentical compares everything the analysis pipeline
+// consumes: the full record sequence, the per-vantage indexes, and the
+// telescope/GreyNoise counters.
+func assertStudiesIdentical(t *testing.T, want, got *Study, label string) {
+	t.Helper()
+	if len(want.Records) != len(got.Records) {
+		t.Fatalf("%s: record counts differ: %d vs %d", label, len(want.Records), len(got.Records))
+	}
+	for i := range want.Records {
+		if !recordsEqual(want.Records[i], got.Records[i]) {
+			t.Fatalf("%s: record %d differs:\n  want %+v\n  got  %+v",
+				label, i, want.Records[i], got.Records[i])
+		}
+	}
+
+	for _, tgt := range want.U.Targets() {
+		wi, gi := want.byVantage[tgt.ID], got.byVantage[tgt.ID]
+		if len(wi) != len(gi) {
+			t.Fatalf("%s: vantage %s index lengths differ: %d vs %d", label, tgt.ID, len(wi), len(gi))
+		}
+		for j := range wi {
+			if wi[j] != gi[j] {
+				t.Fatalf("%s: vantage %s index %d = %d, want %d", label, tgt.ID, j, gi[j], wi[j])
+			}
+		}
+	}
+
+	if want.Tel.Packets() != got.Tel.Packets() {
+		t.Errorf("%s: telescope packets = %d, want %d", label, got.Tel.Packets(), want.Tel.Packets())
+	}
+	for _, port := range want.Tel.WatchedPorts() {
+		if w, g := want.Tel.UniqueSourceCount(port), got.Tel.UniqueSourceCount(port); w != g {
+			t.Errorf("%s: port %d unique srcs = %d, want %d", label, port, g, w)
+		}
+	}
+	wAll, gAll := want.Tel.ASFrequenciesAll(), got.Tel.ASFrequenciesAll()
+	if len(wAll) != len(gAll) {
+		t.Errorf("%s: telescope AS table sizes differ: %d vs %d", label, len(wAll), len(gAll))
+	}
+	for k, v := range wAll {
+		if gAll[k] != v {
+			t.Errorf("%s: telescope AS %q = %v, want %v", label, k, gAll[k], v)
+		}
+	}
+
+	wSeen, wExp, wVet := want.GN.Stats()
+	gSeen, gExp, gVet := got.GN.Stats()
+	if wSeen != gSeen || wExp != gExp || wVet != gVet {
+		t.Errorf("%s: GreyNoise stats = %d,%d,%d, want %d,%d,%d",
+			label, gSeen, gExp, gVet, wSeen, wExp, wVet)
+	}
+}
+
+// TestStudyParallelDeterministic is the central guarantee of the
+// sharded pipeline: the same seed produces byte-identical studies at
+// every worker count.
+func TestStudyParallelDeterministic(t *testing.T) {
+	serial := runTestStudyWorkers(t, 7, 1)
+	if len(serial.Records) == 0 {
+		t.Fatal("serial study collected nothing")
+	}
+	counts := []int{4, runtime.GOMAXPROCS(0)}
+	for _, workers := range counts {
+		par := runTestStudyWorkers(t, 7, workers)
+		assertStudiesIdentical(t, serial, par, "workers="+strconv.Itoa(workers))
+	}
+}
+
+// TestStudyDefaultWorkersMatchSerial covers the default path
+// (Workers=0 → GOMAXPROCS).
+func TestStudyDefaultWorkersMatchSerial(t *testing.T) {
+	serial := runTestStudyWorkers(t, 11, 1)
+	auto := runTestStudyWorkers(t, 11, 0)
+	assertStudiesIdentical(t, serial, auto, "workers=auto")
+}
+
+// TestStudyMoreWorkersThanActors exercises the clamp when the
+// population is smaller than the requested worker count.
+func TestStudyMoreWorkersThanActors(t *testing.T) {
+	serial := runTestStudyWorkers(t, 3, 1)
+	over := runTestStudyWorkers(t, 3, 10_000)
+	assertStudiesIdentical(t, serial, over, "workers=10000")
+}
+
+// TestParallelTablesMatchSerial spot-checks that downstream experiment
+// drivers see identical inputs: the rendered neighborhood table is the
+// same whichever pipeline built the study.
+func TestParallelTablesMatchSerial(t *testing.T) {
+	serial := runTestStudyWorkers(t, 7, 1)
+	par := runTestStudyWorkers(t, 7, 4)
+	if w, g := serial.Table2().Render(), par.Table2().Render(); w != g {
+		t.Errorf("Table2 differs between worker counts:\nserial:\n%s\nparallel:\n%s", w, g)
+	}
+}
+
+// TestConcurrentViewBuilding hammers the read side from many
+// goroutines: VantageView and RegionRecords share the study's verdict
+// memo and must be race-free after Run.
+func TestConcurrentViewBuilding(t *testing.T) {
+	s := runTestStudy(t, 42, 2021)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, region := range s.U.Regions() {
+				s.RegionRecords(region)
+				for _, tgt := range s.U.Region(region) {
+					s.VantageView(tgt.ID, SliceAnyAll)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRegionRecordsMatchVantageRecords checks the fanned-out gather
+// returns exactly the per-vantage record lists.
+func TestRegionRecordsMatchVantageRecords(t *testing.T) {
+	s := runTestStudy(t, 42, 2021)
+	for _, region := range s.U.Regions() {
+		byID := s.RegionRecords(region)
+		targets := s.U.Region(region)
+		if len(byID) != len(targets) {
+			t.Fatalf("region %s: %d entries, want %d", region, len(byID), len(targets))
+		}
+		for _, tgt := range targets {
+			got, want := byID[tgt.ID], s.VantageRecords(tgt.ID)
+			if len(got) != len(want) {
+				t.Fatalf("region %s vantage %s: %d records, want %d", region, tgt.ID, len(got), len(want))
+			}
+			for i := range want {
+				if !recordsEqual(got[i], want[i]) {
+					t.Fatalf("region %s vantage %s record %d differs", region, tgt.ID, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cloudwatch/internal/greynoise"
+	"cloudwatch/internal/ids"
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/scanners"
+	"cloudwatch/internal/telescope"
+)
+
+// shard is one worker's private slice of the study pipeline: its own
+// telescope collector, GreyNoise delta, and IDS verdict memo, plus the
+// record buffer of the actor currently being replayed. Workers never
+// share mutable state; everything a shard accumulates is either a set
+// union or an integer-count sum, so the post-run merge reaches the
+// same state as serial dispatch regardless of how actors were
+// scheduled across workers.
+type shard struct {
+	u    *netsim.Universe
+	ids  *ids.Engine
+	tel  *telescope.Collector
+	gn   *greynoise.Service
+	mem  map[string]bool // payload-keyed IDS verdicts
+	recs []netsim.Record // records of the actor being processed
+}
+
+func newShard(s *Study) *shard {
+	return &shard{
+		u:   s.U,
+		ids: s.IDS,
+		tel: telescope.New(s.Cfg.TelescopeWatch...),
+		gn:  greynoise.NewService(),
+		mem: map[string]bool{},
+	}
+}
+
+// dispatch routes one probe to the shard's collectors — the parallel
+// counterpart of the serial per-probe pipeline: telescope probes are
+// aggregated in place, honeypot probes become records, and every
+// collected source feeds the GreyNoise delta.
+func (sh *shard) dispatch(p netsim.Probe) {
+	if sh.u.InTelescope(p.Dst) {
+		sh.tel.Observe(p)
+		sh.gn.Observe(p.Src)
+		return
+	}
+	t, ok := sh.u.ByIP(p.Dst)
+	if !ok {
+		return // probe to unmonitored space: invisible to the study
+	}
+	rec, ok := honeypotObserve(t, p)
+	if !ok {
+		return
+	}
+	sh.gn.Observe(p.Src)
+	if sh.malicious(rec) {
+		sh.gn.ObserveExploit(p.Src)
+	}
+	sh.recs = append(sh.recs, rec)
+}
+
+// malicious applies the §3.2 verdict (maliciousRecord) with the
+// shard-local memo. The verdict is a pure function of the payload, so
+// shards computing the same payload independently always agree.
+func (sh *shard) malicious(rec netsim.Record) bool {
+	if len(rec.Creds) > 0 || len(rec.Payload) == 0 {
+		return maliciousRecord(sh.ids, rec)
+	}
+	key := string(rec.Payload)
+	if v, ok := sh.mem[key]; ok {
+		return v
+	}
+	v := maliciousRecord(sh.ids, rec)
+	sh.mem[key] = v
+	return v
+}
+
+// runActors drives the actor population through `workers` pipeline
+// workers and merges the shards into the study in canonical order.
+// Each actor draws from its own seeded random streams and runs on
+// exactly one worker, so its probe sequence — and therefore its record
+// list — is independent of scheduling. Records are reassembled
+// actor-major (the order the serial loop produced), telescope and
+// GreyNoise shards merge commutatively, and the IDS memos union, so
+// the result is byte-identical for every worker count.
+func (s *Study) runActors(ctx *scanners.Context, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.Actors) {
+		workers = len(s.Actors)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	perActor := make([][]netsim.Record, len(s.Actors))
+	shards := make([]*shard, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sh := newShard(s)
+		shards[w] = sh
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.Actors) {
+					return
+				}
+				sh.recs = nil
+				s.Actors[i].Run(ctx, sh.dispatch)
+				perActor[i] = sh.recs
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, recs := range perActor {
+		total += len(recs)
+	}
+	s.Records = make([]netsim.Record, 0, total)
+	for _, recs := range perActor {
+		for _, rec := range recs {
+			s.byVantage[rec.Vantage] = append(s.byVantage[rec.Vantage], len(s.Records))
+			s.Records = append(s.Records, rec)
+		}
+	}
+	for _, sh := range shards {
+		s.Tel.Merge(sh.tel)
+		s.GN.Merge(sh.gn)
+		for k, v := range sh.mem {
+			s.maliciousMem[k] = v
+		}
+	}
+}
+
+// parallelEach runs fn(i) for every i in [0, n) across up to
+// GOMAXPROCS goroutines and waits for completion. fn must be safe to
+// call concurrently for distinct i. Used to fan out the read side of
+// the pipeline (per-vantage record and view building).
+func parallelEach(n int, fn func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cloudwatch/internal/cloud"
@@ -28,6 +29,10 @@ type Config struct {
 	// TelescopeWatch lists ports with per-destination telescope
 	// tracking (Figure 1). Defaults to 22, 80, 445, 7574, 17128.
 	TelescopeWatch []uint16
+	// Workers is the number of pipeline workers the actor population
+	// is sharded across. 0 (the default) means runtime.GOMAXPROCS(0).
+	// Results are byte-identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the standard study of a given year at default
@@ -56,12 +61,17 @@ type Study struct {
 	IDS     *ids.Engine
 
 	byVantage    map[string][]int // record indexes per vantage ID
-	maliciousMem map[string]bool  // payload-keyed IDS verdict cache
+	memMu        sync.RWMutex
+	maliciousMem map[string]bool // payload-keyed IDS verdict cache
 }
 
 // Run executes a full study: build the deployment, crawl the search
 // engines, generate the actor population's traffic, route it through
-// the collectors, and feed the GreyNoise classifier.
+// the collectors, and feed the GreyNoise classifier. The population is
+// partitioned across cfg.Workers pipeline workers (GOMAXPROCS by
+// default), each with a private shard of collectors; shards merge in
+// canonical actor order, so the study is byte-identical to a serial
+// run for any worker count.
 func Run(cfg Config) (*Study, error) {
 	if cfg.Year == 0 {
 		cfg.Year = 2021
@@ -101,52 +111,44 @@ func Run(cfg Config) (*Study, error) {
 			s.GN.VetASN(actor.AS.ASN)
 		}
 	}
-	for _, actor := range s.Actors {
-		actor.Run(ctx, s.dispatch)
-	}
+	s.runActors(ctx, cfg.Workers)
 	return s, nil
 }
 
-// dispatch routes one probe to its collector.
-func (s *Study) dispatch(p netsim.Probe) {
-	if s.U.InTelescope(p.Dst) {
-		s.Tel.Observe(p)
-		s.GN.Observe(p.Src)
-		return
-	}
-	t, ok := s.U.ByIP(p.Dst)
-	if !ok {
-		return // probe to unmonitored space: invisible to the study
-	}
-	rec, ok := honeypotObserve(t, p)
-	if !ok {
-		return
-	}
-	s.GN.Observe(p.Src)
-	if s.RecordMalicious(rec) {
-		s.GN.ObserveExploit(p.Src)
-	}
-	s.byVantage[t.ID] = append(s.byVantage[t.ID], len(s.Records))
-	s.Records = append(s.Records, rec)
-}
-
-// RecordMalicious applies the §3.2 malicious-traffic definition to one
-// record: any login attempt (bypassing authentication) is malicious;
-// otherwise the payload is judged by the Suricata-style engine.
-// Verdicts are memoized per distinct payload.
-func (s *Study) RecordMalicious(rec netsim.Record) bool {
+// maliciousRecord is the single copy of the §3.2 malicious-traffic
+// definition: any login attempt (bypassing authentication) is
+// malicious; payloadless records are benign; otherwise the
+// Suricata-style engine judges the payload. Payload-keyed memoization
+// is the caller's concern (Study.RecordMalicious locks a shared memo;
+// shards keep private ones).
+func maliciousRecord(e *ids.Engine, rec netsim.Record) bool {
 	if len(rec.Creds) > 0 {
 		return true
 	}
 	if len(rec.Payload) == 0 {
 		return false
 	}
+	return e.Malicious(rec.Transport.String(), rec.Port, rec.Payload)
+}
+
+// RecordMalicious applies the §3.2 definition to one record, memoizing
+// verdicts per distinct payload. Safe for concurrent use, so view
+// building can fan out across vantage points.
+func (s *Study) RecordMalicious(rec netsim.Record) bool {
+	if len(rec.Creds) > 0 || len(rec.Payload) == 0 {
+		return maliciousRecord(s.IDS, rec)
+	}
 	key := string(rec.Payload)
-	if v, ok := s.maliciousMem[key]; ok {
+	s.memMu.RLock()
+	v, ok := s.maliciousMem[key]
+	s.memMu.RUnlock()
+	if ok {
 		return v
 	}
-	v := s.IDS.Malicious(rec.Transport.String(), rec.Port, rec.Payload)
+	v = maliciousRecord(s.IDS, rec)
+	s.memMu.Lock()
 	s.maliciousMem[key] = v
+	s.memMu.Unlock()
 	return v
 }
 
@@ -162,11 +164,17 @@ func (s *Study) VantageRecords(id string) []netsim.Record {
 }
 
 // RegionRecords returns the records of every vantage point in a
-// region, keyed by vantage ID.
+// region, keyed by vantage ID. The per-vantage gathers fan out across
+// cores.
 func (s *Study) RegionRecords(region string) map[string][]netsim.Record {
-	out := map[string][]netsim.Record{}
-	for _, t := range s.U.Region(region) {
-		out[t.ID] = s.VantageRecords(t.ID)
+	targets := s.U.Region(region)
+	gathered := make([][]netsim.Record, len(targets))
+	parallelEach(len(targets), func(i int) {
+		gathered[i] = s.VantageRecords(targets[i].ID)
+	})
+	out := make(map[string][]netsim.Record, len(targets))
+	for i, t := range targets {
+		out[t.ID] = gathered[i]
 	}
 	return out
 }

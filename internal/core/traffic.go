@@ -202,6 +202,17 @@ func (s *Study) VantageView(id string, slice ProtocolSlice) *View {
 	return v
 }
 
+// vantageViews builds one view per target, fanning the builds out
+// across cores. The result preserves target order, so downstream
+// group merges are deterministic.
+func (s *Study) vantageViews(targets []*netsim.Target, slice ProtocolSlice) []*View {
+	views := make([]*View, len(targets))
+	parallelEach(len(targets), func(i int) {
+		views[i] = s.VantageView(targets[i].ID, slice)
+	})
+	return views
+}
+
 // GroupView merges the views of several vantage points using the §4.4
 // median filter: for every characteristic value, the group count is
 // the median of the per-honeypot counts (zeros included), damping

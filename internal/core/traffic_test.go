@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cloudwatch/internal/stats"
+)
+
+func TestNormalizePayload(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			name: "lf lines drop ephemeral headers",
+			in:   "GET / HTTP/1.1\nHost: a.example\nUser-Agent: zgrab\nDate: Thu\n\n",
+			want: "GET / HTTP/1.1\nUser-Agent: zgrab\n\n",
+		},
+		{
+			// CRLF line endings: the '\r' rides along at the end of each
+			// line but never hides the header name the filter keys on.
+			name: "crlf lines drop ephemeral headers",
+			in:   "GET / HTTP/1.1\r\nHost: a.example\r\nUser-Agent: zgrab\r\n\r\n",
+			want: "GET / HTTP/1.1\r\nUser-Agent: zgrab\r\n\r\n",
+		},
+		{
+			name: "ephemeral header as final line without trailing newline",
+			in:   "GET / HTTP/1.1\nHost: a.example",
+			want: "GET / HTTP/1.1\n",
+		},
+		{
+			name: "keeper as final line without trailing newline",
+			in:   "GET / HTTP/1.1\nUser-Agent: zgrab",
+			want: "GET / HTTP/1.1\nUser-Agent: zgrab",
+		},
+		{
+			name: "content-length dropped",
+			in:   "POST /cgi HTTP/1.1\nContent-Length: 42\nX: y\n",
+			want: "POST /cgi HTTP/1.1\nX: y\n",
+		},
+		{
+			// Non-HTTP payloads pass through untouched even when they
+			// contain lines that look like ephemeral headers.
+			name: "non-http payload untouched",
+			in:   "SSH-2.0-Go\nHost: not-really-a-header\n",
+			want: "SSH-2.0-Go\nHost: not-really-a-header\n",
+		},
+		{
+			name: "binary payload untouched",
+			in:   "\x16\x03\x01\x00\x05hello",
+			want: "\x16\x03\x01\x00\x05hello",
+		},
+		{
+			name: "empty payload",
+			in:   "",
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := string(normalizePayload([]byte(tc.in)))
+			if got != tc.want {
+				t.Errorf("normalizePayload(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPayloadKey(t *testing.T) {
+	t.Run("quotes and truncates", func(t *testing.T) {
+		long := "GET /"
+		for len(long) < 200 {
+			long += "aaaaaaaaaa"
+		}
+		long += " HTTP/1.1\n"
+		key := payloadKey([]byte(long))
+		if want := fmt.Sprintf("%q", long[:48]); key != want {
+			t.Errorf("payloadKey = %q, want %q", key, want)
+		}
+	})
+	t.Run("normalization applied before truncation", func(t *testing.T) {
+		a := payloadKey([]byte("GET / HTTP/1.1\nHost: one.example\nX: y\n"))
+		b := payloadKey([]byte("GET / HTTP/1.1\nHost: two.example\nX: y\n"))
+		if a != b {
+			t.Errorf("payloads differing only in Host got distinct keys: %q vs %q", a, b)
+		}
+	})
+	t.Run("short payload kept whole", func(t *testing.T) {
+		if got, want := payloadKey([]byte("abc")), fmt.Sprintf("%q", "abc"); got != want {
+			t.Errorf("payloadKey = %q, want %q", got, want)
+		}
+	})
+}
+
+func TestMedianMerge(t *testing.T) {
+	cases := []struct {
+		name   string
+		tables []stats.Freq
+		want   stats.Freq
+	}{
+		{
+			name: "zero-median keys dropped",
+			// "rare" appears in only 1 of 3 tables: median(4,0,0)=0 → dropped.
+			tables: []stats.Freq{
+				{"common": 2, "rare": 4},
+				{"common": 4},
+				{"common": 6},
+			},
+			want: stats.Freq{"common": 4},
+		},
+		{
+			name: "majority presence survives",
+			tables: []stats.Freq{
+				{"k": 1},
+				{"k": 3},
+				{},
+			},
+			want: stats.Freq{"k": 1},
+		},
+		{
+			name: "even table count averages middle pair",
+			tables: []stats.Freq{
+				{"k": 1},
+				{"k": 3},
+				{"k": 5},
+				{"k": 7},
+			},
+			want: stats.Freq{"k": 4},
+		},
+		{
+			// Median of (2, 0) is 1: half-present keys survive at half
+			// strength with two tables.
+			name: "two tables half presence",
+			tables: []stats.Freq{
+				{"k": 2},
+				{},
+			},
+			want: stats.Freq{"k": 1},
+		},
+		{
+			name:   "no tables",
+			tables: nil,
+			want:   stats.Freq{},
+		},
+		{
+			name:   "all empty",
+			tables: []stats.Freq{{}, {}},
+			want:   stats.Freq{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := medianMerge(tc.tables)
+			if len(got) != len(tc.want) {
+				t.Fatalf("medianMerge = %v, want %v", got, tc.want)
+			}
+			for k, v := range tc.want {
+				if got[k] != v {
+					t.Errorf("medianMerge[%q] = %v, want %v", k, got[k], v)
+				}
+			}
+		})
+	}
+}

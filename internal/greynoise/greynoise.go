@@ -76,6 +76,44 @@ func (s *Service) ObserveExploit(src wire.Addr) {
 	s.exploited[src] = true
 }
 
+// Merge folds another service's observations into s. All three
+// aggregates are sets, so merging per-worker deltas in any order
+// reaches the same state as serial observation — the property the
+// parallel study pipeline relies on. The snapshot of o is taken
+// before s locks, so concurrent merges — even cyclic ones — cannot
+// deadlock.
+func (s *Service) Merge(o *Service) {
+	if s == o {
+		return
+	}
+	o.mu.RLock()
+	vetted := make([]int, 0, len(o.vettedASN))
+	for asn := range o.vettedASN {
+		vetted = append(vetted, asn)
+	}
+	seen := make([]wire.Addr, 0, len(o.seen))
+	for src := range o.seen {
+		seen = append(seen, src)
+	}
+	exploited := make([]wire.Addr, 0, len(o.exploited))
+	for src := range o.exploited {
+		exploited = append(exploited, src)
+	}
+	o.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, asn := range vetted {
+		s.vettedASN[asn] = true
+	}
+	for _, src := range seen {
+		s.seen[src] = true
+	}
+	for _, src := range exploited {
+		s.exploited[src] = true
+	}
+}
+
 // Classify returns the verdict for a source IP in a given AS. Exploit
 // observations dominate vetting; unseen and unvetted IPs are unknown.
 func (s *Service) Classify(src wire.Addr, asn int) Classification {

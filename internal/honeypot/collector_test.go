@@ -2,6 +2,7 @@ package honeypot
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 
 	"cloudwatch/internal/netsim"
@@ -100,4 +101,54 @@ func TestObserveTelescopeKindRejected(t *testing.T) {
 	if _, ok := Observe(tg, probe(22, nil, nil)); ok {
 		t.Error("telescope targets are not honeypots")
 	}
+}
+
+// TestObserveConcurrent runs Observe against shared targets from many
+// goroutines. Observe is a pure function of (target, probe) — the
+// parallel study pipeline calls it from every worker — so this must be
+// race-free and every worker must see identical records.
+func TestObserveConcurrent(t *testing.T) {
+	targets := []*netsim.Target{greyNoiseTarget(), honeytrapTarget(false), honeytrapTarget(true)}
+	creds := []netsim.Credential{{Username: "root", Password: "x"}}
+	probes := []netsim.Probe{
+		probe(22, nil, creds),
+		probe(23, nil, creds),
+		probe(80, []byte("GET / HTTP/1.1\r\n\r\n"), nil),
+		probe(4444, []byte("nope"), nil), // closed port
+	}
+
+	type obs struct {
+		rec netsim.Record
+		ok  bool
+	}
+	want := make([][]obs, len(targets))
+	for i, tg := range targets {
+		for _, p := range probes {
+			rec, ok := Observe(tg, p)
+			want[i] = append(want[i], obs{rec, ok})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				for i, tg := range targets {
+					for j, p := range probes {
+						rec, ok := Observe(tg, p)
+						w := want[i][j]
+						if ok != w.ok || rec.Vantage != w.rec.Vantage ||
+							!bytes.Equal(rec.Payload, w.rec.Payload) ||
+							len(rec.Creds) != len(w.rec.Creds) {
+							t.Errorf("concurrent Observe diverged for target %d probe %d", i, j)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -12,6 +12,8 @@ import (
 
 // Context carries everything an actor consults while generating
 // traffic: the monitored universe and the two search-engine indexes.
+// All fields are read-only during traffic generation, so one Context
+// may be shared by actors running on concurrent workers.
 type Context struct {
 	U      *netsim.Universe
 	Censys *searchengine.Engine
@@ -31,6 +33,14 @@ type Actor struct {
 }
 
 // Run generates the actor's traffic for the study week.
+//
+// Concurrency contract: distinct actors may Run concurrently against
+// a shared Context. Every random draw comes from streams keyed by the
+// actor's own name (see rng, ScanServices, ScanTelescope), so an
+// actor's probe sequence never depends on when — or alongside whom —
+// it is scheduled. emit is called from the goroutine that called Run;
+// callers running actors in parallel must pass a per-worker emit or a
+// concurrency-safe one.
 func (a *Actor) Run(ctx *Context, emit func(netsim.Probe)) {
 	if a.Gen != nil {
 		a.Gen(a, ctx, emit)

@@ -1,7 +1,9 @@
 package scanners
 
 import (
+	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"cloudwatch/internal/netsim"
@@ -260,5 +262,52 @@ func TestPickCreds(t *testing.T) {
 	small := dict[:3]
 	if got := pickCreds(rng, small, 5, 9); len(got) != 3 {
 		t.Errorf("oversized request = %d creds, want 3", len(got))
+	}
+}
+
+// TestActorsConcurrentRunDeterministic exercises the Actor.Run
+// concurrency contract: distinct actors running on concurrent workers
+// against a shared Context emit exactly the probe streams they emit
+// serially, because every random draw comes from actor-name-keyed
+// streams.
+func TestActorsConcurrentRunDeterministic(t *testing.T) {
+	ctx := miniContext(t)
+	actors := Population(Config{Seed: 7, Year: 2021, Scale: 0.4})
+
+	serial := make([][]netsim.Probe, len(actors))
+	for i, a := range actors {
+		a.Run(ctx, func(p netsim.Probe) { serial[i] = append(serial[i], p) })
+	}
+
+	concurrent := make([][]netsim.Probe, len(actors))
+	var wg sync.WaitGroup
+	for i, a := range actors {
+		wg.Add(1)
+		go func(i int, a *Actor) {
+			defer wg.Done()
+			a.Run(ctx, func(p netsim.Probe) { concurrent[i] = append(concurrent[i], p) })
+		}(i, a)
+	}
+	wg.Wait()
+
+	for i := range actors {
+		if len(serial[i]) != len(concurrent[i]) {
+			t.Fatalf("actor %s emitted %d probes concurrently, %d serially",
+				actors[i].Name, len(concurrent[i]), len(serial[i]))
+		}
+		for j := range serial[i] {
+			sp, cp := serial[i][j], concurrent[i][j]
+			if sp.Src != cp.Src || sp.Dst != cp.Dst || sp.Port != cp.Port ||
+				!sp.T.Equal(cp.T) || sp.ASN != cp.ASN || sp.Transport != cp.Transport ||
+				!bytes.Equal(sp.Payload, cp.Payload) || len(sp.Creds) != len(cp.Creds) {
+				t.Fatalf("actor %s probe %d differs between serial and concurrent runs",
+					actors[i].Name, j)
+			}
+			for k := range sp.Creds {
+				if sp.Creds[k] != cp.Creds[k] {
+					t.Fatalf("actor %s probe %d credential %d differs", actors[i].Name, j, k)
+				}
+			}
+		}
 	}
 }

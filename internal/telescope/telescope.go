@@ -17,7 +17,8 @@ import (
 )
 
 // Collector aggregates darknet traffic. Not safe for concurrent use;
-// the study driver serializes observation.
+// the parallel study driver gives each worker a private Collector and
+// folds the shards together with Merge.
 type Collector struct {
 	srcsByPort map[uint16]map[wire.Addr]struct{}
 	asByPort   map[uint16]stats.Freq
@@ -81,6 +82,60 @@ func (c *Collector) Observe(p netsim.Probe) {
 
 // Packets returns the total packet count observed.
 func (c *Collector) Packets() int { return c.packets }
+
+// Merge folds another collector's observations into c. Every
+// aggregate is a set union or an integer-count sum, so merging shard
+// collectors in any order yields the same state a single collector
+// would have reached observing all probes serially — the property the
+// parallel study pipeline relies on. The other collector is left
+// unmodified and must not be observed into concurrently. Merging a
+// collector into itself is a no-op.
+func (c *Collector) Merge(o *Collector) {
+	if c == o {
+		return
+	}
+	c.packets += o.packets
+	for port, srcs := range o.srcsByPort {
+		dst, ok := c.srcsByPort[port]
+		if !ok {
+			dst = make(map[wire.Addr]struct{}, len(srcs))
+			c.srcsByPort[port] = dst
+		}
+		for s := range srcs {
+			dst[s] = struct{}{}
+		}
+	}
+	for port, freq := range o.asByPort {
+		dst, ok := c.asByPort[port]
+		if !ok {
+			dst = stats.Freq{}
+			c.asByPort[port] = dst
+		}
+		for k, v := range freq {
+			dst.Add(k, v)
+		}
+	}
+	for port, byDst := range o.perAddr {
+		if !c.watch[port] {
+			continue
+		}
+		dstMap, ok := c.perAddr[port]
+		if !ok {
+			dstMap = make(map[wire.Addr]map[wire.Addr]struct{}, len(byDst))
+			c.perAddr[port] = dstMap
+		}
+		for addr, srcs := range byDst {
+			set, ok := dstMap[addr]
+			if !ok {
+				set = make(map[wire.Addr]struct{}, len(srcs))
+				dstMap[addr] = set
+			}
+			for s := range srcs {
+				set[s] = struct{}{}
+			}
+		}
+	}
+}
 
 // UniqueSources returns the set of source addresses seen on a port.
 // The returned map is shared; callers must not mutate it.

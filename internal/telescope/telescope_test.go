@@ -110,6 +110,87 @@ func TestRollingMedianWindow(t *testing.T) {
 	}
 }
 
+// TestCollectorMergeEquivalentToSerial splits one probe stream across
+// two shard collectors and checks that merging them reproduces the
+// serial collector exactly — the invariant the parallel study pipeline
+// depends on.
+func TestCollectorMergeEquivalentToSerial(t *testing.T) {
+	u := telUniverse(t)
+	probes := []netsim.Probe{
+		mkProbe("1.1.1.1", "100.64.0.5", 22, 4134),
+		mkProbe("1.1.1.1", "100.64.0.6", 22, 4134),
+		mkProbe("2.2.2.2", "100.64.0.5", 22, 174),
+		mkProbe("2.2.2.2", "100.64.1.9", 445, 174),
+		mkProbe("3.3.3.3", "100.64.1.9", 80, 999999), // unwatched, unknown AS
+		mkProbe("3.3.3.3", "100.64.0.5", 22, 4134),   // src seen by both shards
+	}
+
+	serial := New(22, 445)
+	for _, p := range probes {
+		serial.Observe(p)
+	}
+
+	a, b := New(22, 445), New(22, 445)
+	for i, p := range probes {
+		if i%2 == 0 {
+			a.Observe(p)
+		} else {
+			b.Observe(p)
+		}
+	}
+	merged := New(22, 445)
+	merged.Merge(a)
+	merged.Merge(b)
+
+	if merged.Packets() != serial.Packets() {
+		t.Errorf("packets = %d, want %d", merged.Packets(), serial.Packets())
+	}
+	for _, port := range []uint16{22, 80, 445} {
+		if got, want := merged.UniqueSourceCount(port), serial.UniqueSourceCount(port); got != want {
+			t.Errorf("port %d unique srcs = %d, want %d", port, got, want)
+		}
+		mf, sf := merged.ASFrequencies(port), serial.ASFrequencies(port)
+		if len(mf) != len(sf) {
+			t.Fatalf("port %d AS tables differ: %v vs %v", port, mf, sf)
+		}
+		for k, v := range sf {
+			if mf[k] != v {
+				t.Errorf("port %d AS %q = %v, want %v", port, k, mf[k], v)
+			}
+		}
+	}
+	for _, port := range []uint16{22, 445} {
+		ms, ss := merged.PerAddressSeries(u, port), serial.PerAddressSeries(u, port)
+		if len(ms) != len(ss) {
+			t.Fatalf("port %d series lengths differ", port)
+		}
+		for i := range ss {
+			if ms[i] != ss[i] {
+				t.Errorf("port %d series[%d] = %d, want %d", port, i, ms[i], ss[i])
+			}
+		}
+	}
+	if got, want := len(merged.AllSources()), len(serial.AllSources()); got != want {
+		t.Errorf("all srcs = %d, want %d", got, want)
+	}
+}
+
+// TestCollectorMergeIntoEmpty checks merging into a fresh collector
+// copies rather than aliases the source's maps.
+func TestCollectorMergeIntoEmpty(t *testing.T) {
+	a := New(22)
+	a.Observe(mkProbe("1.1.1.1", "100.64.0.5", 22, 4134))
+	merged := New(22)
+	merged.Merge(a)
+	merged.Observe(mkProbe("2.2.2.2", "100.64.0.5", 22, 174))
+	if a.UniqueSourceCount(22) != 1 {
+		t.Errorf("merge aliased source collector: %d srcs", a.UniqueSourceCount(22))
+	}
+	if merged.UniqueSourceCount(22) != 2 {
+		t.Errorf("merged srcs = %d, want 2", merged.UniqueSourceCount(22))
+	}
+}
+
 func TestWatchedPorts(t *testing.T) {
 	c := New(445, 22, 17128)
 	got := c.WatchedPorts()
@@ -121,5 +202,17 @@ func TestWatchedPorts(t *testing.T) {
 		if got[i] != want[i] {
 			t.Errorf("watched = %v, want %v", got, want)
 		}
+	}
+}
+
+func TestCollectorSelfMergeNoOp(t *testing.T) {
+	c := New(22)
+	c.Observe(mkProbe("1.1.1.1", "100.64.0.5", 22, 4134))
+	c.Merge(c)
+	if c.Packets() != 1 {
+		t.Errorf("self-merge changed packets: %d, want 1", c.Packets())
+	}
+	if got := c.ASFrequencies(22)["AS4134 Chinanet"]; got != 1 {
+		t.Errorf("self-merge changed AS count: %v, want 1", got)
 	}
 }
