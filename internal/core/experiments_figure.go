@@ -37,7 +37,7 @@ const Figure1Window = 512
 func (s *Study) Figure1() Figure1Result {
 	var res Figure1Result
 	for _, port := range []uint16{22, 445, 80, 17128} {
-		series := s.Tel.PerAddressSeries(s.U, port)
+		series := s.telescopeSeries(port)
 		panel := Figure1Panel{Port: port}
 		if series == nil {
 			res.Panels = append(res.Panels, panel)

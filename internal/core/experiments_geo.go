@@ -112,16 +112,21 @@ func (s *Study) Table4() Table4Result {
 }
 
 // regionGroupView merges the GreyNoise views of one region with the
-// §4.4 median filter; per-vantage view builds fan out across cores.
+// §4.4 median filter. The merged view is memoized per (region, slice)
+// — Table 4, Table 5, and the ablations share them — and per-vantage
+// view builds fan out across cores on the first request. Callers must
+// treat the result as read-only.
 func (s *Study) regionGroupView(region string, slice ProtocolSlice) *View {
-	var targets []*netsim.Target
-	for _, t := range s.U.Region(region) {
-		if t.Collector != netsim.CollectGreyNoise {
-			continue
+	return s.views.get(kindRegionGreyNoise, region, slice, func() *View {
+		var targets []*netsim.Target
+		for _, t := range s.U.Region(region) {
+			if t.Collector != netsim.CollectGreyNoise {
+				continue
+			}
+			targets = append(targets, t)
 		}
-		targets = append(targets, t)
-	}
-	return GroupView(s.vantageViews(targets, slice))
+		return GroupView(s.vantageViews(targets, slice))
+	})
 }
 
 func (s *Study) regionGeo(region string) netsim.Geo {

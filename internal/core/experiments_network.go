@@ -105,10 +105,14 @@ func (s *Study) Table7() Table7Result {
 }
 
 // anyRegionGroupView merges every vantage point of a region (any
-// collector) with the median filter; per-vantage view builds fan out
-// across cores.
+// collector) with the median filter. The merged view is memoized per
+// (region, slice) — Table 7 and Table 10 share them — and per-vantage
+// view builds fan out across cores on the first request. Callers must
+// treat the result as read-only.
 func (s *Study) anyRegionGroupView(region string, slice ProtocolSlice) *View {
-	return GroupView(s.vantageViews(s.U.Region(region), slice))
+	return s.views.get(kindRegionAny, region, slice, func() *View {
+		return GroupView(s.vantageViews(s.U.Region(region), slice))
+	})
 }
 
 // Render formats Table 7.
@@ -193,16 +197,18 @@ func (s *Study) Table8() Table8Result {
 // seen on one port across every vantage of a network kind, excluding
 // the §4.3 experiment hosts.
 func (s *Study) networkSources(port uint16, kind netsim.NetworkKind, maliciousOnly bool) map[wire.Addr]struct{} {
+	idx := s.index()
 	out := map[wire.Addr]struct{}{}
 	for _, t := range s.U.Targets() {
 		if t.Kind != kind || strings.HasPrefix(t.Region, "stanford:leak") {
 			continue
 		}
-		for _, rec := range s.VantageRecords(t.ID) {
+		for _, ri := range s.byVantage[t.ID] {
+			rec := &s.Records[ri]
 			if rec.Port != port {
 				continue
 			}
-			if maliciousOnly && !s.RecordMalicious(rec) {
+			if maliciousOnly && !idx.mal[ri] {
 				continue
 			}
 			out[rec.Src] = struct{}{}

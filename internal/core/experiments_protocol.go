@@ -45,6 +45,7 @@ func (s *Study) Table11() Table11Result {
 		anyKnown bool
 	}
 	benignByAS := map[string]int{}
+	idx := s.index()
 
 	for _, port := range []uint16{80, 8080} {
 		srcs := map[wire.Addr]*srcInfo{}
@@ -52,7 +53,8 @@ func (s *Study) Table11() Table11Result {
 			if !networks[t.Region] || t.Collector != netsim.CollectHoneytrap {
 				continue
 			}
-			for _, rec := range s.VantageRecords(t.ID) {
+			for _, ri := range s.byVantage[t.ID] {
+				rec := &s.Records[ri]
 				if rec.Port != port || len(rec.Payload) == 0 {
 					continue
 				}
@@ -61,8 +63,7 @@ func (s *Study) Table11() Table11Result {
 					info = &srcInfo{asn: rec.ASN, protos: map[fingerprint.Protocol]int{}}
 					srcs[rec.Src] = info
 				}
-				proto := fingerprint.Identify(rec.Payload)
-				if proto != fingerprint.Unknown {
+				if proto := idx.proto[ri]; proto != fingerprint.Unknown {
 					info.protos[proto]++
 					info.anyKnown = true
 				}

@@ -52,10 +52,10 @@ func (s *Study) Table1() Table1Result {
 		}
 		g.regions[t.Region] = struct{}{}
 		g.vantages++
-		for _, rec := range s.VantageRecords(t.ID) {
+		s.VantageEach(t.ID, func(rec netsim.Record) {
 			g.ips[rec.Src] = struct{}{}
 			g.ases[rec.ASN] = struct{}{}
-		}
+		})
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].collection != order[j].collection {

@@ -127,6 +127,16 @@ func TestStudyMoreWorkersThanActors(t *testing.T) {
 	assertStudiesIdentical(t, serial, over, "workers=10000")
 }
 
+// renderAllAnalyses runs every cached analysis path — all tables, the
+// figure, and both ablations — and concatenates the rendered output.
+func renderAllAnalyses(s *Study) string {
+	return s.Table1().Render() + s.Table2().Render() + s.Table3().Render() +
+		s.Table4().Render() + s.Table5().Render() + s.Table6().Render() +
+		s.Table7().Render() + s.Table8().Render() + s.Table9().Render() +
+		s.Table10().Render() + s.Table11().Render() + s.Figure1().Render() +
+		s.AblationTopK().Render() + s.AblationMedianFilter().Render()
+}
+
 // TestParallelTablesMatchSerial spot-checks that downstream experiment
 // drivers see identical inputs: the rendered neighborhood table is the
 // same whichever pipeline built the study.
@@ -135,6 +145,25 @@ func TestParallelTablesMatchSerial(t *testing.T) {
 	par := runTestStudyWorkers(t, 7, 4)
 	if w, g := serial.Table2().Render(), par.Table2().Render(); w != g {
 		t.Errorf("Table2 differs between worker counts:\nserial:\n%s\nparallel:\n%s", w, g)
+	}
+}
+
+// TestCachedAnalysesDeterministicAcrossWorkers extends the byte-
+// identical guarantee to the cached analysis layer: every table,
+// figure, and ablation renders identically at Workers 1, 4, and
+// GOMAXPROCS, and re-rendering from the warm cache reproduces the
+// first (cold) render exactly.
+func TestCachedAnalysesDeterministicAcrossWorkers(t *testing.T) {
+	serial := runTestStudyWorkers(t, 7, 1)
+	want := renderAllAnalyses(serial)
+	if again := renderAllAnalyses(serial); again != want {
+		t.Fatal("warm-cache re-render differs from cold render on the same study")
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		par := runTestStudyWorkers(t, 7, workers)
+		if got := renderAllAnalyses(par); got != want {
+			t.Fatalf("analyses differ between Workers=1 and Workers=%d", workers)
+		}
 	}
 }
 

@@ -60,9 +60,20 @@ type Study struct {
 	Actors  []*scanners.Actor
 	IDS     *ids.Engine
 
-	byVantage    map[string][]int // record indexes per vantage ID
-	memMu        sync.RWMutex
-	maliciousMem map[string]bool // payload-keyed IDS verdict cache
+	byVantage map[string][]int // record indexes per vantage ID
+
+	// maliciousMem is the payload-keyed IDS verdict memo accumulated by
+	// the pipeline shards during Run. After Run it is frozen (read-only)
+	// and adopted by the derived index, so no lock guards it.
+	maliciousMem map[string]bool
+
+	// The derived-record index (columnar per-record facts) and the view
+	// and telescope-series caches, all built lazily on first read.
+	indexOnce   sync.Once
+	idx         *derivedIndex
+	views       viewCache
+	seriesMu    sync.Mutex
+	seriesCache map[uint16]*seriesEntry
 }
 
 // Run executes a full study: build the deployment, crawl the search
@@ -119,8 +130,8 @@ func Run(cfg Config) (*Study, error) {
 // definition: any login attempt (bypassing authentication) is
 // malicious; payloadless records are benign; otherwise the
 // Suricata-style engine judges the payload. Payload-keyed memoization
-// is the caller's concern (Study.RecordMalicious locks a shared memo;
-// shards keep private ones).
+// is the caller's concern (pipeline shards keep private memos; after
+// Run the merged memo freezes into the derived index).
 func maliciousRecord(e *ids.Engine, rec netsim.Record) bool {
 	if len(rec.Creds) > 0 {
 		return true
@@ -131,29 +142,24 @@ func maliciousRecord(e *ids.Engine, rec netsim.Record) bool {
 	return e.Malicious(rec.Transport.String(), rec.Port, rec.Payload)
 }
 
-// RecordMalicious applies the §3.2 definition to one record, memoizing
-// verdicts per distinct payload. Safe for concurrent use, so view
-// building can fan out across vantage points.
+// RecordMalicious applies the §3.2 definition to one record. Verdicts
+// for every payload the study collected live in the derived index's
+// frozen payload memo, so the lookup is lock-free; unseen payloads are
+// judged directly without memoization. Safe for concurrent use, so
+// view building can fan out across vantage points.
 func (s *Study) RecordMalicious(rec netsim.Record) bool {
 	if len(rec.Creds) > 0 || len(rec.Payload) == 0 {
 		return maliciousRecord(s.IDS, rec)
 	}
-	key := string(rec.Payload)
-	s.memMu.RLock()
-	v, ok := s.maliciousMem[key]
-	s.memMu.RUnlock()
-	if ok {
+	if v, ok := s.index().malByPayload[string(rec.Payload)]; ok {
 		return v
 	}
-	v = maliciousRecord(s.IDS, rec)
-	s.memMu.Lock()
-	s.maliciousMem[key] = v
-	s.memMu.Unlock()
-	return v
+	return maliciousRecord(s.IDS, rec)
 }
 
 // VantageRecords returns the records of one vantage point, in arrival
-// order.
+// order. The slice is freshly allocated; for allocation-free
+// traversal use VantageEach.
 func (s *Study) VantageRecords(id string) []netsim.Record {
 	idxs := s.byVantage[id]
 	out := make([]netsim.Record, len(idxs))
@@ -161,6 +167,15 @@ func (s *Study) VantageRecords(id string) []netsim.Record {
 		out[i] = s.Records[idx]
 	}
 	return out
+}
+
+// VantageEach calls fn for every record of one vantage point in
+// arrival order without copying the record list — the zero-copy
+// counterpart of VantageRecords.
+func (s *Study) VantageEach(id string, fn func(rec netsim.Record)) {
+	for _, idx := range s.byVantage[id] {
+		fn(s.Records[idx])
+	}
 }
 
 // RegionRecords returns the records of every vantage point in a

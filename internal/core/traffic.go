@@ -165,7 +165,9 @@ func normalizePayload(p []byte) []byte {
 	if fingerprint.Identify(p) != fingerprint.HTTP {
 		return p
 	}
-	var out []byte
+	// The output can only shrink: preallocate to the payload size so
+	// the loop never regrows the buffer.
+	out := make([]byte, 0, len(p))
 	start := 0
 	for start < len(p) {
 		end := start
@@ -184,20 +186,44 @@ func normalizePayload(p []byte) []byte {
 	return out
 }
 
+// ephemeralHeader reports whether a header line carries one of the
+// ephemeral values the paper strips. Single pass: dispatch on the
+// first byte, then one prefix comparison — no per-call slice literal.
 func ephemeralHeader(line []byte) bool {
-	for _, prefix := range []string{"Date:", "Host:", "Content-Length:"} {
-		if len(line) >= len(prefix) && string(line[:len(prefix)]) == prefix {
-			return true
-		}
+	if len(line) == 0 {
+		return false
 	}
-	return false
+	var prefix string
+	switch line[0] {
+	case 'D':
+		prefix = "Date:"
+	case 'H':
+		prefix = "Host:"
+	case 'C':
+		prefix = "Content-Length:"
+	default:
+		return false
+	}
+	return len(line) >= len(prefix) && string(line[:len(prefix)]) == prefix
 }
 
-// VantageView builds the view of a single vantage point.
+// VantageView returns the view of a single vantage point, built from
+// the derived-record index and memoized per (vantage, slice): repeat
+// requests — every experiment that shares an axis — return the same
+// *View. Callers must treat the result as read-only.
 func (s *Study) VantageView(id string, slice ProtocolSlice) *View {
+	return s.views.get(kindVantage, id, slice, func() *View {
+		return s.buildVantageView(id, slice)
+	})
+}
+
+// buildVantageView computes a vantage view from the index columns,
+// bypassing the cache.
+func (s *Study) buildVantageView(id string, slice ProtocolSlice) *View {
+	idx := s.index()
 	v := NewView(slice)
-	for _, rec := range s.VantageRecords(id) {
-		v.Add(rec, s.RecordMalicious(rec))
+	for _, ri := range s.byVantage[id] {
+		s.addToView(idx, v, ri)
 	}
 	return v
 }
@@ -256,7 +282,9 @@ func viewTables(views []*View, get func(*View) stats.Freq) []stats.Freq {
 }
 
 // medianMerge computes the per-key median count across tables,
-// counting absent keys as zero, then drops zero-median keys.
+// counting absent keys as zero, then drops zero-median keys. One
+// scratch buffer is reused across keys, so the merge allocates no
+// per-key slices.
 func medianMerge(tables []stats.Freq) stats.Freq {
 	keys := map[string]struct{}{}
 	for _, t := range tables {
@@ -265,12 +293,12 @@ func medianMerge(tables []stats.Freq) stats.Freq {
 		}
 	}
 	out := stats.Freq{}
+	scratch := make([]float64, len(tables))
 	for k := range keys {
-		vals := make([]float64, len(tables))
 		for i, t := range tables {
-			vals[i] = t[k]
+			scratch[i] = t[k]
 		}
-		if m := stats.Median(vals); m > 0 {
+		if m := stats.MedianInPlace(scratch); m > 0 {
 			out[k] = m
 		}
 	}

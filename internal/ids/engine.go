@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Alert is one rule firing on a payload.
@@ -15,10 +16,47 @@ type Alert struct {
 	Classtype Classtype
 }
 
-// Engine matches payloads against a compiled rule set.
+// Engine matches payloads against a compiled rule set. Safe for
+// concurrent use.
 type Engine struct {
 	rules []Rule
 	bySID map[int]int
+
+	// prefilter caches, per observed (proto, port) destination, the
+	// rule indexes whose header can fire there — rules outside the
+	// bucket are skipped by Match without per-rule proto/port checks.
+	// Traffic concentrates on a handful of destinations, so buckets are
+	// few and build once each.
+	prefilter sync.Map // bucketKey → []int (rule indexes, ascending)
+}
+
+// bucketKey identifies one prefilter bucket.
+type bucketKey struct {
+	proto string
+	port  uint16
+}
+
+// bucket returns the indexes of rules that can fire on (proto, port),
+// in rule order, building and caching the bucket on first use.
+func (e *Engine) bucket(proto string, port uint16) []int {
+	key := bucketKey{proto, port}
+	if c, ok := e.prefilter.Load(key); ok {
+		return c.([]int)
+	}
+	idxs := make([]int, 0, len(e.rules))
+	for i, r := range e.rules {
+		if r.Proto != "any" && r.Proto != "ip" && r.Proto != proto {
+			continue
+		}
+		if !r.Ports.Contains(port) {
+			continue
+		}
+		idxs = append(idxs, i)
+	}
+	// Concurrent first calls build identical buckets; keep whichever
+	// won the store.
+	actual, _ := e.prefilter.LoadOrStore(key, idxs)
+	return actual.([]int)
 }
 
 // NewEngine compiles a set of rules. Duplicate SIDs are rejected, as
@@ -74,16 +112,13 @@ func (e *Engine) Len() int { return len(e.rules) }
 func (e *Engine) Rules() []Rule { return e.rules }
 
 // Match evaluates every rule against a payload destined to (proto,
-// port) and returns the alerts in rule order.
+// port) and returns the alerts in rule order. Only rules in the
+// destination's prefilter bucket are evaluated; rules whose header
+// cannot fire on (proto, port) are never touched.
 func (e *Engine) Match(proto string, port uint16, payload []byte) []Alert {
 	var alerts []Alert
-	for _, r := range e.rules {
-		if r.Proto != "any" && r.Proto != "ip" && r.Proto != proto {
-			continue
-		}
-		if !r.Ports.Contains(port) {
-			continue
-		}
+	for _, i := range e.bucket(proto, port) {
+		r := &e.rules[i]
 		if matchContents(r.Contents, payload) {
 			alerts = append(alerts, Alert{SID: r.SID, Msg: r.Msg, Classtype: r.Classtype})
 		}
@@ -95,8 +130,14 @@ func (e *Engine) Match(proto string, port uint16, payload []byte) []Alert {
 // classtype in MaliciousClasstypes — the paper's §3.2 definition of a
 // malicious payload for non-authentication protocols.
 func (e *Engine) Malicious(proto string, port uint16, payload []byte) bool {
-	for _, a := range e.Match(proto, port, payload) {
-		if MaliciousClasstypes[a.Classtype] {
+	// Evaluate only bucket rules with a malicious classtype, returning
+	// on the first hit — no Alert slice is built.
+	for _, i := range e.bucket(proto, port) {
+		r := &e.rules[i]
+		if !MaliciousClasstypes[r.Classtype] {
+			continue
+		}
+		if matchContents(r.Contents, payload) {
 			return true
 		}
 	}

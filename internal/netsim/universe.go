@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cloudwatch/internal/wire"
 )
@@ -18,13 +19,69 @@ type Universe struct {
 	Year int // dataset year (2020, 2021, 2022) for Appendix C variants
 
 	// TelescopeBlocks are the darknet ranges; traffic to them reaches
-	// the telescope collector, which records first packets only.
+	// the telescope collector, which records first packets only. The
+	// slice must not change after the first telescope lookup
+	// (InTelescope, TelescopeAddr, TelescopeIndex, TelescopeSize): the
+	// lookups share a lazily-built block index.
 	TelescopeBlocks []wire.Block
 
 	targets []*Target
 	byIP    map[wire.Addr]*Target
 	byID    map[string]*Target
 	regions map[string][]*Target
+
+	telOnce sync.Once
+	telIdx  *telescopeIndex
+}
+
+// telescopeIndex accelerates the per-address telescope lookups from
+// O(blocks) linear scans to O(log blocks) binary searches: cumulative
+// start offsets in block order (for index→address) and the blocks
+// sorted by base address (for address→block).
+type telescopeIndex struct {
+	starts []int // starts[i] = global index of TelescopeBlocks[i]'s first address
+	total  int
+	bases  []wire.Addr // block base addresses, ascending
+	order  []int       // order[j] = TelescopeBlocks index of bases[j]
+}
+
+func (u *Universe) telescopeIndexed() *telescopeIndex {
+	u.telOnce.Do(func() {
+		idx := &telescopeIndex{
+			starts: make([]int, len(u.TelescopeBlocks)),
+			order:  make([]int, len(u.TelescopeBlocks)),
+			bases:  make([]wire.Addr, len(u.TelescopeBlocks)),
+		}
+		for i, b := range u.TelescopeBlocks {
+			idx.starts[i] = idx.total
+			idx.total += b.Size()
+			idx.order[i] = i
+		}
+		sort.Slice(idx.order, func(a, b int) bool {
+			return u.TelescopeBlocks[idx.order[a]].Base < u.TelescopeBlocks[idx.order[b]].Base
+		})
+		for j, i := range idx.order {
+			idx.bases[j] = u.TelescopeBlocks[i].Base
+		}
+		u.telIdx = idx
+	})
+	return u.telIdx
+}
+
+// telescopeBlockOf locates the block containing an address, returning
+// its TelescopeBlocks position. Telescope blocks never overlap, so the
+// candidate is the block with the largest base ≤ ip.
+func (u *Universe) telescopeBlockOf(ip wire.Addr) (int, bool) {
+	idx := u.telescopeIndexed()
+	j := sort.Search(len(idx.bases), func(k int) bool { return idx.bases[k] > ip }) - 1
+	if j < 0 {
+		return 0, false
+	}
+	i := idx.order[j]
+	if !u.TelescopeBlocks[i].Contains(ip) {
+		return 0, false
+	}
+	return i, true
 }
 
 // NewUniverse builds a universe over the given honeypot targets.
@@ -105,32 +162,36 @@ func (u *Universe) ServiceTargets() []*Target {
 // InTelescope reports whether an address lies inside a telescope
 // block.
 func (u *Universe) InTelescope(ip wire.Addr) bool {
-	for _, b := range u.TelescopeBlocks {
-		if b.Contains(ip) {
-			return true
-		}
-	}
-	return false
+	_, ok := u.telescopeBlockOf(ip)
+	return ok
 }
 
 // TelescopeSize returns the total number of telescope addresses.
 func (u *Universe) TelescopeSize() int {
-	n := 0
-	for _, b := range u.TelescopeBlocks {
-		n += b.Size()
-	}
-	return n
+	return u.telescopeIndexed().total
 }
 
 // TelescopeAddr maps a global index in [0, TelescopeSize()) to the
 // corresponding telescope address, block by block. It panics when i is
 // out of range, mirroring slice indexing.
 func (u *Universe) TelescopeAddr(i int) wire.Addr {
-	for _, b := range u.TelescopeBlocks {
-		if i < b.Size() {
-			return b.Nth(i)
-		}
-		i -= b.Size()
+	idx := u.telescopeIndexed()
+	if i < 0 || i >= idx.total {
+		panic(fmt.Sprintf("netsim: telescope index %d out of range", i))
 	}
-	panic(fmt.Sprintf("netsim: telescope index %d out of range", i))
+	// Rightmost block whose start offset is ≤ i.
+	b := sort.SearchInts(idx.starts, i+1) - 1
+	return u.TelescopeBlocks[b].Nth(i - idx.starts[b])
+}
+
+// TelescopeIndex maps a telescope address to its global index in
+// [0, TelescopeSize()) — the inverse of TelescopeAddr — reporting
+// false for addresses outside every telescope block.
+func (u *Universe) TelescopeIndex(ip wire.Addr) (int, bool) {
+	i, ok := u.telescopeBlockOf(ip)
+	if !ok {
+		return 0, false
+	}
+	off, _ := u.TelescopeBlocks[i].Index(ip)
+	return u.telescopeIndexed().starts[i] + off, true
 }

@@ -158,9 +158,20 @@ func Median(xs []float64) float64 {
 	}
 	s := make([]float64, n)
 	copy(s, xs)
-	sort.Float64s(s)
-	if n%2 == 1 {
-		return s[n/2]
+	return MedianInPlace(s)
+}
+
+// MedianInPlace is Median without the defensive copy: it sorts xs in
+// place and returns the median. For hot loops that own a reusable
+// scratch buffer (e.g. the §4.4 median group merge).
+func MedianInPlace(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }

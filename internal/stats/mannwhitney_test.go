@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -159,5 +160,27 @@ func TestMeanMedian(t *testing.T) {
 	Median(xs)
 	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
 		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMedianInPlaceMatchesMedian(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{3},
+		{2, 1},
+		{5, 1, 4, 2, 3},
+		{7, 7, 7, 7},
+		{1.5, -2, 0, 9, 4, -6},
+	}
+	for _, xs := range cases {
+		want := Median(xs)
+		scratch := make([]float64, len(xs))
+		copy(scratch, xs)
+		if got := MedianInPlace(scratch); got != want {
+			t.Errorf("MedianInPlace(%v) = %v, want %v", xs, got, want)
+		}
+		if !sort.Float64sAreSorted(scratch) {
+			t.Errorf("MedianInPlace left %v unsorted", scratch)
+		}
 	}
 }

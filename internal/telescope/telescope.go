@@ -191,10 +191,10 @@ func (c *Collector) PerAddressSeries(u *netsim.Universe, port uint16) []int {
 	n := u.TelescopeSize()
 	out := make([]int, n)
 	// Addresses inside the blocks are ordered; walk the map and place
-	// counts by global index.
-	offsets := telescopeOffsets(u)
+	// counts by global index (an O(log blocks) lookup on the universe's
+	// telescope index).
 	for dst, srcs := range byDst {
-		if idx, ok := offsets.index(dst); ok {
+		if idx, ok := u.TelescopeIndex(dst); ok {
 			out[idx] = len(srcs)
 		}
 	}
@@ -217,34 +217,6 @@ func RollingMedianWindow(series []int, window int) []float64 {
 		out = append(out, float64(sum)/float64(window))
 	}
 	return out
-}
-
-// telescopeOffsets maps telescope addresses to global indexes.
-type offsets struct {
-	blocks []wire.Block
-	starts []int
-}
-
-func telescopeOffsets(u *netsim.Universe) offsets {
-	o := offsets{blocks: u.TelescopeBlocks}
-	total := 0
-	for _, b := range o.blocks {
-		o.starts = append(o.starts, total)
-		total += b.Size()
-	}
-	return o
-}
-
-func (o offsets) index(a wire.Addr) (int, bool) {
-	// Blocks are few (≤ 1856); linear scan is fine, but keep them
-	// sorted lookups cheap by early exit on Contains.
-	for i, b := range o.blocks {
-		if b.Contains(a) {
-			off, _ := b.Index(a)
-			return o.starts[i] + off, true
-		}
-	}
-	return 0, false
 }
 
 // WatchedPorts returns the ports with per-destination tracking, sorted.

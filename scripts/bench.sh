@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Benchmark smoke for trajectory tracking: runs the study-throughput
+# benchmark plus every table/figure benchmark once and emits a JSON
+# summary (records/sec and per-bench ns/op) for cross-PR comparison.
+#
+# Usage: scripts/bench.sh [output.json] [bench-log]
+#   output.json  summary destination (default: BENCH_PR2.json)
+#   bench-log    existing `go test -bench` output to parse instead of
+#                re-running the benchmarks (lets CI run them once)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+log="${2:-}"
+if [ -z "$log" ]; then
+  log="$(mktemp)"
+  trap 'rm -f "$log"' EXIT
+  go test -bench 'BenchmarkStudyParallel$|BenchmarkTable|BenchmarkFigure1' \
+    -benchtime=1x -run '^$' . | tee "$log"
+fi
+
+awk -v out="$out" '
+  /^BenchmarkStudyParallel/ {
+    for (i = 1; i <= NF; i++) if ($i == "records/sec") rps = $(i-1)
+  }
+  /^Benchmark(Table|Figure)/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 1; i <= NF; i++) if ($i == "ns/op") ns[name] = $(i-1)
+    order[n++] = name
+  }
+  END {
+    printf "{\n  \"records_per_sec\": %s,\n  \"table_bench_ns_per_op\": {\n", (rps == "" ? "null" : rps) > out
+    for (i = 0; i < n; i++)
+      printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "") >> out
+    printf "  }\n}\n" >> out
+  }
+' "$log"
+echo "wrote $out"
