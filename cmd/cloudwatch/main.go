@@ -19,32 +19,53 @@ import (
 	"cloudwatch/internal/core"
 )
 
+// figureMinSlash24s is the smallest telescope that renders Figure 1
+// faithfully: two full /16s of darknet.
+const figureMinSlash24s = 512
+
+// rendersFigure1 reports whether an experiment selection will render
+// Figure 1 — the figure experiments themselves or the "all" sweep,
+// which ends with Figure 1. ("appendix" renders tables only.)
+func rendersFigure1(experiment string) bool {
+	return experiment == "all" || strings.HasPrefix(experiment, "figure")
+}
+
+// studyConfig assembles the study configuration for one CLI
+// invocation and describes the deployment it chose. The Figure 1
+// telescope bump applies whenever Figure 1 will be rendered — under
+// "-experiment all" just as under "-experiment figure1" — so the same
+// seed produces the same Figure 1 regardless of how it was requested.
+func studyConfig(seed int64, year int, scale float64, full bool, workers int, experiment string) (core.Config, string) {
+	cfg := core.DefaultConfig(seed, year)
+	cfg.Actors.Scale = scale
+	cfg.Workers = workers
+	deployment := "default deployment"
+	if full {
+		cfg.Deploy = cfg.Deploy.AtPaperScale()
+		deployment = "paper-scale deployment"
+	}
+	if rendersFigure1(experiment) && cfg.Deploy.TelescopeSlash24s < figureMinSlash24s {
+		cfg.Deploy.TelescopeSlash24s = figureMinSlash24s
+		deployment = "Figure 1 deployment (telescope bumped to two full /16s)"
+	}
+	return cfg, deployment
+}
+
 func main() {
 	var (
 		seed       = flag.Int64("seed", 42, "simulation seed (all results are deterministic per seed)")
 		year       = flag.Int("year", 2021, "dataset year: 2020, 2021, or 2022 (Appendix C variants)")
 		experiment = flag.String("experiment", "all", "experiment to run: table1..table11, figure1, appendix, all")
 		scale      = flag.Float64("scale", 1.0, "actor population scale")
-		full       = flag.Bool("full", false, "use the paper-scale telescope (1856 /24s) instead of the default 128")
+		full       = flag.Bool("full", false, "use the paper's Table 1 deployment scale: full Orion telescope (1856 /24s) and full HE /24 honeypot fleet (256 IPs) instead of the 128/64 defaults (slower)")
 		workers    = flag.Int("workers", 0, "pipeline workers sharding the actor population (0 = GOMAXPROCS); results are identical for every count")
 	)
 	flag.Parse()
 
-	cfg := core.DefaultConfig(*seed, *year)
-	cfg.Actors.Scale = *scale
-	cfg.Workers = *workers
-	if *full {
-		cfg.Deploy.TelescopeSlash24s = 1856
-	}
-	if strings.HasPrefix(*experiment, "figure") {
-		// Figure 1 needs at least two full /16s of darknet.
-		if cfg.Deploy.TelescopeSlash24s < 512 {
-			cfg.Deploy.TelescopeSlash24s = 512
-		}
-	}
+	cfg, deployment := studyConfig(*seed, *year, *scale, *full, *workers, *experiment)
 
-	fmt.Fprintf(os.Stderr, "running %d study (seed %d, telescope %d /24s)...\n",
-		*year, *seed, cfg.Deploy.TelescopeSlash24s)
+	fmt.Fprintf(os.Stderr, "running %d study (seed %d, %s, telescope %d /24s)...\n",
+		*year, *seed, deployment, cfg.Deploy.TelescopeSlash24s)
 	study, err := core.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)

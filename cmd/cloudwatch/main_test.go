@@ -1,0 +1,90 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"cloudwatch/internal/core"
+)
+
+// TestFigureBumpAppliesToAll pins the Figure 1 regression: the
+// telescope bump must apply whenever Figure 1 will be rendered, so
+// "-experiment all" and "-experiment figure1" build identical studies
+// (the same seed used to render two different Figure 1s: 128 /24s
+// under "all", 512 under "figure1").
+func TestFigureBumpAppliesToAll(t *testing.T) {
+	all, allDesc := studyConfig(42, 2021, 1, false, 0, "all")
+	fig, figDesc := studyConfig(42, 2021, 1, false, 0, "figure1")
+	if !reflect.DeepEqual(all, fig) {
+		t.Fatalf("configs differ between all and figure1:\n all %+v\n fig %+v", all, fig)
+	}
+	if all.Deploy.TelescopeSlash24s != figureMinSlash24s {
+		t.Fatalf("telescope = %d /24s, want %d (two full /16s)", all.Deploy.TelescopeSlash24s, figureMinSlash24s)
+	}
+	for _, desc := range []string{allDesc, figDesc} {
+		if !strings.Contains(desc, "Figure 1") {
+			t.Errorf("deployment description %q does not say which deployment was used", desc)
+		}
+	}
+}
+
+// TestNoBumpForTableExperiments checks table-only runs (including the
+// appendix, which renders no figure) keep the default telescope.
+func TestNoBumpForTableExperiments(t *testing.T) {
+	def := core.DefaultConfig(42, 2021).Deploy.TelescopeSlash24s
+	for _, exp := range []string{"table2", "table10", "appendix"} {
+		cfg, desc := studyConfig(42, 2021, 1, false, 0, exp)
+		if cfg.Deploy.TelescopeSlash24s != def {
+			t.Errorf("%s: telescope = %d /24s, want default %d", exp, cfg.Deploy.TelescopeSlash24s, def)
+		}
+		if desc != "default deployment" {
+			t.Errorf("%s: deployment description = %q", exp, desc)
+		}
+	}
+}
+
+// TestFullFlagScalesWholeDeployment pins the -full fix: paper scale
+// means the full Orion telescope and the full HE /24 honeypot fleet,
+// not just the telescope.
+func TestFullFlagScalesWholeDeployment(t *testing.T) {
+	cfg, desc := studyConfig(42, 2021, 1, true, 0, "table2")
+	if cfg.Deploy.TelescopeSlash24s != 1856 {
+		t.Errorf("full telescope = %d /24s, want 1856", cfg.Deploy.TelescopeSlash24s)
+	}
+	if cfg.Deploy.HurricaneIPs != 256 {
+		t.Errorf("full HE fleet = %d IPs, want 256", cfg.Deploy.HurricaneIPs)
+	}
+	if desc != "paper-scale deployment" {
+		t.Errorf("deployment description = %q", desc)
+	}
+	// -full already exceeds the Figure 1 minimum: no further bump.
+	fig, _ := studyConfig(42, 2021, 1, true, 0, "figure1")
+	if fig.Deploy.TelescopeSlash24s != 1856 {
+		t.Errorf("full+figure1 telescope = %d /24s, want 1856", fig.Deploy.TelescopeSlash24s)
+	}
+}
+
+// TestAllAndFigure1RenderIdenticalFigure1 is the end-to-end
+// regression: the same seed renders the same Figure 1 whether it was
+// requested via "figure1" or as part of "all". Reduced actor scale
+// keeps the two 512-/24 studies fast.
+func TestAllAndFigure1RenderIdenticalFigure1(t *testing.T) {
+	cfgAll, _ := studyConfig(42, 2021, 0.1, false, 0, "all")
+	cfgFig, _ := studyConfig(42, 2021, 0.1, false, 0, "figure1")
+	sAll, err := core.Run(cfgAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sFig, err := core.Run(cfgFig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sAll.Figure1().Render(), sFig.Figure1().Render()
+	if a != b {
+		t.Errorf("Figure 1 differs between -experiment all and -experiment figure1:\nall:\n%s\nfigure1:\n%s", a, b)
+	}
+	if !strings.Contains(a, "port 22") {
+		t.Error("Figure 1 render missing panels")
+	}
+}

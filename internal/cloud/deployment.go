@@ -35,8 +35,9 @@ type Config struct {
 
 // DefaultConfig returns the standard study deployment, scaled so a
 // full week simulates in seconds: the telescope defaults to 128 /24s
-// (32K addresses) instead of Orion's 1856. Set TelescopeSlash24s to
-// 1856 to reproduce the paper's full scale.
+// (32K addresses) instead of Orion's 1856, and the HE /24 honeypot
+// fleet to 64 IPs instead of 256. Use AtPaperScale to reproduce the
+// paper's full Table 1 scale.
 func DefaultConfig(seed int64, year int) Config {
 	return Config{
 		Seed:               seed,
@@ -47,6 +48,18 @@ func DefaultConfig(seed int64, year int) Config {
 		TelescopeSlash24s:  128,
 		LeakExperiment:     true,
 	}
+}
+
+// AtPaperScale returns the configuration scaled to the paper's full
+// Table 1 deployment: the complete Orion telescope (1856 /24s) and
+// the complete Hurricane Electric /24 honeypot fleet (256 IPs). The
+// GreyNoise and Honeytrap fleets already default to Table 1's layout
+// (4 honeypots per region, 64 IPs per /26), so only the two
+// down-scaled knobs move.
+func (c Config) AtPaperScale() Config {
+	c.TelescopeSlash24s = 1856
+	c.HurricaneIPs = 256
+	return c
 }
 
 // Deployment is a built vantage-point set plus the telescope ranges.

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"cloudwatch/internal/cloud"
-	"cloudwatch/internal/stats"
 )
 
 // Ablations of the paper's §3.3 methodology choices. The paper argues
@@ -25,51 +24,38 @@ type AblationTopKResult struct {
 	ZeroCells []float64 // mean count of cells observed zero on one side
 }
 
-// AblationTopK re-runs the Table 2 SSH/22 top-AS comparison at several
-// K values.
+// AblationTopK re-runs the Table 2 SSH/22 top-AS comparison at
+// several K values through the batched family runner; the K=3 family
+// is the same memo entry Table 2 itself uses, and the runner's
+// per-pair union width / near-zero-cell counts feed the footnote-2
+// metrics directly.
 func (s *Study) AblationTopK(ks ...int) AblationTopKResult {
 	if len(ks) == 0 {
 		ks = []int{1, 3, 5, 10}
 	}
 	res := AblationTopKResult{}
-	regionViews := s.greyNoiseRegionViews(SliceSSH22)
+	nbs := s.greyNoiseNeighborhoods(SliceSSH22)
+	pairs, labels, refs := neighborhoodPairs(nbs)
 	for _, k := range ks {
-		fam := &Family{}
+		fr := s.pairwiseFamily("neighborhood", SliceSSH22, CharTopAS, k, func() famJob {
+			return famJob{sides: s.neighborhoodSides(nbs, CharTopAS), pairs: pairs, labels: labels}
+		})
 		regions := map[string]bool{}
 		diff := map[string]bool{}
-		type ref struct{ region string }
-		var refs []ref
 		cells, zeros, tables := 0, 0, 0
-		for region, views := range regionViews {
-			for i := 0; i < len(views); i++ {
-				for j := i + 1; j < len(views); j++ {
-					a, b := views[i].AS, views[j].AS
-					if a.Total() == 0 || b.Total() == 0 {
-						continue
-					}
-					// Track table width / zero-cell growth.
-					union := stats.UnionTopK(k, a, b)
-					cells += len(union)
-					for _, key := range union {
-						if a[key] == 0 || b[key] == 0 {
-							zeros++
-						}
-					}
-					tables++
-					r, err := stats.CompareTopK(k, a, b)
-					fam.Add(region, r, err == nil)
-					refs = append(refs, ref{region})
-				}
+		m := fr.fam.Comparisons()
+		for idx, p := range fr.fam.Pairs {
+			if fr.width[idx] > 0 { // testable pair: both sides had traffic
+				cells += fr.width[idx]
+				zeros += fr.zeros[idx]
+				tables++
 			}
-		}
-		m := fam.Comparisons()
-		for idx, p := range fam.Pairs {
 			if !p.OK {
 				continue
 			}
-			regions[refs[idx].region] = true
+			regions[refs[idx]] = true
 			if p.Result.Significant(Alpha, m) {
-				diff[refs[idx].region] = true
+				diff[refs[idx]] = true
 			}
 		}
 		frac := 0.0
@@ -111,28 +97,25 @@ type AblationMedianResult struct {
 }
 
 // AblationMedianFilter compares the two aggregation strategies on the
-// cloud–cloud SSH/22 top-AS comparison.
+// cloud–cloud SSH/22 top-AS comparison, each as one batched family.
 func (s *Study) AblationMedianFilter() AblationMedianResult {
 	pairs := cloud.CloudCloudPairs()
 	res := AblationMedianResult{}
 	for _, agg := range []string{"median", "sum"} {
-		fam := &Family{}
-		for _, p := range pairs {
-			var a, b *View
-			if agg == "median" {
-				a = s.regionGroupView(p[0], SliceSSH22)
-				b = s.regionGroupView(p[1], SliceSSH22)
-			} else {
-				a = s.sumRegionView(p[0], SliceSSH22)
-				b = s.sumRegionView(p[1], SliceSSH22)
+		agg := agg
+		fr := s.pairwiseFamily("ablmedian:"+agg, SliceSSH22, CharTopAS, TopK, func() famJob {
+			group := func(region string) *View {
+				if agg == "median" {
+					return s.regionGroupView(region, SliceSSH22)
+				}
+				return s.sumRegionView(region, SliceSSH22)
 			}
-			r, err := Compare(a, b, CharTopAS)
-			fam.Add(p[0]+" vs "+p[1], r, err == nil)
-		}
-		n := len(fam.Significant())
+			return regionPairJob(s, pairs, CharTopAS, group)
+		})
+		n := len(fr.fam.Significant())
 		if agg == "median" {
 			res.MedianDiff = n
-			res.Pairs = fam.Comparisons()
+			res.Pairs = fr.fam.Comparisons()
 		} else {
 			res.SumDiff = n
 		}

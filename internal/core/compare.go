@@ -50,40 +50,38 @@ var ErrNoData = errors.New("core: not enough traffic to compare")
 
 // Compare runs the §3.3 chi-squared comparison of one characteristic
 // between two views: union of each side's top-3 values, contingency
-// table, chi-squared statistic, Cramér's V.
+// table, chi-squared statistic, Cramér's V. It is the single-pair
+// counterpart of the family runner (family.go) and shares its
+// characteristic dispatch (freqFor) and CharFracMalicious semantics
+// (compareFracMalicious).
 func Compare(a, b *View, char Characteristic) (stats.ChiSquareResult, error) {
-	var fa, fb stats.Freq
-	switch char {
-	case CharTopAS:
-		fa, fb = a.AS, b.AS
-	case CharTopUsernames:
-		fa, fb = a.Usernames, b.Usernames
-	case CharTopPasswords:
-		fa, fb = a.Passwords, b.Passwords
-	case CharTopPayloads:
-		fa, fb = a.Payloads, b.Payloads
-	case CharFracMalicious:
-		if a.Total == 0 || b.Total == 0 {
-			return stats.ChiSquareResult{}, ErrNoData
-		}
-		res, err := stats.CompareBinary(a.Malicious, a.Benign, b.Malicious, b.Benign)
-		if err != nil {
-			// A margin of zero (e.g. no malicious traffic anywhere)
-			// means the distributions are indistinguishable.
-			if errors.Is(err, stats.ErrZeroMargin) {
-				return stats.ChiSquareResult{P: 1, N: int(a.Total + b.Total)}, nil
-			}
-			return res, err
-		}
-		return res, nil
-	default:
+	if char == CharFracMalicious {
+		return compareFracMalicious(a.Malicious, a.Benign, a.Total, b.Malicious, b.Benign, b.Total)
+	}
+	fa, fb := freqFor(a, char), freqFor(b, char)
+	if fa == nil || fb == nil {
 		return stats.ChiSquareResult{}, fmt.Errorf("core: unknown characteristic %v", char)
 	}
 	if fa.Total() == 0 || fb.Total() == 0 {
 		return stats.ChiSquareResult{}, ErrNoData
 	}
-	res, err := stats.CompareTopK(TopK, fa, fb)
+	return stats.CompareTopK(TopK, fa, fb)
+}
+
+// compareFracMalicious is the single copy of the CharFracMalicious
+// comparison: the 2×2 malicious/benign test with the §3.3 zero-margin
+// convention, over each side's (malicious, benign, total) counts.
+func compareFracMalicious(aMal, aBen, aTot, bMal, bBen, bTot float64) (stats.ChiSquareResult, error) {
+	if aTot == 0 || bTot == 0 {
+		return stats.ChiSquareResult{}, ErrNoData
+	}
+	res, err := stats.CompareBinary(aMal, aBen, bMal, bBen)
 	if err != nil {
+		// A margin of zero (e.g. no malicious traffic anywhere)
+		// means the distributions are indistinguishable.
+		if errors.Is(err, stats.ErrZeroMargin) {
+			return stats.ChiSquareResult{P: 1, N: int(aTot + bTot)}, nil
+		}
 		return res, err
 	}
 	return res, nil

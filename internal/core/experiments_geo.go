@@ -50,43 +50,42 @@ var table4Axes = []struct {
 }
 
 // Table4 finds, per provider and characteristic, the geographic region
-// whose traffic deviates most from the provider's other regions.
+// whose traffic deviates most from the provider's other regions. Each
+// (provider, slice, characteristic) pair set runs as one batched
+// family.
 func (s *Study) Table4() Table4Result {
 	res := Table4Result{Year: s.Cfg.Year}
 	for _, provider := range []string{"aws", "google", "linode"} {
-		regionViews := map[string]map[ProtocolSlice]*View{}
 		var regions []string
 		for _, region := range s.U.Regions() {
-			if !strings.HasPrefix(region, provider+":") {
-				continue
+			if strings.HasPrefix(region, provider+":") {
+				regions = append(regions, region)
 			}
-			regions = append(regions, region)
-			regionViews[region] = map[ProtocolSlice]*View{}
+		}
+		var regionPairs [][2]string
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				regionPairs = append(regionPairs, [2]string{regions[i], regions[j]})
+			}
 		}
 		for _, axis := range table4Axes {
-			for _, region := range regions {
-				regionViews[region][axis.slice] = s.regionGroupView(region, axis.slice)
-			}
+			axis := axis
 			for _, char := range axis.chars {
-				fam := &Family{}
-				type ref struct{ a, b string }
-				var refs []ref
-				for i := 0; i < len(regions); i++ {
-					for j := i + 1; j < len(regions); j++ {
-						r, err := Compare(regionViews[regions[i]][axis.slice], regionViews[regions[j]][axis.slice], char)
-						fam.Add(regions[i]+" vs "+regions[j], r, err == nil)
-						refs = append(refs, ref{regions[i], regions[j]})
-					}
-				}
-				m := fam.Comparisons()
+				char := char
+				fr := s.pairwiseFamily("table4:"+provider, axis.slice, char, TopK, func() famJob {
+					return regionPairJob(s, regionPairs, char, func(region string) *View {
+						return s.regionGroupView(region, axis.slice)
+					})
+				})
+				m := fr.fam.Comparisons()
 				counts := map[string]int{}
 				phiSum, phiN := 0.0, 0
-				for idx, p := range fam.Pairs {
+				for idx, p := range fr.fam.Pairs {
 					if !p.OK || !p.Result.Significant(Alpha, m) {
 						continue
 					}
-					counts[refs[idx].a]++
-					counts[refs[idx].b]++
+					counts[regionPairs[idx][0]]++
+					counts[regionPairs[idx][1]]++
 					phiSum += p.Result.CramersV
 					phiN++
 				}
@@ -195,15 +194,18 @@ var table5Axes = []struct {
 	{SliceHTTPAll, []Characteristic{CharTopAS, CharFracMalicious, CharTopPayloads}},
 }
 
-// Table5 compares every same-network pair of regions, grouped by
-// geography: both-US, both-EU, both-APAC, or intercontinental.
-func (s *Study) Table5() Table5Result {
-	res := Table5Result{Year: s.Cfg.Year}
-	type pair struct {
-		a, b  string
-		group string
-	}
-	var pairs []pair
+// table5Pair is one same-network region pair with its Table 5
+// geography group.
+type table5Pair struct {
+	a, b  string
+	group string
+}
+
+// table5Pairs enumerates every same-network pair of regions in
+// canonical order (provider order, universe region order) with its
+// geography group: both-US, both-EU, both-APAC, or intercontinental.
+func (s *Study) table5Pairs() []table5Pair {
+	var pairs []table5Pair
 	for _, provider := range []string{"aws", "google", "linode", "azure"} {
 		var regions []string
 		for _, region := range s.U.Regions() {
@@ -227,38 +229,41 @@ func (s *Study) Table5() Table5Result {
 				default:
 					continue // same non-grouped continent (e.g. both OTHER)
 				}
-				pairs = append(pairs, pair{regions[i], regions[j], group})
+				pairs = append(pairs, table5Pair{regions[i], regions[j], group})
 			}
 		}
 	}
+	return pairs
+}
 
+// Table5 compares every same-network pair of regions, grouped by
+// geography, each (slice, characteristic) as one batched family.
+func (s *Study) Table5() Table5Result {
+	res := Table5Result{Year: s.Cfg.Year}
+	pairs := s.table5Pairs()
+	regionPairs := make([][2]string, len(pairs))
+	for i, p := range pairs {
+		regionPairs[i] = [2]string{p.a, p.b}
+	}
 	for _, axis := range table5Axes {
-		views := map[string]*View{}
-		for _, p := range pairs {
-			for _, region := range []string{p.a, p.b} {
-				if _, ok := views[region]; !ok {
-					views[region] = s.regionGroupView(region, axis.slice)
-				}
-			}
-		}
+		axis := axis
 		for _, char := range axis.chars {
-			fam := &Family{}
-			var groups []string
-			for _, p := range pairs {
-				r, err := Compare(views[p.a], views[p.b], char)
-				fam.Add(p.a+" vs "+p.b, r, err == nil)
-				groups = append(groups, p.group)
-			}
-			m := fam.Comparisons()
+			char := char
+			fr := s.pairwiseFamily("table5", axis.slice, char, TopK, func() famJob {
+				return regionPairJob(s, regionPairs, char, func(region string) *View {
+					return s.regionGroupView(region, axis.slice)
+				})
+			})
+			m := fr.fam.Comparisons()
 			similar := map[string]int{}
 			total := map[string]int{}
-			for idx, pr := range fam.Pairs {
+			for idx, pr := range fr.fam.Pairs {
 				if !pr.OK {
 					continue
 				}
-				total[groups[idx]]++
+				total[pairs[idx].group]++
 				if !pr.Result.Significant(Alpha, m) {
-					similar[groups[idx]]++
+					similar[pairs[idx].group]++
 				}
 			}
 			for _, g := range []string{"US", "EU", "APAC", "Intercontinental"} {

@@ -40,43 +40,31 @@ var neighborhoodSlices = []struct {
 }
 
 // Table2 compares every pair of neighboring GreyNoise honeypots (same
-// region, same network) on every §3.3 characteristic.
+// region, same network) on every §3.3 characteristic. Each (slice,
+// characteristic) family runs through the batched comparison engine
+// (family.go) in canonical region order.
 func (s *Study) Table2() Table2Result {
 	res := Table2Result{Year: s.Cfg.Year}
 	for _, group := range neighborhoodSlices {
-		// Build per-vantage views per region once per slice.
-		regionViews := s.greyNoiseRegionViews(group.slice)
+		nbs := s.greyNoiseNeighborhoods(group.slice)
+		pairs, labels, refs := neighborhoodPairs(nbs)
 		for _, char := range group.chars {
 			cell := Table2Cell{Slice: group.slice, Characteristic: char}
-			fam := &Family{}
-			type pairRef struct {
-				region string
-				idx    int
-			}
-			var refs []pairRef
-			for region, views := range regionViews {
-				for i := 0; i < len(views); i++ {
-					for j := i + 1; j < len(views); j++ {
-						r, err := Compare(views[i], views[j], char)
-						label := fmt.Sprintf("%s #%d vs #%d", region, i, j)
-						fam.Add(label, r, err == nil)
-						refs = append(refs, pairRef{region, len(fam.Pairs) - 1})
-					}
-				}
-			}
-			m := fam.Comparisons()
+			fr := s.pairwiseFamily("neighborhood", group.slice, char, TopK, func() famJob {
+				return famJob{sides: s.neighborhoodSides(nbs, char), pairs: pairs, labels: labels}
+			})
+			m := fr.fam.Comparisons()
 			diffRegions := map[string]bool{}
 			testableRegions := map[string]bool{}
 			var phiSum float64
 			var phiN int
-			for _, ref := range refs {
-				p := fam.Pairs[ref.idx]
+			for idx, p := range fr.fam.Pairs {
 				if !p.OK {
 					continue
 				}
-				testableRegions[ref.region] = true
+				testableRegions[refs[idx]] = true
 				if p.Result.Significant(Alpha, m) {
-					diffRegions[ref.region] = true
+					diffRegions[refs[idx]] = true
 					phiSum += p.Result.CramersV
 					phiN++
 				}
@@ -96,11 +84,18 @@ func (s *Study) Table2() Table2Result {
 	return res
 }
 
-// greyNoiseRegionViews builds the per-honeypot views of every
+// neighborhood is one GreyNoise region's per-honeypot views.
+type neighborhood struct {
+	region string
+	views  []*View
+}
+
+// greyNoiseNeighborhoods builds the per-honeypot views of every
 // GreyNoise region for one slice, keeping only honeypots with traffic
-// in the slice.
-func (s *Study) greyNoiseRegionViews(slice ProtocolSlice) map[string][]*View {
-	out := map[string][]*View{}
+// in the slice and regions with at least one comparable pair, in
+// canonical universe region order.
+func (s *Study) greyNoiseNeighborhoods(slice ProtocolSlice) []neighborhood {
+	var out []neighborhood
 	for _, region := range s.U.Regions() {
 		if strings.HasPrefix(region, "stanford:leak") {
 			continue
@@ -117,10 +112,38 @@ func (s *Study) greyNoiseRegionViews(slice ProtocolSlice) map[string][]*View {
 			}
 		}
 		if len(views) >= 2 {
-			out[region] = views
+			out = append(out, neighborhood{region, views})
 		}
 	}
 	return out
+}
+
+// neighborhoodPairs enumerates every within-region honeypot pair in
+// canonical order, returning side-index pairs (into the flattened
+// view list), labels, and the owning region per pair.
+func neighborhoodPairs(nbs []neighborhood) (pairs [][2]int, labels, refs []string) {
+	base := 0
+	for _, nb := range nbs {
+		for i := 0; i < len(nb.views); i++ {
+			for j := i + 1; j < len(nb.views); j++ {
+				pairs = append(pairs, [2]int{base + i, base + j})
+				labels = append(labels, fmt.Sprintf("%s #%d vs #%d", nb.region, i, j))
+				refs = append(refs, nb.region)
+			}
+		}
+		base += len(nb.views)
+	}
+	return pairs, labels, refs
+}
+
+// neighborhoodSides flattens the neighborhoods' views into family
+// sides, in the order neighborhoodPairs indexes them.
+func (s *Study) neighborhoodSides(nbs []neighborhood, char Characteristic) []famSide {
+	var views []*View
+	for _, nb := range nbs {
+		views = append(views, nb.views...)
+	}
+	return s.viewSides(views, char)
 }
 
 // magnitudeLabel buckets an average φ of a 2×k comparison for display;

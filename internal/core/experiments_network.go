@@ -48,55 +48,57 @@ func credBased(char Characteristic, slice ProtocolSlice) bool {
 	return char == CharFracMalicious && (slice == SliceSSH22 || slice == SliceTelnet23)
 }
 
-// Table7 compares traffic across network types: same-city cloud pairs,
-// cloud vs education (Honeytrap fleets), education vs education.
+// table7Kind is one comparison column of Table 7: a named set of
+// region pairs, flagged when its comparisons run on Honeytrap data
+// (credential axes not computable).
+type table7Kind struct {
+	name      string
+	pairs     [][2]string
+	honeytrap bool
+}
+
+// table7Kinds lists Table 7's comparison columns: same-city cloud
+// pairs, cloud vs education (Honeytrap fleets), education vs
+// education.
+func table7Kinds() []table7Kind {
+	return []table7Kind{
+		{"cloud-cloud", cloud.CloudCloudPairs(), false},
+		{"cloud-edu", [][2]string{
+			{"stanford:us-west", "aws:ht-us-west"},
+			{"stanford:us-west", "google:ht-us-west"},
+			{"merit:us-east", "google:ht-us-east"},
+			{"merit:us-east", "aws:ht-us-west"},
+		}, true},
+		{"edu-edu", [][2]string{{"stanford:us-west", "merit:us-east"}}, true},
+	}
+}
+
+// Table7 compares traffic across network types, each computable
+// (kind, slice, characteristic) cell as one batched family.
 func (s *Study) Table7() Table7Result {
 	res := Table7Result{Year: s.Cfg.Year}
-
-	cloudPairs := cloud.CloudCloudPairs()
-	eduCloudPairs := [][2]string{
-		{"stanford:us-west", "aws:ht-us-west"},
-		{"stanford:us-west", "google:ht-us-west"},
-		{"merit:us-east", "google:ht-us-east"},
-		{"merit:us-east", "aws:ht-us-west"},
-	}
-	eduPairs := [][2]string{{"stanford:us-west", "merit:us-east"}}
-
-	kinds := []struct {
-		name      string
-		pairs     [][2]string
-		honeytrap bool // comparisons run on Honeytrap data (credential axes not computable)
-	}{
-		{"cloud-cloud", cloudPairs, false},
-		{"cloud-edu", eduCloudPairs, true},
-		{"edu-edu", eduPairs, true},
-	}
+	kinds := table7Kinds()
 
 	for _, axis := range table7Axes {
+		axis := axis
 		for _, kind := range kinds {
-			views := map[string]*View{}
-			for _, p := range kind.pairs {
-				for _, region := range []string{p[0], p[1]} {
-					if _, ok := views[region]; !ok {
-						views[region] = s.anyRegionGroupView(region, axis.slice)
-					}
-				}
-			}
+			kind := kind
 			for _, char := range axis.chars {
+				char := char
 				cell := Table7Cell{Kind: kind.name, Slice: axis.slice, Characteristic: char}
 				if kind.honeytrap && credBased(char, axis.slice) {
 					cell.NotComputable = true
 					res.Cells = append(res.Cells, cell)
 					continue
 				}
-				fam := &Family{}
-				for _, p := range kind.pairs {
-					r, err := Compare(views[p[0]], views[p[1]], char)
-					fam.Add(p[0]+" vs "+p[1], r, err == nil)
-				}
-				cell.Pairs = fam.Comparisons()
-				cell.Different = len(fam.Significant())
-				cell.AvgPhi = fam.AvgSignificantV()
+				fr := s.pairwiseFamily("table7:"+kind.name, axis.slice, char, TopK, func() famJob {
+					return regionPairJob(s, kind.pairs, char, func(region string) *View {
+						return s.anyRegionGroupView(region, axis.slice)
+					})
+				})
+				cell.Pairs = fr.fam.Comparisons()
+				cell.Different = len(fr.fam.Significant())
+				cell.AvgPhi = fr.fam.AvgSignificantV()
 				res.Cells = append(res.Cells, cell)
 			}
 		}
@@ -317,51 +319,71 @@ type Table10Result struct {
 	Cells []Table10Cell
 }
 
+// table10Kind is one network-kind column of Table 10.
+type table10Kind struct {
+	name    string
+	regions []string
+}
+
+// table10Kinds lists the service networks compared against the
+// telescope: the education networks and the US Honeytrap cloud
+// deployments (keeping geography fixed).
+func table10Kinds() []table10Kind {
+	return []table10Kind{
+		{"telescope-edu", []string{"stanford:us-west", "merit:us-east"}},
+		{"telescope-cloud", []string{"aws:ht-us-west", "google:ht-us-west", "google:ht-us-east"}},
+	}
+}
+
+// table10Slices are Table 10's protocol slices with the matching
+// telescope AS-table port (0 = all ports).
+var table10Slices = []struct {
+	slice ProtocolSlice
+	port  uint16
+}{
+	{SliceSSH22, 22},
+	{SliceTelnet23, 23},
+	{SliceHTTP80, 80},
+	{SliceAnyAll, 0},
+}
+
+// table10Job builds one Table 10 family: the telescope's AS table is
+// side 0 and each service network compares against it, so the
+// family's pairs share one interned dictionary and one ranked
+// telescope top-K.
+func (s *Study) table10Job(kind table10Kind, slice ProtocolSlice, port uint16) famJob {
+	telAS := s.Tel.ASFrequencies(port)
+	if port == 0 {
+		telAS = s.Tel.ASFrequenciesAll()
+	}
+	job := famJob{sides: []famSide{{sum: stats.Summarize(telAS)}}}
+	for i, region := range kind.regions {
+		view := s.anyRegionGroupView(region, slice)
+		job.sides = append(job.sides, s.viewSide(view, CharTopAS))
+		job.pairs = append(job.pairs, [2]int{0, i + 1})
+		job.labels = append(job.labels, "tel vs "+region)
+	}
+	return job
+}
+
 // Table10 compares the top scanning ASes of the telescope against
-// each education network and each cloud network (the US Honeytrap
-// deployments, keeping geography fixed).
+// each education and cloud service network, one batched family per
+// (kind, slice).
 func (s *Study) Table10() Table10Result {
 	res := Table10Result{Year: s.Cfg.Year}
-	eduRegions := []string{"stanford:us-west", "merit:us-east"}
-	cloudRegions := []string{"aws:ht-us-west", "google:ht-us-west", "google:ht-us-east"}
-
-	slices := []struct {
-		slice ProtocolSlice
-		port  uint16 // telescope AS table port (0 = all ports)
-	}{
-		{SliceSSH22, 22},
-		{SliceTelnet23, 23},
-		{SliceHTTP80, 80},
-		{SliceAnyAll, 0},
-	}
-	for _, sl := range slices {
-		telAS := s.Tel.ASFrequencies(sl.port)
-		if sl.port == 0 {
-			telAS = s.Tel.ASFrequenciesAll()
-		}
-		for _, kind := range []struct {
-			name    string
-			regions []string
-		}{
-			{"telescope-edu", eduRegions},
-			{"telescope-cloud", cloudRegions},
-		} {
-			fam := &Family{}
-			for _, region := range kind.regions {
-				view := s.anyRegionGroupView(region, sl.slice)
-				if view.AS.Total() == 0 || telAS.Total() == 0 {
-					fam.Add("tel vs "+region, stats.ChiSquareResult{}, false)
-					continue
-				}
-				r, err := stats.CompareTopK(TopK, telAS, view.AS)
-				fam.Add("tel vs "+region, r, err == nil)
-			}
+	for _, sl := range table10Slices {
+		sl := sl
+		for _, kind := range table10Kinds() {
+			kind := kind
+			fr := s.pairwiseFamily("table10:"+kind.name, sl.slice, CharTopAS, TopK, func() famJob {
+				return s.table10Job(kind, sl.slice, sl.port)
+			})
 			res.Cells = append(res.Cells, Table10Cell{
 				Kind:      kind.name,
 				Slice:     sl.slice,
-				Networks:  fam.Comparisons(),
-				Different: len(fam.Significant()),
-				AvgPhi:    fam.AvgSignificantV(),
+				Networks:  fr.fam.Comparisons(),
+				Different: len(fr.fam.Significant()),
+				AvgPhi:    fr.fam.AvgSignificantV(),
 			})
 		}
 	}

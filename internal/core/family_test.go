@@ -1,0 +1,281 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"cloudwatch/internal/stats"
+)
+
+// naiveFamily replays a family job through the pre-batching per-pair
+// code path — stats.CompareTopK on the original frequency tables, or
+// CompareBinary for CharFracMalicious — one pair at a time, exactly
+// as the drivers looped before the family runner existed. The runner
+// must reproduce it result for result.
+func naiveFamily(job famJob, char Characteristic, k int) *Family {
+	fam := &Family{}
+	for idx, p := range job.pairs {
+		a, b := job.sides[p[0]], job.sides[p[1]]
+		label := job.labels[idx]
+		if char == CharFracMalicious {
+			if a.tot == 0 || b.tot == 0 {
+				fam.Add(label, stats.ChiSquareResult{}, false)
+				continue
+			}
+			r, err := stats.CompareBinary(a.mal, a.ben, b.mal, b.ben)
+			if err != nil {
+				if errors.Is(err, stats.ErrZeroMargin) {
+					fam.Add(label, stats.ChiSquareResult{P: 1, N: int(a.tot + b.tot)}, true)
+					continue
+				}
+				fam.Add(label, r, false)
+				continue
+			}
+			fam.Add(label, r, true)
+			continue
+		}
+		fa, fb := a.sum.Table, b.sum.Table
+		if fa.Total() == 0 || fb.Total() == 0 {
+			fam.Add(label, stats.ChiSquareResult{}, false)
+			continue
+		}
+		r, err := stats.CompareTopK(k, fa, fb)
+		fam.Add(label, r, err == nil)
+	}
+	return fam
+}
+
+// famCase is one driver-shaped family job to check.
+type famCase struct {
+	desc string
+	char Characteristic
+	k    int
+	job  famJob
+}
+
+// familyCases enumerates the exact family jobs the experiment drivers
+// hand the runner: every Table 2 neighborhood family, the ablation's
+// extra K values, and the Table 4/5/7/10 and median-ablation
+// families, built through the same helpers the drivers use.
+func familyCases(s *Study) []famCase {
+	var cases []famCase
+	add := func(desc string, char Characteristic, k int, job famJob) {
+		cases = append(cases, famCase{desc, char, k, job})
+	}
+
+	// Table 2 / AblationTopK: neighborhood families.
+	for _, group := range neighborhoodSlices {
+		nbs := s.greyNoiseNeighborhoods(group.slice)
+		pairs, labels, _ := neighborhoodPairs(nbs)
+		for _, char := range group.chars {
+			add("neighborhood/"+group.slice.String()+"/"+char.String(), char, TopK,
+				famJob{sides: s.neighborhoodSides(nbs, char), pairs: pairs, labels: labels})
+		}
+	}
+	sshNbs := s.greyNoiseNeighborhoods(SliceSSH22)
+	sshPairs, sshLabels, _ := neighborhoodPairs(sshNbs)
+	for _, k := range []int{1, 5, 10} {
+		add("ablation-topk/SSH22", CharTopAS, k,
+			famJob{sides: s.neighborhoodSides(sshNbs, CharTopAS), pairs: sshPairs, labels: sshLabels})
+	}
+
+	// Table 4: per-provider region pairs on GreyNoise group views.
+	for _, provider := range []string{"aws", "google", "linode"} {
+		var regions []string
+		for _, region := range s.U.Regions() {
+			if strings.HasPrefix(region, provider+":") {
+				regions = append(regions, region)
+			}
+		}
+		var regionPairs [][2]string
+		for i := 0; i < len(regions); i++ {
+			for j := i + 1; j < len(regions); j++ {
+				regionPairs = append(regionPairs, [2]string{regions[i], regions[j]})
+			}
+		}
+		for _, axis := range table4Axes {
+			for _, char := range axis.chars {
+				add("table4/"+provider+"/"+axis.slice.String()+"/"+char.String(), char, TopK,
+					regionPairJob(s, regionPairs, char, func(region string) *View {
+						return s.regionGroupView(region, axis.slice)
+					}))
+			}
+		}
+	}
+
+	// Table 5: same-network region pairs across providers.
+	pairs5 := s.table5Pairs()
+	regionPairs5 := make([][2]string, len(pairs5))
+	for i, p := range pairs5 {
+		regionPairs5[i] = [2]string{p.a, p.b}
+	}
+	for _, axis := range table5Axes {
+		for _, char := range axis.chars {
+			add("table5/"+axis.slice.String()+"/"+char.String(), char, TopK,
+				regionPairJob(s, regionPairs5, char, func(region string) *View {
+					return s.regionGroupView(region, axis.slice)
+				}))
+		}
+	}
+
+	// Table 7: network-type pairs on any-collector group views.
+	for _, axis := range table7Axes {
+		for _, kind := range table7Kinds() {
+			for _, char := range axis.chars {
+				if kind.honeytrap && credBased(char, axis.slice) {
+					continue
+				}
+				add("table7/"+kind.name+"/"+axis.slice.String()+"/"+char.String(), char, TopK,
+					regionPairJob(s, kind.pairs, char, func(region string) *View {
+						return s.anyRegionGroupView(region, axis.slice)
+					}))
+			}
+		}
+	}
+
+	// Table 10: telescope vs service networks.
+	for _, sl := range table10Slices {
+		for _, kind := range table10Kinds() {
+			add("table10/"+kind.name+"/"+sl.slice.String(), CharTopAS, TopK,
+				s.table10Job(kind, sl.slice, sl.port))
+		}
+	}
+
+	// Median-filter ablation: median and sum aggregation.
+	medianPairs := table7Kinds()[0].pairs // the cloud-cloud pair set
+	add("ablmedian/median", CharTopAS, TopK,
+		regionPairJob(s, medianPairs, CharTopAS, func(region string) *View {
+			return s.regionGroupView(region, SliceSSH22)
+		}))
+	add("ablmedian/sum", CharTopAS, TopK,
+		regionPairJob(s, medianPairs, CharTopAS, func(region string) *View {
+			return s.sumRegionView(region, SliceSSH22)
+		}))
+
+	return cases
+}
+
+// TestBatchedFamiliesMatchNaive is the engine's core guarantee at the
+// driver level: on all three dataset years, every family the batched
+// runner produces deep-equals the old per-pair CompareTopK loop on
+// the same sides and pair order.
+func TestBatchedFamiliesMatchNaive(t *testing.T) {
+	for _, year := range []int{2020, 2021, 2022} {
+		s := sharedStudy(t, year)
+		cases := familyCases(s)
+		if len(cases) == 0 {
+			t.Fatalf("year %d: no family cases", year)
+		}
+		for _, c := range cases {
+			if len(c.job.pairs) == 0 {
+				t.Errorf("year %d %s: family has no pairs", year, c.desc)
+				continue
+			}
+			got := runFamily(c.job, c.char, c.k).fam
+			want := naiveFamily(c.job, c.char, c.k)
+			if len(got.Pairs) != len(want.Pairs) {
+				t.Fatalf("year %d %s: %d pairs, want %d", year, c.desc, len(got.Pairs), len(want.Pairs))
+			}
+			for i := range want.Pairs {
+				if !reflect.DeepEqual(got.Pairs[i], want.Pairs[i]) {
+					t.Fatalf("year %d %s pair %d (%s):\n got %+v\nwant %+v",
+						year, c.desc, i, want.Pairs[i].Label, got.Pairs[i], want.Pairs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAblationWidthsMatchUnionTopK checks the runner's per-pair
+// contingency stats against direct UnionTopK recomputation for the
+// footnote-2 ablation metrics.
+func TestAblationWidthsMatchUnionTopK(t *testing.T) {
+	s := sharedStudy(t, 2021)
+	nbs := s.greyNoiseNeighborhoods(SliceSSH22)
+	pairs, labels, _ := neighborhoodPairs(nbs)
+	for _, k := range []int{1, 3, 5} {
+		job := famJob{sides: s.neighborhoodSides(nbs, CharTopAS), pairs: pairs, labels: labels}
+		fr := runFamily(job, CharTopAS, k)
+		for i, p := range job.pairs {
+			fa, fb := job.sides[p[0]].sum.Table, job.sides[p[1]].sum.Table
+			if fa.Total() == 0 || fb.Total() == 0 {
+				if fr.width[i] != 0 {
+					t.Fatalf("k=%d pair %d: width %d for untestable pair", k, i, fr.width[i])
+				}
+				continue
+			}
+			union := stats.UnionTopK(k, fa, fb)
+			zeros := 0
+			for _, key := range union {
+				if fa[key] == 0 || fb[key] == 0 {
+					zeros++
+				}
+			}
+			if fr.width[i] != len(union) || fr.zeros[i] != zeros {
+				t.Fatalf("k=%d pair %d: width/zeros = %d/%d, want %d/%d",
+					k, i, fr.width[i], fr.zeros[i], len(union), zeros)
+			}
+		}
+	}
+}
+
+// TestFamilyMemoHit proves repeat family requests — Table 2 rerenders,
+// the ablation's shared K=3 neighborhoods — return the memoized result
+// without re-running the builder.
+func TestFamilyMemoHit(t *testing.T) {
+	s := sharedStudy(t, 2021)
+	_ = s.Table2()       // populates the neighborhood families at K=3
+	_ = s.AblationTopK() // K=3 must hit Table 2's entry; 1/5/10 build fresh
+	for _, group := range neighborhoodSlices {
+		for _, char := range group.chars {
+			fr := s.pairwiseFamily("neighborhood", group.slice, char, TopK, func() famJob {
+				t.Fatalf("builder ran on memo hit (%v/%v)", group.slice, char)
+				return famJob{}
+			})
+			if len(fr.fam.Pairs) == 0 {
+				t.Fatalf("memoized family %v/%v is empty", group.slice, char)
+			}
+		}
+	}
+}
+
+// TestFamilyConcurrentFanOut hammers every family-running driver
+// concurrently on a fresh study; -race verifies the shared BatchSets,
+// scratch comparers, and memo caches stay sound, and a memoized
+// family still matches naive recomputation afterwards.
+func TestFamilyConcurrentFanOut(t *testing.T) {
+	s := runTestStudy(t, 13, 2021)
+	var wg sync.WaitGroup
+	run := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		run(func() { _ = s.Table2() })
+		run(func() { _ = s.Table4() })
+		run(func() { _ = s.Table5() })
+		run(func() { _ = s.Table7() })
+		run(func() { _ = s.Table10() })
+		run(func() { _ = s.AblationTopK() })
+		run(func() { _ = s.AblationMedianFilter() })
+	}
+	wg.Wait()
+
+	// After the storm: a memoized family equals its naive replay.
+	kind := table10Kinds()[0]
+	job := s.table10Job(kind, SliceSSH22, 22)
+	fr := s.pairwiseFamily("table10:"+kind.name, SliceSSH22, CharTopAS, TopK, func() famJob {
+		t.Fatal("table10 family not memoized after concurrent fan-out")
+		return famJob{}
+	})
+	want := naiveFamily(job, CharTopAS, TopK)
+	if !reflect.DeepEqual(fr.fam.Pairs, want.Pairs) {
+		t.Error("memoized table10 family corrupted by concurrent fan-out")
+	}
+}

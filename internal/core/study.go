@@ -74,6 +74,14 @@ type Study struct {
 	views       viewCache
 	seriesMu    sync.Mutex
 	seriesCache map[uint16]*seriesEntry
+
+	// The §3.3 comparison-engine caches: per-(view, characteristic)
+	// ranked top-K summaries and per-(family, slice, characteristic, K)
+	// finished comparison families (family.go).
+	summMu    sync.Mutex
+	summCache map[summKey]*summEntry
+	famMu     sync.Mutex
+	famCache  map[famKey]*famEntry
 }
 
 // Run executes a full study: build the deployment, crawl the search

@@ -1,0 +1,241 @@
+package stats
+
+import "sort"
+
+// This file is the batched §3.3 comparison engine. The paper's
+// methodology is thousands of pairwise top-K chi-squared comparisons
+// per experiment family (all honeypot pairs of a neighborhood, all
+// region pairs of a network, ...). The naive path — CompareTopK per
+// pair — re-sorts each side's frequency table, rebuilds the category
+// union as a string set, and allocates a fresh contingency matrix for
+// every pair. A BatchSet does all the per-table work exactly once for
+// the whole family: categories are interned into a dense dictionary
+// shared by every pair, each table's top-K is ranked once and stored
+// as sorted dictionary ids, and per-pair comparisons merge two small
+// sorted id lists and run the chi-squared test over reusable scratch
+// rows. Results are identical to CompareTopK pair by pair.
+
+// TableSummary is one frequency table prepared for batch comparison:
+// the table itself (category count lookups), its full ranked key order
+// — (count desc, key asc), so TopK(k) is a prefix — and its total.
+type TableSummary struct {
+	Table  Freq
+	Ranked []string
+	Total  float64
+}
+
+// Summarize ranks and totals a frequency table. The work equals one
+// TopK call; callers that compare a table in many pairs should
+// summarize once and reuse the result.
+func Summarize(f Freq) TableSummary {
+	return TableSummary{Table: f, Ranked: f.TopK(len(f)), Total: f.Total()}
+}
+
+// BatchSet holds the immutable, shareable state of a batched family
+// comparison at one K: the interned category dictionary (the union of
+// every table's top-K, lexicographically ordered so dictionary-id
+// order equals the category order UnionTopK produces), each table's
+// dense counts over the dictionary, and each table's top-K as sorted
+// dictionary ids. Build one per (family, K); derive a PairComparer per
+// worker for the actual comparisons.
+type BatchSet struct {
+	k      int
+	keys   []string    // id -> category key, lexicographic
+	counts [][]float64 // per table: dense counts over keys
+	topk   [][]int32   // per table: top-K as ascending dictionary ids
+	totals []float64   // per table: full-table totals
+}
+
+// NewBatchSet interns the union of every table's top-k categories and
+// densifies the tables against it.
+func NewBatchSet(k int, tables []TableSummary) *BatchSet {
+	seen := map[string]struct{}{}
+	for _, t := range tables {
+		for _, key := range topRanked(t.Ranked, k) {
+			seen[key] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for key := range seen {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	id := make(map[string]int32, len(keys))
+	for i, key := range keys {
+		id[key] = int32(i)
+	}
+
+	set := &BatchSet{
+		k:      k,
+		keys:   keys,
+		counts: make([][]float64, len(tables)),
+		topk:   make([][]int32, len(tables)),
+		totals: make([]float64, len(tables)),
+	}
+	for ti, t := range tables {
+		row := make([]float64, len(keys))
+		for i, key := range keys {
+			row[i] = t.Table[key]
+		}
+		set.counts[ti] = row
+		top := topRanked(t.Ranked, k)
+		ids := make([]int32, len(top))
+		for i, key := range top {
+			ids[i] = id[key]
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		set.topk[ti] = ids
+		set.totals[ti] = t.Total
+	}
+	return set
+}
+
+// topRanked is the top-k prefix of a ranked key list.
+func topRanked(ranked []string, k int) []string {
+	if len(ranked) > k {
+		return ranked[:k]
+	}
+	return ranked
+}
+
+// Len returns the number of tables in the set.
+func (s *BatchSet) Len() int { return len(s.counts) }
+
+// Total returns table t's full total.
+func (s *BatchSet) Total(t int) float64 { return s.totals[t] }
+
+// Key returns the category key of a dictionary id.
+func (s *BatchSet) Key(id int32) string { return s.keys[id] }
+
+// Comparer returns a PairComparer with private scratch buffers. One
+// comparer serves any number of sequential comparisons; concurrent
+// workers need one each (the BatchSet itself is read-only and shared).
+func (s *BatchSet) Comparer() *PairComparer {
+	return &PairComparer{set: s}
+}
+
+// PairComparer runs pairwise comparisons over a BatchSet using
+// reusable scratch buffers. Not safe for concurrent use.
+type PairComparer struct {
+	set    *BatchSet
+	union  []int32
+	rowA   []float64
+	rowB   []float64
+	colSum []float64
+}
+
+// Union merges tables i and j's top-K id lists into the pair's
+// category union, ascending (= lexicographic) order. The returned
+// slice aliases scratch and is valid until the next call.
+func (pc *PairComparer) Union(i, j int) []int32 {
+	a, b := pc.set.topk[i], pc.set.topk[j]
+	u := pc.union[:0]
+	ai, bi := 0, 0
+	for ai < len(a) && bi < len(b) {
+		switch {
+		case a[ai] < b[bi]:
+			u = append(u, a[ai])
+			ai++
+		case a[ai] > b[bi]:
+			u = append(u, b[bi])
+			bi++
+		default:
+			u = append(u, a[ai])
+			ai++
+			bi++
+		}
+	}
+	u = append(u, a[ai:]...)
+	u = append(u, b[bi:]...)
+	pc.union = u
+	return u
+}
+
+// Compare runs the §3.3 comparison between tables i and j of the set:
+// union of top-K categories, contingency rows, chi-squared test. The
+// result is identical to CompareTopK(k, a, b) on the original tables.
+func (pc *PairComparer) Compare(i, j int) (ChiSquareResult, error) {
+	res, _, _, err := pc.CompareCounted(i, j)
+	return res, err
+}
+
+// CompareCounted is Compare plus the contingency-table width (union
+// size) and the count of union categories observed zero on at least
+// one side — the near-zero-cell metric of the paper's footnote-2
+// ablation.
+func (pc *PairComparer) CompareCounted(i, j int) (res ChiSquareResult, width, zeros int, err error) {
+	u := pc.Union(i, j)
+	width = len(u)
+	ci, cj := pc.set.counts[i], pc.set.counts[j]
+	if cap(pc.rowA) < width {
+		pc.rowA = make([]float64, width)
+		pc.rowB = make([]float64, width)
+		pc.colSum = make([]float64, width)
+	}
+	a, b := pc.rowA[:width], pc.rowB[:width]
+	for n, id := range u {
+		a[n] = ci[id]
+		b[n] = cj[id]
+		if a[n] == 0 || b[n] == 0 {
+			zeros++
+		}
+	}
+	if width < 2 {
+		// Identical single-category tables: indistinguishable
+		// (CompareTopK's short-circuit, with full-table totals).
+		return ChiSquareResult{P: 1, N: int(pc.set.totals[i] + pc.set.totals[j])}, width, zeros, nil
+	}
+	res, err = chiSquareTwoRows(a, b, pc.colSum[:width])
+	return res, width, zeros, err
+}
+
+// chiSquareTwoRows is ChiSquare specialized to a 2×c table held in two
+// scratch rows. The arithmetic — accumulation order included — mirrors
+// ChiSquare exactly, so results are bit-identical.
+func chiSquareTwoRows(a, b, colSum []float64) (ChiSquareResult, error) {
+	c := len(a)
+	if c < 2 {
+		return ChiSquareResult{}, ErrTableShape
+	}
+	var rowA, rowB, total float64
+	for j, v := range a {
+		if !validCount(v) {
+			return ChiSquareResult{}, invalidCountErr(v, 0, j)
+		}
+		rowA += v
+		colSum[j] = v
+		total += v
+	}
+	for j, v := range b {
+		if !validCount(v) {
+			return ChiSquareResult{}, invalidCountErr(v, 1, j)
+		}
+		rowB += v
+		colSum[j] += v
+		total += v
+	}
+	if total == 0 {
+		return ChiSquareResult{}, ErrTableEmpty
+	}
+	if rowA == 0 || rowB == 0 {
+		return ChiSquareResult{}, ErrZeroMargin
+	}
+	for _, s := range colSum {
+		if s == 0 {
+			return ChiSquareResult{}, ErrZeroMargin
+		}
+	}
+
+	stat := 0.0
+	for j := 0; j < c; j++ {
+		expected := rowA * colSum[j] / total
+		d := a[j] - expected
+		stat += d * d / expected
+	}
+	for j := 0; j < c; j++ {
+		expected := rowB * colSum[j] / total
+		d := b[j] - expected
+		stat += d * d / expected
+	}
+	return finishTwoRowResult(stat, c, total)
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomTables builds deterministic pseudo-random frequency tables
+// with deliberate count ties (to exercise rank tie-breaking) and
+// overlapping key sets (to exercise union building).
+func randomTables(seed int64, n int) []Freq {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, 12)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("AS%c", 'a'+i)
+	}
+	tables := make([]Freq, n)
+	for t := range tables {
+		f := Freq{}
+		for _, key := range keys {
+			if rng.Intn(3) == 0 {
+				continue // key absent from this table
+			}
+			// Small integer counts: ties are frequent.
+			f[key] = float64(rng.Intn(6))
+			if f[key] == 0 {
+				delete(f, key)
+			}
+		}
+		tables[t] = f
+	}
+	return tables
+}
+
+func summaries(tables []Freq) []TableSummary {
+	out := make([]TableSummary, len(tables))
+	for i, t := range tables {
+		out[i] = Summarize(t)
+	}
+	return out
+}
+
+// TestBatchCompareMatchesCompareTopK is the engine's core guarantee:
+// for every pair and every K, PairComparer.Compare returns exactly
+// what CompareTopK returns — same result struct, same error.
+func TestBatchCompareMatchesCompareTopK(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		tables := randomTables(seed, 9)
+		sums := summaries(tables)
+		for _, k := range []int{1, 2, 3, 5, 10} {
+			set := NewBatchSet(k, sums)
+			pc := set.Comparer()
+			for i := 0; i < len(tables); i++ {
+				for j := 0; j < len(tables); j++ {
+					if i == j {
+						continue
+					}
+					got, gotErr := pc.Compare(i, j)
+					want, wantErr := CompareTopK(k, tables[i], tables[j])
+					if (gotErr == nil) != (wantErr == nil) {
+						t.Fatalf("seed %d k %d pair (%d,%d): err %v, want %v", seed, k, i, j, gotErr, wantErr)
+					}
+					if gotErr != nil && gotErr.Error() != wantErr.Error() {
+						t.Fatalf("seed %d k %d pair (%d,%d): err %q, want %q", seed, k, i, j, gotErr, wantErr)
+					}
+					if got != want {
+						t.Fatalf("seed %d k %d pair (%d,%d):\n got %+v\nwant %+v", seed, k, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchUnionMatchesUnionTopK checks the merged id union decodes to
+// exactly UnionTopK's category list, in the same order.
+func TestBatchUnionMatchesUnionTopK(t *testing.T) {
+	tables := randomTables(7, 6)
+	for _, k := range []int{1, 3, 5} {
+		set := NewBatchSet(k, summaries(tables))
+		pc := set.Comparer()
+		for i := 0; i < len(tables); i++ {
+			for j := i + 1; j < len(tables); j++ {
+				var got []string
+				for _, id := range pc.Union(i, j) {
+					got = append(got, set.Key(id))
+				}
+				want := UnionTopK(k, tables[i], tables[j])
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("k %d pair (%d,%d): union %v, want %v", k, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchCompareCountedZeroCells checks the ablation metrics against
+// direct recomputation from UnionTopK.
+func TestBatchCompareCountedZeroCells(t *testing.T) {
+	tables := randomTables(11, 6)
+	k := 4
+	set := NewBatchSet(k, summaries(tables))
+	pc := set.Comparer()
+	for i := 0; i < len(tables); i++ {
+		for j := i + 1; j < len(tables); j++ {
+			_, width, zeros, _ := pc.CompareCounted(i, j)
+			union := UnionTopK(k, tables[i], tables[j])
+			wantZeros := 0
+			for _, key := range union {
+				if tables[i][key] == 0 || tables[j][key] == 0 {
+					wantZeros++
+				}
+			}
+			if width != len(union) || zeros != wantZeros {
+				t.Fatalf("pair (%d,%d): width/zeros = %d/%d, want %d/%d", i, j, width, zeros, len(union), wantZeros)
+			}
+		}
+	}
+}
+
+// TestBatchCompareEdgeCases pins the degenerate paths: empty tables,
+// identical single-category tables, and disjoint single categories.
+func TestBatchCompareEdgeCases(t *testing.T) {
+	tables := []Freq{
+		{},                       // 0: empty
+		{"x": 5},                 // 1: single category
+		{"x": 9},                 // 2: same single category
+		{"y": 4},                 // 3: disjoint single category
+		{"x": 3, "y": 2, "z": 1}, // 4: superset
+	}
+	set := NewBatchSet(3, summaries(tables))
+	pc := set.Comparer()
+	for i := range tables {
+		for j := range tables {
+			if i == j {
+				continue
+			}
+			got, gotErr := pc.Compare(i, j)
+			want, wantErr := CompareTopK(3, tables[i], tables[j])
+			if got != want || (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("pair (%d,%d): got %+v/%v, want %+v/%v", i, j, got, gotErr, want, wantErr)
+			}
+		}
+	}
+	// Identical single-category pair takes the P=1 short-circuit with
+	// full-table totals.
+	res, err := pc.Compare(1, 2)
+	if err != nil || res.P != 1 || res.N != 14 {
+		t.Fatalf("single-category pair: %+v, %v", res, err)
+	}
+}
+
+// TestSummarizeRankedOrder pins the ranked order contract: count
+// descending, key ascending on ties, full length.
+func TestSummarizeRankedOrder(t *testing.T) {
+	f := Freq{"b": 2, "a": 2, "c": 5, "d": 1}
+	s := Summarize(f)
+	want := []string{"c", "a", "b", "d"}
+	if !reflect.DeepEqual(s.Ranked, want) {
+		t.Fatalf("ranked = %v, want %v", s.Ranked, want)
+	}
+	if s.Total != 10 {
+		t.Fatalf("total = %v, want 10", s.Total)
+	}
+}
+
+func BenchmarkBatchCompare(b *testing.B) {
+	tables := randomTables(5, 16)
+	sums := summaries(tables)
+	set := NewBatchSet(3, sums)
+	pc := set.Comparer()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i := 0; i < len(tables); i++ {
+			for j := i + 1; j < len(tables); j++ {
+				pc.Compare(i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkNaiveCompareTopK(b *testing.B) {
+	tables := randomTables(5, 16)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for i := 0; i < len(tables); i++ {
+			for j := i + 1; j < len(tables); j++ {
+				CompareTopK(3, tables[i], tables[j])
+			}
+		}
+	}
+}

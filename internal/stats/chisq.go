@@ -96,8 +96,8 @@ func ChiSquare(observed [][]float64) (ChiSquareResult, error) {
 			return ChiSquareResult{}, fmt.Errorf("stats: ragged contingency table: row %d has %d columns, want %d", i, len(row), c)
 		}
 		for j, v := range row {
-			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return ChiSquareResult{}, fmt.Errorf("stats: invalid count %v at (%d,%d)", v, i, j)
+			if !validCount(v) {
+				return ChiSquareResult{}, invalidCountErr(v, i, j)
 			}
 			rowSum[i] += v
 			colSum[j] += v
@@ -147,6 +147,39 @@ func ChiSquare(observed [][]float64) (ChiSquareResult, error) {
 		CramersV:  v,
 	}
 	res.Magnitude = Magnitude(v, minDim-1)
+	return res, nil
+}
+
+// validCount reports whether v is a legal contingency-table count.
+func validCount(v float64) bool {
+	return v >= 0 && !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func invalidCountErr(v float64, i, j int) error {
+	return fmt.Errorf("stats: invalid count %v at (%d,%d)", v, i, j)
+}
+
+// finishTwoRowResult completes a 2×c chi-squared test from its
+// statistic: the p-value, Cramér's V (minDim-1 = 1 for two rows), and
+// the dof-aware magnitude — the same arithmetic ChiSquare performs.
+func finishTwoRowResult(stat float64, c int, total float64) (ChiSquareResult, error) {
+	df := c - 1
+	p, err := ChiSquareSurvival(stat, df)
+	if err != nil {
+		return ChiSquareResult{}, err
+	}
+	v := math.Sqrt(stat / total)
+	if v > 1 { // guard against floating-point overshoot
+		v = 1
+	}
+	res := ChiSquareResult{
+		Statistic: stat,
+		DF:        df,
+		P:         p,
+		N:         int(math.Round(total)),
+		CramersV:  v,
+	}
+	res.Magnitude = Magnitude(v, 1)
 	return res, nil
 }
 

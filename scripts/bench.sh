@@ -1,38 +1,61 @@
 #!/usr/bin/env bash
 # Benchmark smoke for trajectory tracking: runs the study-throughput
-# benchmark plus every table/figure benchmark once and emits a JSON
-# summary (records/sec and per-bench ns/op) for cross-PR comparison.
+# benchmark plus every table/figure benchmark once (the cold path),
+# then the §3.3 comparison-engine benchmarks at -benchtime=20x (the
+# memoized steady state), and emits a JSON summary for cross-PR
+# comparison.
 #
 # Usage: scripts/bench.sh [output.json] [bench-log]
-#   output.json  summary destination (default: BENCH_PR2.json)
-#   bench-log    existing `go test -bench` output to parse instead of
-#                re-running the benchmarks (lets CI run them once)
+#   output.json  summary destination (default: BENCH_PR3.json)
+#   bench-log    existing `go test -bench` output to parse for the
+#                cold-path numbers instead of re-running them (lets CI
+#                run them once); the steady-state pass always runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR3.json}"
 log="${2:-}"
+steady="$(mktemp)"
+cleanup="$steady"
+trap 'rm -f $cleanup' EXIT
 if [ -z "$log" ]; then
   log="$(mktemp)"
-  trap 'rm -f "$log"' EXIT
+  cleanup="$cleanup $log"
   go test -bench 'BenchmarkStudyParallel$|BenchmarkTable|BenchmarkFigure1' \
     -benchtime=1x -run '^$' . | tee "$log"
 fi
 
+go test -bench 'BenchmarkTable2Neighborhoods$|BenchmarkTable5GeoSimilarity$' \
+  -benchtime=20x -run '^$' . | tee "$steady"
+
 awk -v out="$out" '
-  /^BenchmarkStudyParallel/ {
+  # Classify by filename, not FNR==1 file counting: an empty first
+  # file would otherwise shift every steady-state line into the
+  # cold-path object.
+  { file = (FILENAME == ARGV[1]) ? 1 : 2 }
+  # Lines without a ns/op field (interrupted or malformed bench
+  # output) are skipped instead of emitting invalid JSON.
+  file == 1 && /^BenchmarkStudyParallel/ {
     for (i = 1; i <= NF; i++) if ($i == "records/sec") rps = $(i-1)
   }
-  /^Benchmark(Table|Figure)/ {
+  file == 1 && /^Benchmark(Table|Figure)/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    for (i = 1; i <= NF; i++) if ($i == "ns/op") ns[name] = $(i-1)
-    order[n++] = name
+    for (i = 1; i <= NF; i++)
+      if ($i == "ns/op") { ns[name] = $(i-1); order[n++] = name; break }
+  }
+  file == 2 && /^Benchmark(Table|Figure)/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 1; i <= NF; i++)
+      if ($i == "ns/op") { sns[name] = $(i-1); sorder[sn++] = name; break }
   }
   END {
     printf "{\n  \"records_per_sec\": %s,\n  \"table_bench_ns_per_op\": {\n", (rps == "" ? "null" : rps) > out
     for (i = 0; i < n; i++)
       printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "") >> out
+    printf "  },\n  \"steady_state_ns_per_op\": {\n" >> out
+    for (i = 0; i < sn; i++)
+      printf "    \"%s\": %s%s\n", sorder[i], sns[sorder[i]], (i < sn-1 ? "," : "") >> out
     printf "  }\n}\n" >> out
   }
-' "$log"
+' "$log" "$steady"
 echo "wrote $out"
