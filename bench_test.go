@@ -54,11 +54,21 @@ func benchStudy(b *testing.B, year int, figure bool) *core.Study {
 	return s
 }
 
+// BenchmarkStudyGeneration measures end-to-end study construction
+// across varying seeds (no stream-state cache reuse between
+// iterations), reporting generation throughput like the fixed-seed
+// worker benchmarks below.
 func BenchmarkStudyGeneration(b *testing.B) {
+	records := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(QuickStudy(int64(i), 2021)); err != nil {
+		s, err := Run(QuickStudy(int64(i), 2021))
+		if err != nil {
 			b.Fatal(err)
 		}
+		records = s.NumRecords()
+	}
+	if perOp := b.Elapsed().Seconds() / float64(b.N); perOp > 0 {
+		b.ReportMetric(float64(records)/perOp, "records/sec")
 	}
 }
 
@@ -75,7 +85,7 @@ func benchmarkStudyWorkers(b *testing.B, workers int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		records = len(s.Records)
+		records = s.NumRecords()
 	}
 	perOp := b.Elapsed().Seconds() / float64(b.N)
 	if perOp > 0 {

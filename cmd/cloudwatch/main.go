@@ -72,7 +72,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "collected %d honeypot records, %d telescope packets\n\n",
-		len(study.Records), study.Tel.Packets())
+		study.NumRecords(), study.Tel.Packets())
 
 	experiments := map[string]func() string{
 		"table1":  func() string { return study.Table1().Render() },

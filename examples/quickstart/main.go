@@ -18,7 +18,7 @@ func main() {
 	}
 
 	fmt.Printf("collected %d honeypot records and %d telescope packets from %d actors\n\n",
-		len(study.Records), study.Tel.Packets(), len(study.Actors))
+		study.NumRecords(), study.Tel.Packets(), len(study.Actors))
 
 	fmt.Println(study.Table1().Render())
 	fmt.Println(study.Table2().Render())

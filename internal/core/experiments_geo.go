@@ -51,41 +51,41 @@ var table4Axes = []struct {
 
 // Table4 finds, per provider and characteristic, the geographic region
 // whose traffic deviates most from the provider's other regions. Each
-// (provider, slice, characteristic) pair set runs as one batched
-// family.
+// provider's pair set is a contiguous slice of the shared same-network
+// geography family (geoRegionFamily) — Table 5's pair set — so after
+// either table runs, the other's comparisons are cache hits; the
+// per-pair chi-squared results are independent of family composition
+// (family_test proves batched == naive per pair), and the Bonferroni m
+// is re-derived from the provider's own testable pairs, keeping the
+// output byte-identical to the per-provider families this replaced.
 func (s *Study) Table4() Table4Result {
 	res := Table4Result{Year: s.Cfg.Year}
 	for _, provider := range []string{"aws", "google", "linode"} {
-		var regions []string
-		for _, region := range s.U.Regions() {
-			if strings.HasPrefix(region, provider+":") {
-				regions = append(regions, region)
-			}
-		}
-		var regionPairs [][2]string
-		for i := 0; i < len(regions); i++ {
-			for j := i + 1; j < len(regions); j++ {
-				regionPairs = append(regionPairs, [2]string{regions[i], regions[j]})
-			}
-		}
 		for _, axis := range table4Axes {
-			axis := axis
 			for _, char := range axis.chars {
-				char := char
-				fr := s.pairwiseFamily("table4:"+provider, axis.slice, char, TopK, func() famJob {
-					return regionPairJob(s, regionPairs, char, func(region string) *View {
-						return s.regionGroupView(region, axis.slice)
-					})
-				})
-				m := fr.fam.Comparisons()
+				pairs, fr := s.geoRegionFamily(axis.slice, char)
+				var idxs []int
+				for idx, p := range pairs {
+					if p.provider == provider {
+						idxs = append(idxs, idx)
+					}
+				}
+				// Bonferroni m over this provider's testable pairs only.
+				m := 0
+				for _, idx := range idxs {
+					if fr.fam.Pairs[idx].OK {
+						m++
+					}
+				}
 				counts := map[string]int{}
 				phiSum, phiN := 0.0, 0
-				for idx, p := range fr.fam.Pairs {
+				for _, idx := range idxs {
+					p := fr.fam.Pairs[idx]
 					if !p.OK || !p.Result.Significant(Alpha, m) {
 						continue
 					}
-					counts[regionPairs[idx][0]]++
-					counts[regionPairs[idx][1]]++
+					counts[pairs[idx].a]++
+					counts[pairs[idx].b]++
 					phiSum += p.Result.CramersV
 					phiN++
 				}
@@ -108,6 +108,28 @@ func (s *Study) Table4() Table4Result {
 		}
 	}
 	return res
+}
+
+// geoRegionFamily returns the memoized same-network geography family
+// for (slice, char): every same-provider region pair (geoRegionPairs)
+// in canonical order, compared over the GreyNoise median group views.
+// Table 4 and Table 5 share its (family, slice, characteristic, K)
+// memo entries; each table subsets the pair list and re-derives its
+// own Bonferroni m, which keeps both outputs byte-identical to the
+// separate families this replaced (per-pair results are independent
+// of family composition).
+func (s *Study) geoRegionFamily(slice ProtocolSlice, char Characteristic) ([]geoPair, *familyResult) {
+	pairs := s.geoRegionPairs()
+	fr := s.pairwiseFamily("georegions", slice, char, TopK, func() famJob {
+		regionPairs := make([][2]string, len(pairs))
+		for i, p := range pairs {
+			regionPairs[i] = [2]string{p.a, p.b}
+		}
+		return regionPairJob(s, regionPairs, char, func(region string) *View {
+			return s.regionGroupView(region, slice)
+		})
+	})
+	return pairs, fr
 }
 
 // regionGroupView merges the GreyNoise views of one region with the
@@ -194,18 +216,32 @@ var table5Axes = []struct {
 	{SliceHTTPAll, []Characteristic{CharTopAS, CharFracMalicious, CharTopPayloads}},
 }
 
-// table5Pair is one same-network region pair with its Table 5
-// geography group.
-type table5Pair struct {
-	a, b  string
-	group string
+// geoPair is one same-network region pair of the shared geography
+// family: its provider, and its Table 5 geography group ("" for pairs
+// Table 5 excludes — same non-grouped continent, e.g. both NA outside
+// the US).
+type geoPair struct {
+	a, b     string
+	provider string
+	group    string
 }
 
-// table5Pairs enumerates every same-network pair of regions in
-// canonical order (provider order, universe region order) with its
-// geography group: both-US, both-EU, both-APAC, or intercontinental.
-func (s *Study) table5Pairs() []table5Pair {
-	var pairs []table5Pair
+// geoRegionPairs enumerates every same-network pair of regions in
+// canonical order (provider order, universe region order), annotated
+// with the Table 5 geography group: both-US, both-EU, both-APAC,
+// intercontinental, or "" when Table 5 drops the pair. Table 4 reads
+// per-provider subsets, Table 5 the grouped subset, of the one shared
+// comparison family built over this list. The list is derived from
+// the immutable universe, so it is memoized per study (both tables
+// consult it once per slice × characteristic). Callers must treat it
+// as read-only.
+func (s *Study) geoRegionPairs() []geoPair {
+	s.geoPairsOnce.Do(func() { s.geoPairs = s.buildGeoRegionPairs() })
+	return s.geoPairs
+}
+
+func (s *Study) buildGeoRegionPairs() []geoPair {
+	var pairs []geoPair
 	for _, provider := range []string{"aws", "google", "linode", "azure"} {
 		var regions []string
 		for _, region := range s.U.Regions() {
@@ -226,10 +262,8 @@ func (s *Study) table5Pairs() []table5Pair {
 					group = "APAC"
 				case ga.Continent != gb.Continent:
 					group = "Intercontinental"
-				default:
-					continue // same non-grouped continent (e.g. both OTHER)
 				}
-				pairs = append(pairs, table5Pair{regions[i], regions[j], group})
+				pairs = append(pairs, geoPair{regions[i], regions[j], provider, group})
 			}
 		}
 	}
@@ -237,28 +271,26 @@ func (s *Study) table5Pairs() []table5Pair {
 }
 
 // Table5 compares every same-network pair of regions, grouped by
-// geography, each (slice, characteristic) as one batched family.
+// geography, each (slice, characteristic) as one batched family —
+// the shared geoRegionFamily Table 4 subsets.
 func (s *Study) Table5() Table5Result {
 	res := Table5Result{Year: s.Cfg.Year}
-	pairs := s.table5Pairs()
-	regionPairs := make([][2]string, len(pairs))
-	for i, p := range pairs {
-		regionPairs[i] = [2]string{p.a, p.b}
-	}
 	for _, axis := range table5Axes {
-		axis := axis
 		for _, char := range axis.chars {
-			char := char
-			fr := s.pairwiseFamily("table5", axis.slice, char, TopK, func() famJob {
-				return regionPairJob(s, regionPairs, char, func(region string) *View {
-					return s.regionGroupView(region, axis.slice)
-				})
-			})
-			m := fr.fam.Comparisons()
+			pairs, fr := s.geoRegionFamily(axis.slice, char)
+			// Bonferroni m over Table 5's own (geography-grouped)
+			// testable pairs; the shared family also carries pairs only
+			// Table 4 reads.
+			m := 0
+			for idx, pr := range fr.fam.Pairs {
+				if pr.OK && pairs[idx].group != "" {
+					m++
+				}
+			}
 			similar := map[string]int{}
 			total := map[string]int{}
 			for idx, pr := range fr.fam.Pairs {
-				if !pr.OK {
+				if !pr.OK || pairs[idx].group == "" {
 					continue
 				}
 				total[pairs[idx].group]++

@@ -199,21 +199,19 @@ func (s *Study) Table8() Table8Result {
 // seen on one port across every vantage of a network kind, excluding
 // the §4.3 experiment hosts.
 func (s *Study) networkSources(port uint16, kind netsim.NetworkKind, maliciousOnly bool) map[wire.Addr]struct{} {
-	idx := s.index()
 	out := map[wire.Addr]struct{}{}
-	for _, t := range s.U.Targets() {
+	for vi, t := range s.U.Targets() {
 		if t.Kind != kind || strings.HasPrefix(t.Region, "stanford:leak") {
 			continue
 		}
-		for _, ri := range s.byVantage[t.ID] {
-			rec := &s.Records[ri]
-			if rec.Port != port {
+		for _, ri := range s.byVantage[vi] {
+			if s.blk.Port[ri] != port {
 				continue
 			}
-			if maliciousOnly && !idx.mal[ri] {
+			if maliciousOnly && !s.mal[ri] {
 				continue
 			}
-			out[rec.Src] = struct{}{}
+			out[s.blk.Src[ri]] = struct{}{}
 		}
 	}
 	return out

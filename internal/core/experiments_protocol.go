@@ -45,25 +45,24 @@ func (s *Study) Table11() Table11Result {
 		anyKnown bool
 	}
 	benignByAS := map[string]int{}
-	idx := s.index()
 
 	for _, port := range []uint16{80, 8080} {
 		srcs := map[wire.Addr]*srcInfo{}
-		for _, t := range s.U.Targets() {
+		for vi, t := range s.U.Targets() {
 			if !networks[t.Region] || t.Collector != netsim.CollectHoneytrap {
 				continue
 			}
-			for _, ri := range s.byVantage[t.ID] {
-				rec := &s.Records[ri]
-				if rec.Port != port || len(rec.Payload) == 0 {
+			for _, ri := range s.byVantage[vi] {
+				if s.blk.Port[ri] != port || s.blk.Pay[ri] == 0 {
 					continue
 				}
-				info, ok := srcs[rec.Src]
+				src := s.blk.Src[ri]
+				info, ok := srcs[src]
 				if !ok {
-					info = &srcInfo{asn: rec.ASN, protos: map[fingerprint.Protocol]int{}}
-					srcs[rec.Src] = info
+					info = &srcInfo{asn: int(s.blk.ASN[ri]), protos: map[fingerprint.Protocol]int{}}
+					srcs[src] = info
 				}
-				if proto := idx.proto[ri]; proto != fingerprint.Unknown {
+				if proto := s.recProto(int(ri)); proto != fingerprint.Unknown {
 					info.protos[proto]++
 					info.anyKnown = true
 				}

@@ -39,7 +39,7 @@ func (s *Study) Table1() Table1Result {
 	}
 	groups := map[key]*agg{}
 	order := []key{}
-	for _, t := range s.U.Targets() {
+	for vi, t := range s.U.Targets() {
 		if strings.HasPrefix(t.Region, "stanford:leak") {
 			continue // the §4.3 experiment is reported in Table 3
 		}
@@ -52,10 +52,10 @@ func (s *Study) Table1() Table1Result {
 		}
 		g.regions[t.Region] = struct{}{}
 		g.vantages++
-		s.VantageEach(t.ID, func(rec netsim.Record) {
-			g.ips[rec.Src] = struct{}{}
-			g.ases[rec.ASN] = struct{}{}
-		})
+		for _, ri := range s.byVantage[vi] {
+			g.ips[s.blk.Src[ri]] = struct{}{}
+			g.ases[int(s.blk.ASN[ri])] = struct{}{}
+		}
 	}
 	sort.Slice(order, func(i, j int) bool {
 		if order[i].collection != order[j].collection {

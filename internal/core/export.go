@@ -18,33 +18,37 @@ import (
 // the cleartext the wire would have carried. Records are written in
 // timestamp order.
 func (s *Study) ExportPCAP(w io.Writer) (int, error) {
-	idx := make([]int, len(s.Records))
+	idx := make([]int, s.blk.Len())
 	for i := range idx {
 		idx[i] = i
 	}
+	// (sec, nsec) compare is T.Before over the stored columns.
 	sort.SliceStable(idx, func(a, b int) bool {
-		return s.Records[idx[a]].T.Before(s.Records[idx[b]].T)
+		ia, ib := idx[a], idx[b]
+		if s.blk.Sec[ia] != s.blk.Sec[ib] {
+			return s.blk.Sec[ia] < s.blk.Sec[ib]
+		}
+		return s.blk.Nsec[ia] < s.blk.Nsec[ib]
 	})
 
+	targets := s.U.Targets()
 	pw := pcap.NewWriter(w)
 	written := 0
 	for _, i := range idx {
-		rec := s.Records[i]
-		t, ok := s.U.ByID(rec.Vantage)
-		if !ok {
-			return written, fmt.Errorf("core: record references unknown vantage %q", rec.Vantage)
+		payload := netsim.PayloadBytes(s.blk.Pay[i])
+		if payload == nil {
+			if creds := s.blk.CredsAt(i); len(creds) > 0 {
+				payload = credWire(creds)
+			}
 		}
-		payload := rec.Payload
-		if payload == nil && len(rec.Creds) > 0 {
-			payload = credWire(rec.Creds)
-		}
+		src, port := s.blk.Src[i], s.blk.Port[i]
 		pkt := wire.Packet{
-			Time:    rec.T,
-			Src:     rec.Src,
-			Dst:     t.IP,
-			SrcPort: ephemeralPort(rec.Src, rec.Port),
-			DstPort: rec.Port,
-			Proto:   rec.Transport,
+			Time:    s.blk.Time(i),
+			Src:     src,
+			Dst:     targets[s.blk.Vantage[i]].IP,
+			SrcPort: ephemeralPort(src, port),
+			DstPort: port,
+			Proto:   s.blk.Transport[i],
 			Flags:   wire.FlagPSH | wire.FlagACK,
 			Payload: payload,
 		}

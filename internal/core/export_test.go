@@ -14,8 +14,8 @@ func TestExportPCAPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != len(s.Records) {
-		t.Fatalf("exported %d packets, want %d", n, len(s.Records))
+	if n != s.NumRecords() {
+		t.Fatalf("exported %d packets, want %d", n, s.NumRecords())
 	}
 
 	packets, err := pcap.ReadAll(&buf)

@@ -106,16 +106,16 @@ func familyCases(s *Study) []famCase {
 		}
 	}
 
-	// Table 5: same-network region pairs across providers.
-	pairs5 := s.table5Pairs()
-	regionPairs5 := make([][2]string, len(pairs5))
-	for i, p := range pairs5 {
-		regionPairs5[i] = [2]string{p.a, p.b}
+	// Tables 4+5's shared family: every same-provider region pair.
+	pairsGeo := s.geoRegionPairs()
+	regionPairsGeo := make([][2]string, len(pairsGeo))
+	for i, p := range pairsGeo {
+		regionPairsGeo[i] = [2]string{p.a, p.b}
 	}
 	for _, axis := range table5Axes {
 		for _, char := range axis.chars {
-			add("table5/"+axis.slice.String()+"/"+char.String(), char, TopK,
-				regionPairJob(s, regionPairs5, char, func(region string) *View {
+			add("georegions-naive/"+axis.slice.String()+"/"+char.String(), char, TopK,
+				regionPairJob(s, regionPairsGeo, char, func(region string) *View {
 					return s.regionGroupView(region, axis.slice)
 				}))
 		}

@@ -1,157 +1,127 @@
 package core
 
 import (
-	"fmt"
+	"sync"
 
 	"cloudwatch/internal/fingerprint"
 	"cloudwatch/internal/netsim"
 )
 
-// derivedIndex is the columnar per-record index of the analysis
-// pipeline: every fact the experiments re-derive from raw records —
-// the §3.2 malicious verdict, the AS table key, the normalized payload
-// key, the LZR protocol fingerprint, and the study hour — computed
-// exactly once per study and stored as parallel arrays over
-// Study.Records. Experiments read the columns instead of re-running
-// IDS matching, payload normalization, and protocol identification per
-// table, which removes those costs (and the shared verdict-memo lock)
-// from the read path entirely.
-//
-// All columns are pure functions of the immutable record list, so the
-// index is built lazily behind a sync.Once and shared by every
-// concurrent experiment without synchronization.
-type derivedIndex struct {
-	mal    []bool                 // §3.2 verdict (maliciousRecord)
-	asKey  []string               // netsim AS table key ("AS15169 GOOGLE")
-	payKey []string               // payloadKey result; "" for payloadless records
-	proto  []fingerprint.Protocol // fingerprint.Identify of the payload
-	hour   []int32                // netsim.HourOf of the record timestamp
+// This file finalizes the study's derived columns. The per-record
+// facts (verdict, study seconds, interned payload and vantage ids)
+// are produced by shard.dispatch itself; what remains at merge time is
+// per-*payload* derivation — the normalized payload key and the LZR
+// protocol fingerprint, computed once per interned payload — plus the
+// per-vantage record lists. Both are assembled before Run returns;
+// nothing rescans the record columns afterwards.
 
-	// malByPayload is the frozen payload→verdict memo the pipeline
-	// accumulated during Run. It is never written after the index is
-	// built, so reads need no lock.
-	malByPayload map[string]bool
+// payFacts is the process-wide per-payload derivation cache: the
+// payloadKey and fingerprint.Identify of every interned payload,
+// indexed by netsim.PayloadID. Both are pure functions of the payload
+// bytes, so studies share the cache; each study snapshots the prefix
+// covering its own payloads. Slices only ever grow under the lock, and
+// published elements are never rewritten, so snapshot reads need no
+// synchronization.
+var payFacts struct {
+	sync.Mutex
+	key   []string
+	proto []fingerprint.Protocol
 }
 
-// indexChunk is the number of records per parallel index-build chunk:
-// large enough that per-chunk memo maps amortize, small enough to
-// load-balance across cores.
-const indexChunk = 4096
-
-// index returns the study's derived-record index, building it on first
-// use. Safe for concurrent use.
-func (s *Study) index() *derivedIndex {
-	s.indexOnce.Do(s.buildIndex)
-	return s.idx
-}
-
-// buildIndex materializes the columns, fanning record chunks out
-// across cores. Chunks keep private memo maps (payload-keyed and
-// ASN-keyed), so duplicate payloads cost one derivation per chunk and
-// the columns are written racelessly (each record index is owned by
-// exactly one chunk).
-func (s *Study) buildIndex() {
-	n := len(s.Records)
-	idx := &derivedIndex{
-		mal:          make([]bool, n),
-		asKey:        make([]string, n),
-		payKey:       make([]string, n),
-		proto:        make([]fingerprint.Protocol, n),
-		hour:         make([]int32, n),
-		malByPayload: s.maliciousMem,
-	}
-	if idx.malByPayload == nil {
-		idx.malByPayload = map[string]bool{}
-	}
-	chunks := (n + indexChunk - 1) / indexChunk
-	parallelEach(chunks, func(c int) {
-		lo, hi := c*indexChunk, (c+1)*indexChunk
-		if hi > n {
-			hi = n
+// payFactsSnapshot extends the cache to cover every payload interned
+// so far (count = netsim.PayloadCount()) and returns stable snapshots.
+func payFactsSnapshot(count int) ([]string, []fingerprint.Protocol) {
+	payFacts.Lock()
+	defer payFacts.Unlock()
+	for id := len(payFacts.key); id < count; id++ {
+		if id == 0 {
+			payFacts.key = append(payFacts.key, "")
+			payFacts.proto = append(payFacts.proto, fingerprint.Unknown)
+			continue
 		}
-		type payloadFacts struct {
-			key   string
-			proto fingerprint.Protocol
-			mal   bool
-		}
-		payMemo := map[string]payloadFacts{}
-		asMemo := map[int]string{}
-		for i := lo; i < hi; i++ {
-			rec := &s.Records[i]
-			idx.hour[i] = int32(netsim.HourOf(rec.T))
-			key, ok := asMemo[rec.ASN]
-			if !ok {
-				if as, found := netsim.LookupAS(rec.ASN); found {
-					key = as.Key()
-				} else {
-					key = fmt.Sprintf("AS%d", rec.ASN)
-				}
-				asMemo[rec.ASN] = key
-			}
-			idx.asKey[i] = key
-			if len(rec.Creds) > 0 {
-				idx.mal[i] = true
-			}
-			if len(rec.Payload) == 0 {
-				continue // mal stays creds-only, payKey "", proto Unknown
-			}
-			pf, ok := payMemo[string(rec.Payload)]
-			if !ok {
-				pf = payloadFacts{
-					key:   payloadKey(rec.Payload),
-					proto: fingerprint.Identify(rec.Payload),
-				}
-				if v, known := idx.malByPayload[string(rec.Payload)]; known {
-					pf.mal = v
-				} else {
-					// Payload unseen by the pipeline memo (study built
-					// outside Run): derive the verdict here.
-					pf.mal = s.IDS.Malicious(rec.Transport.String(), rec.Port, rec.Payload)
-				}
-				payMemo[string(rec.Payload)] = pf
-			}
-			idx.payKey[i] = pf.key
-			idx.proto[i] = pf.proto
-			if len(rec.Creds) == 0 {
-				idx.mal[i] = pf.mal
-			}
-		}
-	})
-	s.idx = idx
-}
-
-// sliceMatchIndexed is ProtocolSlice.matches with the fingerprint read
-// from the index column instead of re-identifying the payload.
-func (idx *derivedIndex) sliceMatch(slice ProtocolSlice, rec *netsim.Record, ri int) bool {
-	if slice == SliceHTTPAll {
-		return len(rec.Payload) > 0 && idx.proto[ri] == fingerprint.HTTP
+		b := netsim.PayloadBytes(netsim.PayloadID(id))
+		payFacts.key = append(payFacts.key, payloadKey(b))
+		payFacts.proto = append(payFacts.proto, fingerprint.Identify(b))
 	}
-	return slice.matches(*rec)
+	return payFacts.key[:count], payFacts.proto[:count]
 }
 
-// addToView folds record ri into v using the index columns — the
+// buildDerived completes the study's derived columns at the end of the
+// pipeline merge: the per-payload key/fingerprint snapshot and the
+// per-vantage record lists (exact-sized, two passes — the columnar
+// replacement of the old byVantage string-keyed map).
+func (s *Study) buildDerived(payCount int) {
+	s.payKey, s.payProto = payFactsSnapshot(payCount)
+
+	counts := make([]int32, len(s.U.Targets()))
+	for _, vi := range s.blk.Vantage {
+		counts[vi]++
+	}
+	s.byVantage = make([][]int32, len(counts))
+	for vi, n := range counts {
+		if n > 0 {
+			s.byVantage[vi] = make([]int32, 0, n)
+		}
+	}
+	for ri, vi := range s.blk.Vantage {
+		s.byVantage[vi] = append(s.byVantage[vi], int32(ri))
+	}
+}
+
+// recPayKey returns the normalized payload key of record ri ("" for
+// payloadless records).
+func (s *Study) recPayKey(ri int) string { return s.payKey[s.blk.Pay[ri]] }
+
+// recProto returns the LZR fingerprint of record ri's payload.
+func (s *Study) recProto(ri int) fingerprint.Protocol { return s.payProto[s.blk.Pay[ri]] }
+
+// sliceMatch is ProtocolSlice.matches over the record columns: port
+// slices test the port column, the HTTP-all slice tests the
+// per-payload fingerprint column instead of re-identifying bytes.
+func (s *Study) sliceMatch(slice ProtocolSlice, ri int) bool {
+	switch slice {
+	case SliceSSH22:
+		return s.blk.Port[ri] == 22
+	case SliceSSH2222:
+		return s.blk.Port[ri] == 2222
+	case SliceTelnet23:
+		return s.blk.Port[ri] == 23
+	case SliceTelnet2323:
+		return s.blk.Port[ri] == 2323
+	case SliceHTTP80:
+		return s.blk.Port[ri] == 80
+	case SliceHTTPAll:
+		return s.blk.Pay[ri] != 0 && s.recProto(ri) == fingerprint.HTTP
+	case SliceAnyAll:
+		return true
+	default:
+		return false
+	}
+}
+
+// addToView folds record ri into v straight from the columns — the
 // columnar counterpart of View.Add, producing byte-identical views.
-func (s *Study) addToView(idx *derivedIndex, v *View, ri int) {
-	rec := &s.Records[ri]
-	if !idx.sliceMatch(v.Slice, rec, ri) {
+func (s *Study) addToView(v *View, ri int) {
+	if !s.sliceMatch(v.Slice, ri) {
 		return
 	}
 	v.Total++
-	v.AS.Add(idx.asKey[ri], 1)
-	for _, c := range rec.Creds {
+	v.AS.Add(netsim.ASKeyOf(int(s.blk.ASN[ri])), 1)
+	for _, c := range s.blk.CredsAt(ri) {
 		v.Usernames.Add(c.Username, 1)
 		v.Passwords.Add(c.Password, 1)
 	}
-	if len(rec.Payload) > 0 {
-		v.Payloads.Add(idx.payKey[ri], 1)
+	if pay := s.blk.Pay[ri]; pay != 0 {
+		v.Payloads.Add(s.payKey[pay], 1)
 	}
-	hour := idx.hour[ri]
+	hour := s.blk.Hour(ri)
 	v.Hourly[hour]++
-	v.Srcs[rec.Src] = struct{}{}
-	if idx.mal[ri] {
+	src := s.blk.Src[ri]
+	v.Srcs[src] = struct{}{}
+	if s.mal[ri] {
 		v.Malicious++
 		v.MalHourly[hour]++
-		v.MalSrcs[rec.Src] = struct{}{}
+		v.MalSrcs[src] = struct{}{}
 	} else {
 		v.Benign++
 	}

@@ -48,18 +48,18 @@ func recordsEqual(a, b netsim.Record) bool {
 // telescope/GreyNoise counters.
 func assertStudiesIdentical(t *testing.T, want, got *Study, label string) {
 	t.Helper()
-	if len(want.Records) != len(got.Records) {
-		t.Fatalf("%s: record counts differ: %d vs %d", label, len(want.Records), len(got.Records))
+	if want.NumRecords() != got.NumRecords() {
+		t.Fatalf("%s: record counts differ: %d vs %d", label, want.NumRecords(), got.NumRecords())
 	}
-	for i := range want.Records {
-		if !recordsEqual(want.Records[i], got.Records[i]) {
+	for i := 0; i < want.NumRecords(); i++ {
+		if !recordsEqual(want.RecordAt(i), got.RecordAt(i)) {
 			t.Fatalf("%s: record %d differs:\n  want %+v\n  got  %+v",
-				label, i, want.Records[i], got.Records[i])
+				label, i, want.RecordAt(i), got.RecordAt(i))
 		}
 	}
 
-	for _, tgt := range want.U.Targets() {
-		wi, gi := want.byVantage[tgt.ID], got.byVantage[tgt.ID]
+	for vi, tgt := range want.U.Targets() {
+		wi, gi := want.byVantage[vi], got.byVantage[vi]
 		if len(wi) != len(gi) {
 			t.Fatalf("%s: vantage %s index lengths differ: %d vs %d", label, tgt.ID, len(wi), len(gi))
 		}
@@ -101,7 +101,7 @@ func assertStudiesIdentical(t *testing.T, want, got *Study, label string) {
 // every worker count.
 func TestStudyParallelDeterministic(t *testing.T) {
 	serial := runTestStudyWorkers(t, 7, 1)
-	if len(serial.Records) == 0 {
+	if serial.NumRecords() == 0 {
 		t.Fatal("serial study collected nothing")
 	}
 	counts := []int{4, runtime.GOMAXPROCS(0)}

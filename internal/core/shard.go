@@ -6,87 +6,98 @@ import (
 	"sync/atomic"
 
 	"cloudwatch/internal/greynoise"
-	"cloudwatch/internal/ids"
+	"cloudwatch/internal/honeypot"
 	"cloudwatch/internal/netsim"
 	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/telescope"
+	"cloudwatch/internal/wire"
 )
 
 // shard is one worker's private slice of the study pipeline: its own
-// telescope collector, GreyNoise delta, and IDS verdict memo, plus the
-// record buffer of the actor currently being replayed. Workers never
-// share mutable state; everything a shard accumulates is either a set
-// union or an integer-count sum, so the post-run merge reaches the
-// same state as serial dispatch regardless of how actors were
+// telescope collector, GreyNoise delta, and record block. Workers
+// never share mutable state; everything a shard accumulates is either
+// a set union or an integer-count sum, so the post-run merge reaches
+// the same state as serial dispatch regardless of how actors were
 // scheduled across workers.
+//
+// Records are born columnar: dispatch appends the probe's scalar
+// columns (interned vantage id, study seconds, interned payload id,
+// credential-arena index) in one pass. The §3.2 verdict column is
+// filled by the merge (see mergeShards), which anchors each payload's
+// verdict at its first occurrence in canonical record order — the
+// exact verdict serial dispatch memoized — so the result is
+// byte-identical for every worker count. (Keying the memo per shard,
+// as the pre-columnar pipeline did, made worker scheduling leak into
+// the output whenever a payload's verdict differed across destination
+// ports.)
 type shard struct {
-	u    *netsim.Universe
-	ids  *ids.Engine
-	tel  *telescope.Collector
-	gn   *greynoise.Service
-	mem  map[string]bool // payload-keyed IDS verdicts
-	recs []netsim.Record // records of the actor being processed
+	u   *netsim.Universe
+	tel *telescope.Collector
+	gn  *greynoise.Delta
+	blk netsim.RecordBlock
+
+	// Destination-repeat cache: attempt and port loops emit runs of
+	// probes to one address, so the telescope membership test and the
+	// target lookup run once per destination run.
+	lastDst    wire.Addr
+	lastDstOK  bool
+	lastTel    bool
+	lastTarget *netsim.Target
+	lastVi     int32
 }
 
 func newShard(s *Study) *shard {
 	return &shard{
 		u:   s.U,
-		ids: s.IDS,
 		tel: telescope.New(s.Cfg.TelescopeWatch...),
-		gn:  greynoise.NewService(),
-		mem: map[string]bool{},
+		gn:  greynoise.NewDelta(),
 	}
 }
 
 // dispatch routes one probe to the shard's collectors — the parallel
 // counterpart of the serial per-probe pipeline: telescope probes are
-// aggregated in place, honeypot probes become records, and every
-// collected source feeds the GreyNoise delta.
+// aggregated in place, honeypot probes become record-column rows, and
+// every collected source feeds the GreyNoise delta.
 func (sh *shard) dispatch(p netsim.Probe) {
-	if sh.u.InTelescope(p.Dst) {
+	if !sh.lastDstOK || p.Dst != sh.lastDst {
+		sh.lastDst, sh.lastDstOK = p.Dst, true
+		sh.lastTel = sh.u.InTelescope(p.Dst)
+		if !sh.lastTel {
+			sh.lastTarget, sh.lastVi, _ = sh.u.ByIPIndexed(p.Dst)
+		}
+	}
+	if sh.lastTel {
 		sh.tel.Observe(p)
 		sh.gn.Observe(p.Src)
 		return
 	}
-	t, ok := sh.u.ByIP(p.Dst)
-	if !ok {
+	t := sh.lastTarget
+	if t == nil {
 		return // probe to unmonitored space: invisible to the study
 	}
-	rec, ok := honeypotObserve(t, p)
+	pay, creds, ok := honeypot.Collect(t, &p)
 	if !ok {
 		return
 	}
 	sh.gn.Observe(p.Src)
-	if sh.malicious(rec) {
-		sh.gn.ObserveExploit(p.Src)
-	}
-	sh.recs = append(sh.recs, rec)
+	sh.blk.Append(sh.lastVi, &p, pay, creds)
 }
 
-// malicious applies the §3.2 verdict (maliciousRecord) with the
-// shard-local memo. The verdict is a pure function of the payload, so
-// shards computing the same payload independently always agree.
-func (sh *shard) malicious(rec netsim.Record) bool {
-	if len(rec.Creds) > 0 || len(rec.Payload) == 0 {
-		return maliciousRecord(sh.ids, rec)
-	}
-	key := string(rec.Payload)
-	if v, ok := sh.mem[key]; ok {
-		return v
-	}
-	v := maliciousRecord(sh.ids, rec)
-	sh.mem[key] = v
-	return v
+// span is the record range one actor produced within its shard's
+// block.
+type span struct {
+	sh     *shard
+	lo, hi int
 }
 
 // runActors drives the actor population through `workers` pipeline
 // workers and merges the shards into the study in canonical order.
 // Each actor draws from its own seeded random streams and runs on
 // exactly one worker, so its probe sequence — and therefore its record
-// list — is independent of scheduling. Records are reassembled
-// actor-major (the order the serial loop produced), telescope and
-// GreyNoise shards merge commutatively, and the IDS memos union, so
-// the result is byte-identical for every worker count.
+// range — is independent of scheduling. Record columns are reassembled
+// actor-major (the order the serial loop produced) and telescope and
+// GreyNoise shards merge commutatively, so the result is
+// byte-identical for every worker count.
 func (s *Study) runActors(ctx *scanners.Context, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -98,7 +109,7 @@ func (s *Study) runActors(ctx *scanners.Context, workers int) {
 		workers = 1
 	}
 
-	perActor := make([][]netsim.Record, len(s.Actors))
+	spans := make([]span, len(s.Actors))
 	shards := make([]*shard, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -113,33 +124,144 @@ func (s *Study) runActors(ctx *scanners.Context, workers int) {
 				if i >= len(s.Actors) {
 					return
 				}
-				sh.recs = nil
+				lo := sh.blk.Len()
 				s.Actors[i].Run(ctx, sh.dispatch)
-				perActor[i] = sh.recs
+				spans[i] = span{sh, lo, sh.blk.Len()}
 			}
 		}()
 	}
 	wg.Wait()
+	s.mergeShards(shards, spans)
+}
 
+// mergeShards reassembles the per-shard columns into the study in
+// canonical actor order and finalizes every derived column — verdict,
+// per-payload facts, per-vantage record lists — so the derived index
+// is complete when Run returns, with no post-hoc scan of the records.
+func (s *Study) mergeShards(shards []*shard, spans []span) {
 	total := 0
-	for _, recs := range perActor {
-		total += len(recs)
+	for _, sp := range spans {
+		total += sp.hi - sp.lo
 	}
-	s.Records = make([]netsim.Record, 0, total)
-	for _, recs := range perActor {
-		for _, rec := range recs {
-			s.byVantage[rec.Vantage] = append(s.byVantage[rec.Vantage], len(s.Records))
-			s.Records = append(s.Records, rec)
+
+	if len(shards) == 1 {
+		// Serial pipeline: the single shard's block already is the
+		// canonical actor-major order — adopt it without copying.
+		s.blk = shards[0].blk
+		shards[0].blk = netsim.RecordBlock{}
+	} else {
+		// Credential arenas concatenate in shard order; each shard's
+		// record columns rebase their arena indexes by its offset.
+		credBase := make(map[*shard]int32, len(shards))
+		credTotal := 0
+		for _, sh := range shards {
+			credBase[sh] = int32(credTotal)
+			credTotal += len(sh.blk.CredLists)
+		}
+
+		s.blk.Grow(total)
+		s.blk.CredLists = make([][]netsim.Credential, 0, credTotal)
+		for _, sh := range shards {
+			s.blk.CredLists = append(s.blk.CredLists, sh.blk.CredLists...)
+		}
+		for _, sp := range spans {
+			s.blk.AppendRange(&sp.sh.blk, sp.lo, sp.hi, credBase[sp.sh])
 		}
 	}
+
 	for _, sh := range shards {
 		s.Tel.Merge(sh.tel)
-		s.GN.Merge(sh.gn)
-		for k, v := range sh.mem {
-			s.maliciousMem[k] = v
+		s.GN.MergeDelta(sh.gn)
+	}
+
+	s.buildVerdicts()
+	s.buildDerived(netsim.PayloadCount())
+}
+
+// buildVerdicts computes the §3.2 verdict column. Each distinct
+// payload is judged exactly once per study, against the transport and
+// port of its first occurrence in canonical record order — precisely
+// the verdict the serial pipeline's payload-keyed memo captured — and
+// every record carrying the payload inherits it. Credential records
+// are malicious by definition; payloadless records are benign. The
+// sources of malicious records feed the GreyNoise exploit set here
+// (the serial pipeline did it inline at dispatch; doing it after the
+// canonical verdicts are fixed keeps the exploit set
+// schedule-independent too).
+func (s *Study) buildVerdicts() {
+	n := s.blk.Len()
+	payCount := netsim.PayloadCount()
+
+	// First occurrence of each payload in canonical order, counting
+	// only credential-free records: the serial memo this reproduces was
+	// consulted after the creds short-circuit, so a record carrying
+	// both a payload and credentials (EmulateAuth collectors) never
+	// anchored a verdict.
+	firstRec := make([]int32, payCount)
+	for i := range firstRec {
+		firstRec[i] = -1
+	}
+	var distinct []netsim.PayloadID
+	for i := 0; i < n; i++ {
+		if s.blk.Cred[i] >= 0 {
+			continue
+		}
+		if pay := s.blk.Pay[i]; pay != 0 && firstRec[pay] < 0 {
+			firstRec[pay] = int32(i)
+			distinct = append(distinct, pay)
 		}
 	}
+
+	// Judge each distinct payload in parallel: the verdict is a pure
+	// function of (payload, anchor transport, anchor port), so the
+	// fan-out is order-independent.
+	s.malByPay = make([]int8, payCount)
+	for i := range s.malByPay {
+		s.malByPay[i] = -1
+	}
+	parallelEach(len(distinct), func(k int) {
+		pay := distinct[k]
+		ri := firstRec[pay]
+		v := int8(0)
+		if s.IDS.Malicious(s.blk.Transport[ri].String(), s.blk.Port[ri], netsim.PayloadBytes(pay)) {
+			v = 1
+		}
+		s.malByPay[pay] = v
+	})
+
+	// Fill the verdict column and the exploit set, in parallel chunks
+	// with per-chunk GreyNoise deltas (set unions commute).
+	s.mal = make([]bool, n)
+	chunks := (n + verdictChunk - 1) / verdictChunk
+	var gnMu sync.Mutex
+	parallelEach(chunks, func(c int) {
+		lo, hi := c*verdictChunk, (c+1)*verdictChunk
+		if hi > n {
+			hi = n
+		}
+		d := greynoise.NewDelta()
+		for i := lo; i < hi; i++ {
+			m := s.blk.Cred[i] >= 0
+			if !m {
+				if pay := s.blk.Pay[i]; pay != 0 {
+					m = s.malByPay[pay] == 1
+				}
+			}
+			if m {
+				s.mal[i] = true
+				d.ObserveExploit(s.blk.Src[i])
+			}
+		}
+		gnMu.Lock()
+		s.GN.MergeDelta(d)
+		gnMu.Unlock()
+	})
 }
+
+// verdictChunk is the number of records per parallel verdict-fill
+// chunk: large enough to amortize a chunk's GreyNoise delta, small
+// enough to load-balance.
+const verdictChunk = 65536
 
 // parallelEach runs fn(i) for every i in [0, n) across up to
 // GOMAXPROCS goroutines and waits for completion. fn must be safe to

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cloudwatch/internal/cloud"
+	"cloudwatch/internal/fingerprint"
 	"cloudwatch/internal/greynoise"
 	"cloudwatch/internal/ids"
 	"cloudwatch/internal/netsim"
@@ -49,31 +50,48 @@ func DefaultConfig(seed int64, year int) Config {
 
 // Study is the outcome of one simulated collection week: everything
 // the analysis pipeline consumes.
+//
+// Records are stored columnar (netsim.RecordBlock) with every derived
+// per-record fact — the §3.2 malicious verdict, interned payload ids,
+// study seconds — materialized by the pipeline itself, so the derived
+// index is complete the moment Run returns; there is no post-hoc
+// record scan. Row-oriented access goes through the compatibility
+// view (NumRecords, RecordAt, VantageRecords, VantageEach), which
+// reconstructs netsim.Record values on the fly; reconstructed records
+// alias only interner-owned payload bytes and the study's credential
+// arena, never a scanner dictionary buffer.
 type Study struct {
-	Cfg     Config
-	U       *netsim.Universe
-	Records []netsim.Record // honeypot observations
-	Tel     *telescope.Collector
-	GN      *greynoise.Service
-	Censys  *searchengine.Engine
-	Shodan  *searchengine.Engine
-	Actors  []*scanners.Actor
-	IDS     *ids.Engine
+	Cfg    Config
+	U      *netsim.Universe
+	Tel    *telescope.Collector
+	GN     *greynoise.Service
+	Censys *searchengine.Engine
+	Shodan *searchengine.Engine
+	Actors []*scanners.Actor
+	IDS    *ids.Engine
 
-	byVantage map[string][]int // record indexes per vantage ID
+	// The columnar record store plus its derived columns: mal is the
+	// per-record §3.2 verdict, byVantage the per-vantage record lists
+	// (indexed by vantage id — Universe target position), malByPay the
+	// frozen per-payload verdict memo, and payKey/payProto the
+	// per-payload normalized key and LZR fingerprint (indexed by
+	// netsim.PayloadID). All are read-only after Run.
+	blk       netsim.RecordBlock
+	mal       []bool
+	byVantage [][]int32
+	malByPay  []int8 // -1 unknown, 0 benign, 1 malicious
+	payKey    []string
+	payProto  []fingerprint.Protocol
 
-	// maliciousMem is the payload-keyed IDS verdict memo accumulated by
-	// the pipeline shards during Run. After Run it is frozen (read-only)
-	// and adopted by the derived index, so no lock guards it.
-	maliciousMem map[string]bool
-
-	// The derived-record index (columnar per-record facts) and the view
-	// and telescope-series caches, all built lazily on first read.
-	indexOnce   sync.Once
-	idx         *derivedIndex
+	// The view and telescope-series caches, built lazily on first read.
 	views       viewCache
 	seriesMu    sync.Mutex
 	seriesCache map[uint16]*seriesEntry
+
+	// The shared Table 4/5 geography pair list (experiments_geo.go),
+	// derived once from the immutable universe.
+	geoPairsOnce sync.Once
+	geoPairs     []geoPair
 
 	// The §3.3 comparison-engine caches: per-(view, characteristic)
 	// ranked top-K summaries and per-(family, slice, characteristic, K)
@@ -105,15 +123,13 @@ func Run(cfg Config) (*Study, error) {
 	}
 
 	s := &Study{
-		Cfg:          cfg,
-		U:            u,
-		Tel:          telescope.New(cfg.TelescopeWatch...),
-		GN:           greynoise.NewService(),
-		Censys:       searchengine.New("censys"),
-		Shodan:       searchengine.New("shodan"),
-		IDS:          ids.DefaultEngine(),
-		byVantage:    map[string][]int{},
-		maliciousMem: map[string]bool{},
+		Cfg:    cfg,
+		U:      u,
+		Tel:    telescope.New(cfg.TelescopeWatch...),
+		GN:     greynoise.NewService(),
+		Censys: searchengine.New("censys"),
+		Shodan: searchengine.New("shodan"),
+		IDS:    ids.DefaultEngine(),
 	}
 
 	// Search engines crawl before the study window opens; attackers
@@ -138,8 +154,8 @@ func Run(cfg Config) (*Study, error) {
 // definition: any login attempt (bypassing authentication) is
 // malicious; payloadless records are benign; otherwise the
 // Suricata-style engine judges the payload. Payload-keyed memoization
-// is the caller's concern (pipeline shards keep private memos; after
-// Run the merged memo freezes into the derived index).
+// is the caller's concern (pipeline shards keep per-payload verdict
+// columns; after Run the merged column freezes into the study).
 func maliciousRecord(e *ids.Engine, rec netsim.Record) bool {
 	if len(rec.Creds) > 0 {
 		return true
@@ -151,38 +167,72 @@ func maliciousRecord(e *ids.Engine, rec netsim.Record) bool {
 }
 
 // RecordMalicious applies the §3.2 definition to one record. Verdicts
-// for every payload the study collected live in the derived index's
-// frozen payload memo, so the lookup is lock-free; unseen payloads are
-// judged directly without memoization. Safe for concurrent use, so
-// view building can fan out across vantage points.
+// for every payload the study collected live in the frozen per-payload
+// verdict column, so the lookup is a lock-free array read; unseen
+// payloads are judged directly without memoization. Safe for
+// concurrent use, so view building can fan out across vantage points.
 func (s *Study) RecordMalicious(rec netsim.Record) bool {
-	if len(rec.Creds) > 0 || len(rec.Payload) == 0 {
+	if len(rec.Creds) > 0 || (rec.Pay == 0 && len(rec.Payload) == 0) {
 		return maliciousRecord(s.IDS, rec)
 	}
-	if v, ok := s.index().malByPayload[string(rec.Payload)]; ok {
-		return v
+	pay := rec.Pay
+	if pay == 0 {
+		pay, _ = netsim.LookupPayload(rec.Payload)
+	}
+	if pay > 0 && int(pay) < len(s.malByPay) && s.malByPay[pay] >= 0 {
+		return s.malByPay[pay] == 1
 	}
 	return maliciousRecord(s.IDS, rec)
+}
+
+// NumRecords returns the number of honeypot records collected.
+func (s *Study) NumRecords() int { return s.blk.Len() }
+
+// RecordAt reconstructs record i as a row-oriented netsim.Record —
+// the compatibility view over the columnar store. The result is
+// self-contained and safe to retain; its Payload and Creds alias
+// immutable study-owned storage and must not be mutated.
+func (s *Study) RecordAt(i int) netsim.Record {
+	return s.blk.Record(i, s.U.Targets()[s.blk.Vantage[i]].ID)
+}
+
+// EachRecord calls fn for every record in collection order, with the
+// record index alongside the reconstructed view.
+func (s *Study) EachRecord(fn func(i int, rec netsim.Record)) {
+	for i := 0; i < s.blk.Len(); i++ {
+		fn(i, s.RecordAt(i))
+	}
+}
+
+// vantageIdxs returns the record indexes of one vantage point, in
+// arrival order.
+func (s *Study) vantageIdxs(id string) []int32 {
+	vi, ok := s.U.VantageIndex(id)
+	if !ok {
+		return nil
+	}
+	return s.byVantage[vi]
 }
 
 // VantageRecords returns the records of one vantage point, in arrival
 // order. The slice is freshly allocated; for allocation-free
 // traversal use VantageEach.
 func (s *Study) VantageRecords(id string) []netsim.Record {
-	idxs := s.byVantage[id]
+	idxs := s.vantageIdxs(id)
 	out := make([]netsim.Record, len(idxs))
-	for i, idx := range idxs {
-		out[i] = s.Records[idx]
+	for i, ri := range idxs {
+		out[i] = s.blk.Record(int(ri), id)
 	}
 	return out
 }
 
 // VantageEach calls fn for every record of one vantage point in
-// arrival order without copying the record list — the zero-copy
-// counterpart of VantageRecords.
+// arrival order without materializing the record list — the zero-copy
+// counterpart of VantageRecords (records are reconstructed from the
+// columns on the caller's stack).
 func (s *Study) VantageEach(id string, fn func(rec netsim.Record)) {
-	for _, idx := range s.byVantage[id] {
-		fn(s.Records[idx])
+	for _, ri := range s.vantageIdxs(id) {
+		fn(s.blk.Record(int(ri), id))
 	}
 }
 

@@ -29,18 +29,18 @@ func runTestStudy(t *testing.T, seed int64, year int) *Study {
 
 func TestStudyRunsAndCollects(t *testing.T) {
 	s := runTestStudy(t, 42, 2021)
-	if len(s.Records) == 0 {
+	if s.NumRecords() == 0 {
 		t.Fatal("no honeypot records collected")
 	}
 	if s.Tel.Packets() == 0 {
 		t.Fatal("no telescope packets collected")
 	}
-	t.Logf("records=%d telescope=%d actors=%d", len(s.Records), s.Tel.Packets(), len(s.Actors))
+	t.Logf("records=%d telescope=%d actors=%d", s.NumRecords(), s.Tel.Packets(), len(s.Actors))
 
 	// Every record must reference a real vantage point.
-	for _, rec := range s.Records[:min(1000, len(s.Records))] {
-		if _, ok := s.U.ByID(rec.Vantage); !ok {
-			t.Fatalf("record references unknown vantage %q", rec.Vantage)
+	for i := 0; i < min(1000, s.NumRecords()); i++ {
+		if _, ok := s.U.ByID(s.RecordAt(i).Vantage); !ok {
+			t.Fatalf("record %d references unknown vantage", i)
 		}
 	}
 }
@@ -48,11 +48,11 @@ func TestStudyRunsAndCollects(t *testing.T) {
 func TestStudyDeterministic(t *testing.T) {
 	a := runTestStudy(t, 7, 2021)
 	b := runTestStudy(t, 7, 2021)
-	if len(a.Records) != len(b.Records) {
-		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	if a.NumRecords() != b.NumRecords() {
+		t.Fatalf("record counts differ: %d vs %d", a.NumRecords(), b.NumRecords())
 	}
-	for i := range a.Records {
-		ra, rb := a.Records[i], b.Records[i]
+	for i := 0; i < a.NumRecords(); i++ {
+		ra, rb := a.RecordAt(i), b.RecordAt(i)
 		if ra.Src != rb.Src || ra.Vantage != rb.Vantage || !ra.T.Equal(rb.T) {
 			t.Fatalf("record %d differs between identical runs", i)
 		}
@@ -66,10 +66,10 @@ func TestStudyGreyNoiseSemantics(t *testing.T) {
 	s := runTestStudy(t, 42, 2021)
 	interactiveWithPayload := 0
 	interactiveWithCreds := 0
-	for _, rec := range s.Records {
+	s.EachRecord(func(_ int, rec netsim.Record) {
 		tgt, _ := s.U.ByID(rec.Vantage)
 		if tgt.Collector != netsim.CollectGreyNoise {
-			continue
+			return
 		}
 		if rec.Port == 22 || rec.Port == 23 || rec.Port == 2222 || rec.Port == 2323 {
 			if rec.Payload != nil {
@@ -79,7 +79,7 @@ func TestStudyGreyNoiseSemantics(t *testing.T) {
 				interactiveWithCreds++
 			}
 		}
-	}
+	})
 	if interactiveWithPayload != 0 {
 		t.Errorf("GreyNoise interactive ports recorded %d payloads, want 0", interactiveWithPayload)
 	}
@@ -124,13 +124,13 @@ func TestStudySearchEnginesIndexedFleet(t *testing.T) {
 func TestStudyMaliciousClassification(t *testing.T) {
 	s := runTestStudy(t, 42, 2021)
 	malicious, benign := 0, 0
-	for _, rec := range s.Records {
+	s.EachRecord(func(_ int, rec netsim.Record) {
 		if s.RecordMalicious(rec) {
 			malicious++
 		} else {
 			benign++
 		}
-	}
+	})
 	if malicious == 0 || benign == 0 {
 		t.Fatalf("degenerate classification: malicious=%d benign=%d", malicious, benign)
 	}
@@ -154,8 +154,8 @@ func TestStudyVantageRecords(t *testing.T) {
 			}
 		}
 	}
-	if total != len(s.Records) {
-		t.Errorf("per-vantage records sum to %d, want %d", total, len(s.Records))
+	if total != s.NumRecords() {
+		t.Errorf("per-vantage records sum to %d, want %d", total, s.NumRecords())
 	}
 }
 

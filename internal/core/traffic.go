@@ -217,13 +217,12 @@ func (s *Study) VantageView(id string, slice ProtocolSlice) *View {
 	})
 }
 
-// buildVantageView computes a vantage view from the index columns,
+// buildVantageView computes a vantage view from the record columns,
 // bypassing the cache.
 func (s *Study) buildVantageView(id string, slice ProtocolSlice) *View {
-	idx := s.index()
 	v := NewView(slice)
-	for _, ri := range s.byVantage[id] {
-		s.addToView(idx, v, ri)
+	for _, ri := range s.vantageIdxs(id) {
+		s.addToView(v, int(ri))
 	}
 	return v
 }

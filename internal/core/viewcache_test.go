@@ -89,33 +89,36 @@ func TestGroupViewCachedEqualsFresh(t *testing.T) {
 	}
 }
 
-// TestDerivedIndexColumnsMatchDirect checks each index column against
+// TestDerivedColumnsMatchDirect checks each derived column — all
+// materialized by the pipeline itself before Run returns — against
 // direct per-record derivation.
-func TestDerivedIndexColumnsMatchDirect(t *testing.T) {
+func TestDerivedColumnsMatchDirect(t *testing.T) {
 	s := runTestStudy(t, 42, 2021)
-	idx := s.index()
-	for i, rec := range s.Records {
-		if got, want := idx.mal[i], s.RecordMalicious(rec); got != want {
+	s.EachRecord(func(i int, rec netsim.Record) {
+		if got, want := s.mal[i], s.RecordMalicious(rec); got != want {
 			t.Fatalf("record %d: mal column = %v, want %v", i, got, want)
 		}
-		if got, want := int(idx.hour[i]), netsim.HourOf(rec.T); got != want {
+		if got, want := s.blk.Hour(i), netsim.HourOf(rec.T); got != want {
 			t.Fatalf("record %d: hour column = %d, want %d", i, got, want)
+		}
+		if !rec.T.Equal(s.blk.Time(i)) {
+			t.Fatalf("record %d: time column reconstructs %v, want %v", i, s.blk.Time(i), rec.T)
 		}
 		wantKey := fmt.Sprintf("AS%d", rec.ASN)
 		if as, ok := netsim.LookupAS(rec.ASN); ok {
 			wantKey = as.Key()
 		}
-		if idx.asKey[i] != wantKey {
-			t.Fatalf("record %d: asKey column = %q, want %q", i, idx.asKey[i], wantKey)
+		if got := netsim.ASKeyOf(rec.ASN); got != wantKey {
+			t.Fatalf("record %d: AS key = %q, want %q", i, got, wantKey)
 		}
 		if len(rec.Payload) > 0 {
-			if got, want := idx.payKey[i], payloadKey(rec.Payload); got != want {
+			if got, want := s.recPayKey(i), payloadKey(rec.Payload); got != want {
 				t.Fatalf("record %d: payKey column = %q, want %q", i, got, want)
 			}
-		} else if idx.payKey[i] != "" {
-			t.Fatalf("record %d: payloadless record has payKey %q", i, idx.payKey[i])
+		} else if s.recPayKey(i) != "" {
+			t.Fatalf("record %d: payloadless record has payKey %q", i, s.recPayKey(i))
 		}
-	}
+	})
 }
 
 // TestViewCacheConcurrentExperiments hammers the cached read path the

@@ -114,6 +114,60 @@ func (s *Service) Merge(o *Service) {
 	}
 }
 
+// Delta is a lock-free observation accumulator for a single pipeline
+// worker: the same seen/exploited semantics as Service.Observe and
+// ObserveExploit without per-call locking. A Delta must only be
+// written from one goroutine; fold it into a shared Service with
+// MergeDelta once the worker is done.
+type Delta struct {
+	seen      map[wire.Addr]struct{}
+	exploited map[wire.Addr]struct{}
+
+	// last short-circuits the seen-set insert while one source's probe
+	// run lasts (actors emit long same-source runs).
+	last   wire.Addr
+	lastOK bool
+}
+
+// NewDelta returns an empty per-worker accumulator.
+func NewDelta() *Delta {
+	return &Delta{
+		seen:      map[wire.Addr]struct{}{},
+		exploited: map[wire.Addr]struct{}{},
+	}
+}
+
+// Observe records that a source IP was seen scanning.
+func (d *Delta) Observe(src wire.Addr) {
+	if d.lastOK && src == d.last {
+		return
+	}
+	d.seen[src] = struct{}{}
+	d.last, d.lastOK = src, true
+}
+
+// ObserveExploit records that a source IP was seen actively exploiting
+// services.
+func (d *Delta) ObserveExploit(src wire.Addr) {
+	d.seen[src] = struct{}{}
+	d.exploited[src] = struct{}{}
+}
+
+// MergeDelta folds a worker delta into the service under one lock
+// acquisition. Both aggregates are set unions, so merging deltas in
+// any order reaches the same state as serial observation.
+func (s *Service) MergeDelta(d *Delta) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for src := range d.seen {
+		s.seen[src] = true
+	}
+	for src := range d.exploited {
+		s.exploited[src] = true
+		s.seen[src] = true
+	}
+}
+
 // Classify returns the verdict for a source IP in a given AS. Exploit
 // observations dominate vetting; unseen and unvetted IPs are unknown.
 func (s *Service) Classify(src wire.Addr, asn int) Classification {

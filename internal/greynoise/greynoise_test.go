@@ -140,3 +140,41 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("seen = %d, want %d", seen, 16*200)
 	}
 }
+
+// TestDeltaMatchesService checks the lock-free worker delta reaches
+// the same classifier state as direct Service observation, including
+// the repeated-source fast path.
+func TestDeltaMatchesService(t *testing.T) {
+	direct := NewService()
+	viaDelta := NewService()
+	d := NewDelta()
+
+	srcs := []wire.Addr{10, 10, 10, 11, 10, 12, 12}
+	for _, s := range srcs {
+		direct.Observe(s)
+		d.Observe(s)
+	}
+	direct.ObserveExploit(11)
+	d.ObserveExploit(11)
+	direct.Observe(10) // post-exploit repeat
+	d.Observe(10)
+	viaDelta.MergeDelta(d)
+
+	wantSeen, wantExp, _ := direct.Stats()
+	gotSeen, gotExp, _ := viaDelta.Stats()
+	if gotSeen != wantSeen || gotExp != wantExp {
+		t.Fatalf("delta state = seen %d exploited %d, want %d %d", gotSeen, gotExp, wantSeen, wantExp)
+	}
+	for _, s := range []wire.Addr{10, 11, 12} {
+		if g, w := viaDelta.Classify(s, 0), direct.Classify(s, 0); g != w {
+			t.Fatalf("src %d classifies %v via delta, %v direct", s, g, w)
+		}
+	}
+	// Merging a second delta unions commutatively.
+	d2 := NewDelta()
+	d2.ObserveExploit(10)
+	viaDelta.MergeDelta(d2)
+	if viaDelta.Classify(10, 0) != Malicious {
+		t.Fatal("second delta merge lost an exploit observation")
+	}
+}

@@ -22,48 +22,86 @@ import (
 )
 
 // InteractivePorts are the Cowrie-emulated ports of a GreyNoise
-// honeypot.
+// honeypot. The map is the stable public surface; the per-probe hot
+// path tests the bitset below instead.
 var InteractivePorts = map[uint16]bool{22: true, 2222: true, 23: true, 2323: true}
+
+// interactiveBits is the bitset form of InteractivePorts: one 64-bit
+// load per check instead of a map probe.
+var interactiveBits = func() (bits [1024]uint64) {
+	for port := range InteractivePorts {
+		bits[port>>6] |= 1 << (port & 63)
+	}
+	return bits
+}()
+
+// IsInteractive reports whether a port is Cowrie-emulated on a
+// GreyNoise honeypot (the bitset counterpart of InteractivePorts).
+func IsInteractive(port uint16) bool {
+	return interactiveBits[port>>6]&(1<<(port&63)) != 0
+}
+
+// Collect decides what the target's collector keeps of a probe: the
+// interned payload id and the credential list that survive, or
+// ok=false when the collector would not record the probe at all. It is
+// the columnar core of Observe — the study pipeline appends its result
+// straight onto per-shard record columns without building a Record.
+//
+// Every payload Collect returns is interned: dictionary payloads
+// arrive with the probe's Pay id, and dynamically-built bytes (raw
+// emitters, cleartext telnet login captures) are interned here — so
+// downstream record storage never aliases an emitter-owned buffer.
+func Collect(t *netsim.Target, p *netsim.Probe) (pay netsim.PayloadID, creds []netsim.Credential, ok bool) {
+	if !t.ListensOn(p.Port) {
+		return 0, nil, false
+	}
+	switch t.Collector {
+	case netsim.CollectGreyNoise:
+		if IsInteractive(p.Port) {
+			return 0, p.Creds, true
+		}
+		return p.PayID(), nil, true
+	case netsim.CollectHoneytrap:
+		pay = p.PayID()
+		// Honeytrap sees credentials only where it emulates the
+		// service (§4.3 experiment hosts); SSH credentials on a plain
+		// first-payload collector are unobservable (encrypted channel).
+		if t.EmulateAuth {
+			return pay, p.Creds, true
+		}
+		if (p.Port == 23 || p.Port == 2323) && len(p.Creds) > 0 && pay == 0 {
+			// Telnet logins are cleartext: a payload collector records
+			// them as raw bytes even without emulation.
+			pay = netsim.InternPayload(telnetCredBytes(p.Creds))
+		}
+		return pay, nil, true
+	default:
+		return 0, nil, false
+	}
+}
 
 // Observe converts a probe into the record the target's collector
 // would produce, or reports false when the collector would not record
-// it (e.g. a probe to a port the honeypot does not listen on).
+// it (e.g. a probe to a port the honeypot does not listen on). It is
+// the row-oriented compatibility wrapper around Collect; the returned
+// record's Payload aliases the interner's immutable copy.
 func Observe(t *netsim.Target, p netsim.Probe) (netsim.Record, bool) {
-	if !t.ListensOn(p.Port) {
+	pay, creds, ok := Collect(t, &p)
+	if !ok {
 		return netsim.Record{}, false
 	}
-	rec := netsim.Record{
+	return netsim.Record{
 		Vantage:   t.ID,
 		T:         p.T,
 		Src:       p.Src,
 		ASN:       p.ASN,
 		Port:      p.Port,
 		Transport: p.Transport,
+		Pay:       pay,
+		Payload:   netsim.PayloadBytes(pay),
+		Creds:     creds,
 		Handshake: true,
-	}
-	switch t.Collector {
-	case netsim.CollectGreyNoise:
-		if InteractivePorts[p.Port] {
-			rec.Creds = p.Creds
-		} else {
-			rec.Payload = p.Payload
-		}
-	case netsim.CollectHoneytrap:
-		rec.Payload = p.Payload
-		// Honeytrap sees credentials only where it emulates the
-		// service (§4.3 experiment hosts); SSH credentials on a plain
-		// first-payload collector are unobservable (encrypted channel).
-		if t.EmulateAuth {
-			rec.Creds = p.Creds
-		} else if (p.Port == 23 || p.Port == 2323) && len(p.Creds) > 0 && p.Payload == nil {
-			// Telnet logins are cleartext: a payload collector records
-			// them as raw bytes even without emulation.
-			rec.Payload = telnetCredBytes(p.Creds)
-		}
-	default:
-		return netsim.Record{}, false
-	}
-	return rec, true
+	}, true
 }
 
 // telnetCredBytes renders telnet login attempts the way a raw payload

@@ -152,3 +152,56 @@ func TestObserveConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCollectMatchesObserve checks the columnar fast path and the
+// row-oriented wrapper agree for every collector kind and payload/cred
+// combination, and that the bitset interactive-port check matches the
+// public map.
+func TestCollectMatchesObserve(t *testing.T) {
+	targets := []*netsim.Target{
+		{ID: "gn", IP: 1, Collector: netsim.CollectGreyNoise, Ports: []uint16{22, 23, 80}},
+		{ID: "ht", IP: 2, Collector: netsim.CollectHoneytrap, Ports: []uint16{22, 23, 80}},
+		{ID: "ht-auth", IP: 3, Collector: netsim.CollectHoneytrap, Ports: []uint16{22, 23, 80}, EmulateAuth: true},
+		{ID: "tel", IP: 4, Collector: netsim.CollectTelescope},
+	}
+	creds := []netsim.Credential{{Username: "root", Password: "root"}}
+	payload := []byte("GET /collect-vs-observe HTTP/1.1\r\n\r\n")
+	for _, tgt := range targets {
+		for _, port := range []uint16{22, 23, 80, 9999} {
+			for _, withPayload := range []bool{false, true} {
+				for _, withCreds := range []bool{false, true} {
+					p := netsim.Probe{T: netsim.StudyStart, Src: 9, ASN: 4134, Dst: tgt.IP,
+						Port: port, Transport: 6}
+					if withPayload {
+						p.Payload = payload
+					}
+					if withCreds {
+						p.Creds = creds
+					}
+					rec, ok := Observe(tgt, p)
+					pay, c, ok2 := Collect(tgt, &p)
+					if ok != ok2 {
+						t.Fatalf("%s/%d: Observe ok=%v, Collect ok=%v", tgt.ID, port, ok, ok2)
+					}
+					if !ok {
+						continue
+					}
+					if !bytes.Equal(rec.Payload, netsim.PayloadBytes(pay)) {
+						t.Fatalf("%s/%d: payload mismatch", tgt.ID, port)
+					}
+					if len(rec.Creds) != len(c) {
+						t.Fatalf("%s/%d: cred mismatch", tgt.ID, port)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIsInteractiveMatchesMap(t *testing.T) {
+	for port := 0; port < 65536; port++ {
+		if IsInteractive(uint16(port)) != InteractivePorts[uint16(port)] {
+			t.Fatalf("port %d: bitset %v != map %v", port, IsInteractive(uint16(port)), InteractivePorts[uint16(port)])
+		}
+	}
+}

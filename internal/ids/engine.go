@@ -28,6 +28,11 @@ type Engine struct {
 	// Traffic concentrates on a handful of destinations, so buckets are
 	// few and build once each.
 	prefilter sync.Map // bucketKey → []int (rule indexes, ascending)
+
+	// malPrefilter narrows the bucket further to rules with a
+	// malicious classtype, so Malicious — the §3.2 verdict computed
+	// once per distinct payload — never re-tests classtypes per rule.
+	malPrefilter sync.Map // bucketKey → []int
 }
 
 // bucketKey identifies one prefilter bucket.
@@ -56,6 +61,25 @@ func (e *Engine) bucket(proto string, port uint16) []int {
 	// Concurrent first calls build identical buckets; keep whichever
 	// won the store.
 	actual, _ := e.prefilter.LoadOrStore(key, idxs)
+	return actual.([]int)
+}
+
+// malBucket returns the indexes of malicious-classtype rules that can
+// fire on (proto, port), in rule order, derived from the full bucket
+// on first use.
+func (e *Engine) malBucket(proto string, port uint16) []int {
+	key := bucketKey{proto, port}
+	if c, ok := e.malPrefilter.Load(key); ok {
+		return c.([]int)
+	}
+	full := e.bucket(proto, port)
+	idxs := make([]int, 0, len(full))
+	for _, i := range full {
+		if MaliciousClasstypes[e.rules[i].Classtype] {
+			idxs = append(idxs, i)
+		}
+	}
+	actual, _ := e.malPrefilter.LoadOrStore(key, idxs)
 	return actual.([]int)
 }
 
@@ -130,14 +154,10 @@ func (e *Engine) Match(proto string, port uint16, payload []byte) []Alert {
 // classtype in MaliciousClasstypes — the paper's §3.2 definition of a
 // malicious payload for non-authentication protocols.
 func (e *Engine) Malicious(proto string, port uint16, payload []byte) bool {
-	// Evaluate only bucket rules with a malicious classtype, returning
-	// on the first hit — no Alert slice is built.
-	for _, i := range e.bucket(proto, port) {
-		r := &e.rules[i]
-		if !MaliciousClasstypes[r.Classtype] {
-			continue
-		}
-		if matchContents(r.Contents, payload) {
+	// Evaluate only the malicious-classtype rules of the destination's
+	// bucket, returning on the first hit — no Alert slice is built.
+	for _, i := range e.malBucket(proto, port) {
+		if matchContents(e.rules[i].Contents, payload) {
 			return true
 		}
 	}

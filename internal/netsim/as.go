@@ -1,6 +1,9 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // ASKind categorizes an autonomous system for actor construction.
 type ASKind int
@@ -20,16 +23,58 @@ type AS struct {
 	Name    string
 	Country string // ISO country code of the operator
 	Kind    ASKind
+
+	// key is the memoized Key() string, filled for registry entries at
+	// package init so the per-probe telescope and per-record analysis
+	// paths never re-format it. Hand-built AS values fall back to
+	// formatting on demand.
+	key string
 }
 
 // Key renders the stable "ASN name" form used as a frequency-table
 // category ("who is scanning" comparisons identify actors "by their
-// autonomous system, as opposed to IP address", §3.3).
-func (a AS) Key() string { return fmt.Sprintf("AS%d %s", a.ASN, a.Name) }
+// autonomous system, as opposed to IP address", §3.3). Registry
+// entries return a string memoized at init; the fallback formats
+// without fmt.
+func (a AS) Key() string {
+	if a.key != "" {
+		return a.key
+	}
+	return formatASKey(a.ASN, a.Name)
+}
+
+// formatASKey builds "AS<asn> <name>" with byte appends.
+func formatASKey(asn int, name string) string {
+	b := make([]byte, 0, 2+10+1+len(name))
+	b = append(b, 'A', 'S')
+	b = strconv.AppendInt(b, int64(asn), 10)
+	b = append(b, ' ')
+	b = append(b, name...)
+	return string(b)
+}
+
+// ASKeyOf returns the table key of an ASN: the registry entry's
+// memoized Key, or "AS<asn>" for ASNs outside the registry — the
+// single derivation the record columns point at.
+func ASKeyOf(asn int) string {
+	if a, ok := registryByASN[asn]; ok {
+		return a.key
+	}
+	return "AS" + strconv.Itoa(asn)
+}
 
 // The registry mirrors the operators named in the paper plus enough
 // filler to give traffic a realistic long tail of scanning ASes.
-var registry = []AS{
+// Entries are compact rows expanded into AS values (with their Key
+// memoized) at init.
+type asRow struct {
+	asn     int
+	name    string
+	country string
+	kind    ASKind
+}
+
+var registryRows = []asRow{
 	// Named in the paper.
 	{398324, "Censys", "US", ASResearch},
 	{10439, "Shodan (CariNet)", "US", ASResearch},
@@ -81,6 +126,15 @@ var registry = []AS{
 	{24560, "Airtel India", "IN", ASISP},
 	{55836, "Reliance Jio", "IN", ASISP},
 }
+
+var registry = func() []AS {
+	out := make([]AS, len(registryRows))
+	for i, r := range registryRows {
+		out[i] = AS{ASN: r.asn, Name: r.name, Country: r.country, Kind: r.kind,
+			key: formatASKey(r.asn, r.name)}
+	}
+	return out
+}()
 
 var registryByASN = func() map[int]AS {
 	m := make(map[int]AS, len(registry))

@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"time"
+
+	"cloudwatch/internal/wire"
+)
+
+// RecordBlock is the struct-of-arrays storage of collected honeypot
+// records: one scalar column per Record field, with the heavyweight
+// fields compressed — vantage strings become interned vantage ids
+// (Universe target positions), timestamps become int32 study-seconds
+// plus int32 nanos, payloads become interned PayloadIDs, and
+// credential lists live in a per-block arena referenced by index. A
+// record costs ~40 pointer-free bytes instead of a ~120-byte struct
+// holding strings and slices, which removes the record storage from
+// the garbage collector's scan set almost entirely.
+//
+// Blocks are append-only and not safe for concurrent mutation; the
+// pipeline gives each worker shard a private block and merges them
+// with AppendRange. Record(i) reconstructs the row-oriented
+// compatibility view (see Record).
+type RecordBlock struct {
+	Vantage   []int32 // interned vantage id (Universe target position)
+	Sec       []int32 // whole seconds since StudyStart
+	Nsec      []int32 // nanoseconds within the second
+	Src       []wire.Addr
+	ASN       []int32
+	Port      []uint16
+	Transport []wire.Transport
+	Pay       []PayloadID
+	Cred      []int32 // index into CredLists; -1 = no credentials
+
+	// CredLists is the credential-list arena. Entries are shared with
+	// the probes that carried them; treat as read-only.
+	CredLists [][]Credential
+}
+
+// Len returns the number of records stored.
+func (b *RecordBlock) Len() int { return len(b.Sec) }
+
+// Append stores one observed probe: the probe's routing fields, the
+// collector-decided payload id and credential list. Columns grow in
+// lockstep (one coordinated doubling instead of nine staggered
+// reallocations), so the hot path is a capacity check plus scalar
+// stores.
+func (b *RecordBlock) Append(vantage int32, p *Probe, pay PayloadID, creds []Credential) {
+	i := len(b.Sec)
+	if i == cap(b.Sec) {
+		grow := 2 * i
+		if grow < 4096 {
+			grow = 4096
+		}
+		b.ensureCap(grow)
+	}
+	sec, nsec := StudySeconds(p.T)
+	b.Vantage = b.Vantage[:i+1]
+	b.Vantage[i] = vantage
+	b.Sec = b.Sec[:i+1]
+	b.Sec[i] = sec
+	b.Nsec = b.Nsec[:i+1]
+	b.Nsec[i] = nsec
+	b.Src = b.Src[:i+1]
+	b.Src[i] = p.Src
+	b.ASN = b.ASN[:i+1]
+	b.ASN[i] = int32(p.ASN)
+	b.Port = b.Port[:i+1]
+	b.Port[i] = p.Port
+	b.Transport = b.Transport[:i+1]
+	b.Transport[i] = p.Transport
+	b.Pay = b.Pay[:i+1]
+	b.Pay[i] = pay
+	cred := int32(-1)
+	if len(creds) > 0 {
+		cred = int32(len(b.CredLists))
+		b.CredLists = append(b.CredLists, creds)
+	}
+	b.Cred = b.Cred[:i+1]
+	b.Cred[i] = cred
+}
+
+// Grow preallocates capacity for n additional records in every scalar
+// column.
+func (b *RecordBlock) Grow(n int) {
+	b.ensureCap(b.Len() + n)
+}
+
+// ensureCap reallocates every scalar column to capacity need (no-op
+// when already large enough), keeping the columns' capacities in
+// lockstep.
+func (b *RecordBlock) ensureCap(need int) {
+	if cap(b.Sec) >= need {
+		return
+	}
+	b.Vantage = append(make([]int32, 0, need), b.Vantage...)
+	b.Sec = append(make([]int32, 0, need), b.Sec...)
+	b.Nsec = append(make([]int32, 0, need), b.Nsec...)
+	b.Src = append(make([]wire.Addr, 0, need), b.Src...)
+	b.ASN = append(make([]int32, 0, need), b.ASN...)
+	b.Port = append(make([]uint16, 0, need), b.Port...)
+	b.Transport = append(make([]wire.Transport, 0, need), b.Transport...)
+	b.Pay = append(make([]PayloadID, 0, need), b.Pay...)
+	b.Cred = append(make([]int32, 0, need), b.Cred...)
+}
+
+// AppendRange copies records [lo, hi) of another block into b,
+// rebasing credential-arena indexes — the deterministic merge step
+// that reassembles per-shard blocks in canonical actor order.
+func (b *RecordBlock) AppendRange(o *RecordBlock, lo, hi int, credBase int32) {
+	b.Vantage = append(b.Vantage, o.Vantage[lo:hi]...)
+	b.Sec = append(b.Sec, o.Sec[lo:hi]...)
+	b.Nsec = append(b.Nsec, o.Nsec[lo:hi]...)
+	b.Src = append(b.Src, o.Src[lo:hi]...)
+	b.ASN = append(b.ASN, o.ASN[lo:hi]...)
+	b.Port = append(b.Port, o.Port[lo:hi]...)
+	b.Transport = append(b.Transport, o.Transport[lo:hi]...)
+	b.Pay = append(b.Pay, o.Pay[lo:hi]...)
+	for _, c := range o.Cred[lo:hi] {
+		if c >= 0 {
+			c += credBase
+		}
+		b.Cred = append(b.Cred, c)
+	}
+}
+
+// Time reconstructs the timestamp of record i. The reconstruction is
+// exact: StudyStart.Add of the stored offset reproduces the original
+// time.Time bit for bit.
+func (b *RecordBlock) Time(i int) time.Time {
+	return StudyTime(b.Sec[i], b.Nsec[i])
+}
+
+// Hour returns the study hour of record i (see HourOf), read straight
+// off the seconds column.
+func (b *RecordBlock) Hour(i int) int {
+	h := int(b.Sec[i]) / 3600
+	if h < 0 {
+		return 0
+	}
+	if h >= StudyHours {
+		return StudyHours - 1
+	}
+	return h
+}
+
+// CredsAt returns the credential list of record i (nil if none).
+func (b *RecordBlock) CredsAt(i int) []Credential {
+	if c := b.Cred[i]; c >= 0 {
+		return b.CredLists[c]
+	}
+	return nil
+}
+
+// Record reconstructs the row-oriented compatibility view of record i.
+// vantage is the record's vantage identifier (the caller resolves the
+// interned id against its universe). The returned value is
+// self-contained: its Payload aliases the interner's immutable bytes
+// and its Creds alias the block arena, both safe to retain and
+// required to stay unmutated.
+func (b *RecordBlock) Record(i int, vantage string) Record {
+	return Record{
+		Vantage:   vantage,
+		T:         b.Time(i),
+		Src:       b.Src[i],
+		ASN:       int(b.ASN[i]),
+		Port:      b.Port[i],
+		Transport: b.Transport[i],
+		Pay:       b.Pay[i],
+		Payload:   PayloadBytes(b.Pay[i]),
+		Creds:     b.CredsAt(i),
+		Handshake: true, // honeypot collectors always complete the handshake
+	}
+}
+
+// StudySeconds splits a timestamp into whole seconds since StudyStart
+// plus nanoseconds — the compact on-column representation. Timestamps
+// before StudyStart (not produced by any actor) clamp to zero.
+func StudySeconds(t time.Time) (sec, nsec int32) {
+	d := t.Sub(StudyStart)
+	if d < 0 {
+		return 0, 0
+	}
+	return int32(d / time.Second), int32(d % time.Second)
+}
+
+// StudyTime is the inverse of StudySeconds.
+func StudyTime(sec, nsec int32) time.Time {
+	return StudyStart.Add(time.Duration(sec)*time.Second + time.Duration(nsec))
+}

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"sync"
 	"time"
 
 	"cloudwatch/internal/wire"
@@ -108,12 +109,58 @@ type Target struct {
 	// login credentials; plain Honeytrap deployments record first
 	// payloads only.
 	EmulateAuth bool
+
+	// ports is the interned bitset over Ports, installed by NewUniverse
+	// so the per-probe ListensOn checks in the scanners and collectors
+	// are single bit tests instead of linear scans. nil (targets built
+	// outside a universe) falls back to scanning Ports.
+	ports *portSet
+}
+
+// portSet is a 65536-bit port membership set. Identical port lists
+// share one set via the intern table below, so a fleet of thousands of
+// same-shaped honeypots costs a handful of 8 KiB bitmaps.
+type portSet [1024]uint64
+
+func (ps *portSet) has(port uint16) bool {
+	return ps[port>>6]&(1<<(port&63)) != 0
+}
+
+var portSets = struct {
+	sync.Mutex
+	m map[string]*portSet
+}{m: map[string]*portSet{}}
+
+// internPortSet returns the shared bitset of a port list (nil for a
+// nil list — the telescope's "all ports" wildcard).
+func internPortSet(ports []uint16) *portSet {
+	if ports == nil {
+		return nil
+	}
+	key := make([]byte, 0, 2*len(ports))
+	for _, p := range ports {
+		key = append(key, byte(p>>8), byte(p))
+	}
+	portSets.Lock()
+	defer portSets.Unlock()
+	if ps, ok := portSets.m[string(key)]; ok {
+		return ps
+	}
+	ps := &portSet{}
+	for _, p := range ports {
+		ps[p>>6] |= 1 << (p & 63)
+	}
+	portSets.m[string(key)] = ps
+	return ps
 }
 
 // ListensOn reports whether the target accepts connections on port.
 // Telescope addresses "listen" on every port (they passively record
 // all traffic).
 func (t *Target) ListensOn(port uint16) bool {
+	if t.ports != nil {
+		return t.ports.has(port)
+	}
 	if t.Ports == nil {
 		return true
 	}
@@ -141,6 +188,12 @@ type Credential struct {
 // carries the login attempts the actor would make if the collector
 // completes the protocol handshake; collectors that don't interact
 // simply never observe them.
+//
+// Payloads travel as interned ids: the scanner dictionaries register
+// their corpora with the study-wide interner once and emitters set
+// Pay, so the collection pipeline never hashes or copies payload
+// bytes per probe. Raw emitters (tests, replayed captures) may set
+// Payload instead; collectors intern it on first sight.
 type Probe struct {
 	T         time.Time
 	Src       wire.Addr
@@ -148,14 +201,38 @@ type Probe struct {
 	Dst       wire.Addr
 	Port      uint16
 	Transport wire.Transport
-	Payload   []byte
+	Pay       PayloadID
+	Payload   []byte // raw fallback when the emitter has no id
 	Creds     []Credential
 }
+
+// PayID resolves the probe's payload id, interning a raw Payload if
+// the emitter did not carry one.
+func (p *Probe) PayID() PayloadID {
+	if p.Pay != 0 || len(p.Payload) == 0 {
+		return p.Pay
+	}
+	return InternPayload(p.Payload)
+}
+
+// HasPayload reports whether the probe carries any payload bytes,
+// interned or raw.
+func (p *Probe) HasPayload() bool { return p.Pay != 0 || len(p.Payload) > 0 }
 
 // Record is a probe as observed by a collector: the collector decides
 // which fields survive (telescopes drop payloads and credentials;
 // GreyNoise drops payloads on interactive ports but keeps
 // credentials).
+//
+// Record is the row-oriented compatibility view of the study's
+// columnar storage (RecordBlock): the pipeline stores records as
+// struct-of-arrays with interned payload ids and reconstructs Record
+// values on demand. A reconstructed Record's Payload aliases the
+// interner's immutable copy — never an actor dictionary or emitter
+// buffer — so callers may hold it indefinitely; they must not mutate
+// it. Pay is the interned payload id (0 when the record carries no
+// payload, or when the record was built outside the simulator and
+// never interned).
 type Record struct {
 	Vantage   string // Target.ID
 	T         time.Time
@@ -163,6 +240,7 @@ type Record struct {
 	ASN       int
 	Port      uint16
 	Transport wire.Transport
+	Pay       PayloadID
 	Payload   []byte       // nil when the collector does not capture payloads
 	Creds     []Credential // non-nil only for interactive collectors
 	Handshake bool         // whether the collector completed the TCP handshake

@@ -26,12 +26,26 @@ type Universe struct {
 	TelescopeBlocks []wire.Block
 
 	targets []*Target
-	byIP    map[wire.Addr]*Target
-	byID    map[string]*Target
+	byIP    map[wire.Addr]targetRef
+	byID    map[string]targetRef
 	regions map[string][]*Target
 
 	telOnce sync.Once
 	telIdx  *telescopeIndex
+
+	svcOnce sync.Once
+	svc     []*Target // memoized ServiceTargets
+
+	s16Once sync.Once
+	s16     []wire.Addr // memoized /16-start telescope addresses
+}
+
+// targetRef pairs a target with its interned vantage id — its position
+// in the universe's target list. The collection pipeline stores the
+// id, not the vantage string, in its record columns.
+type targetRef struct {
+	t   *Target
+	idx int32
 }
 
 // telescopeIndex accelerates the per-address telescope lookups from
@@ -90,8 +104,8 @@ func NewUniverse(seed int64, year int, targets []*Target) (*Universe, error) {
 	u := &Universe{
 		Seed:    seed,
 		Year:    year,
-		byIP:    make(map[wire.Addr]*Target, len(targets)),
-		byID:    make(map[string]*Target, len(targets)),
+		byIP:    make(map[wire.Addr]targetRef, len(targets)),
+		byID:    make(map[string]targetRef, len(targets)),
 		regions: map[string][]*Target{},
 	}
 	for _, t := range targets {
@@ -104,10 +118,12 @@ func NewUniverse(seed int64, year int, targets []*Target) (*Universe, error) {
 		if _, dup := u.byID[t.ID]; dup {
 			return nil, fmt.Errorf("netsim: duplicate target ID %s", t.ID)
 		}
-		u.byIP[t.IP] = t
-		u.byID[t.ID] = t
+		ref := targetRef{t, int32(len(u.targets))}
+		u.byIP[t.IP] = ref
+		u.byID[t.ID] = ref
 		u.targets = append(u.targets, t)
 		u.regions[t.Region] = append(u.regions[t.Region], t)
+		t.ports = internPortSet(t.Ports)
 	}
 	return u, nil
 }
@@ -118,14 +134,29 @@ func (u *Universe) Targets() []*Target { return u.targets }
 
 // ByIP resolves the target monitoring an address.
 func (u *Universe) ByIP(ip wire.Addr) (*Target, bool) {
-	t, ok := u.byIP[ip]
-	return t, ok
+	ref, ok := u.byIP[ip]
+	return ref.t, ok
+}
+
+// ByIPIndexed resolves the target monitoring an address together with
+// its vantage id (position in Targets()) — the id the record columns
+// store in place of the vantage string.
+func (u *Universe) ByIPIndexed(ip wire.Addr) (*Target, int32, bool) {
+	ref, ok := u.byIP[ip]
+	return ref.t, ref.idx, ok
 }
 
 // ByID resolves a target by vantage identifier.
 func (u *Universe) ByID(id string) (*Target, bool) {
-	t, ok := u.byID[id]
-	return t, ok
+	ref, ok := u.byID[id]
+	return ref.t, ok
+}
+
+// VantageIndex resolves a vantage identifier to its vantage id —
+// the inverse of Targets()[i].ID.
+func (u *Universe) VantageIndex(id string) (int32, bool) {
+	ref, ok := u.byID[id]
+	return ref.idx, ok
 }
 
 // Region returns the targets of one region key.
@@ -154,9 +185,36 @@ func (u *Universe) Filter(pred func(*Target) bool) []*Target {
 
 // ServiceTargets returns targets on networks that host real services
 // (cloud + education) — the set telescope-avoiding scanners restrict
-// themselves to (§5.2).
+// themselves to (§5.2). The slice is memoized (every actor walks it);
+// callers must not mutate it.
 func (u *Universe) ServiceTargets() []*Target {
-	return u.Filter(func(t *Target) bool { return t.Kind != KindTelescope })
+	u.svcOnce.Do(func() {
+		u.svc = u.Filter(func(t *Target) bool { return t.Kind != KindTelescope })
+	})
+	return u.svc
+}
+
+// TelescopeSlash16Starts returns the /16-start addresses within the
+// telescope blocks, memoized — structure-biased pickers consult it per
+// draw. Callers must not mutate the slice.
+func (u *Universe) TelescopeSlash16Starts() []wire.Addr {
+	u.s16Once.Do(func() {
+		seen := map[wire.Addr]bool{}
+		for _, b := range u.TelescopeBlocks {
+			start := b.Base & 0xFFFF0000
+			// Walk /16 boundaries overlapping the block.
+			for a := start; ; a += 1 << 16 {
+				if b.Contains(a) && !seen[a] {
+					seen[a] = true
+					u.s16 = append(u.s16, a)
+				}
+				if a+1<<16 < a || a+1<<16 > b.Base+wire.Addr(b.Size()) {
+					break
+				}
+			}
+		}
+	})
+	return u.s16
 }
 
 // InTelescope reports whether an address lies inside a telescope

@@ -1,8 +1,8 @@
 package scanners
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"cloudwatch/internal/netsim"
@@ -62,9 +62,16 @@ var safeFirstOctets = []byte{
 
 // SourceIPs derives n deterministic source addresses for an AS: a /16
 // chosen by hashing the ASN, hosts spread through it. Distinct actors
-// in the same AS get distinct hosts via the salt.
+// in the same AS get distinct hosts via the salt. The stream name is
+// assembled with byte appends (population construction derives one
+// stream per actor; fmt is measurably slower there).
 func SourceIPs(as netsim.AS, salt string, n int, seed int64) []wire.Addr {
-	rng := netsim.Stream(seed, fmt.Sprintf("srcips:%d:%s", as.ASN, salt))
+	name := make([]byte, 0, 7+10+1+len(salt))
+	name = append(name, "srcips:"...)
+	name = strconv.AppendInt(name, int64(as.ASN), 10)
+	name = append(name, ':')
+	name = append(name, salt...)
+	rng := netsim.Stream(seed, string(name))
 	first := safeFirstOctets[as.ASN%len(safeFirstOctets)]
 	second := byte((as.ASN / len(safeFirstOctets)) % 256)
 	base := wire.AddrFrom4(first, second, 0, 0)
@@ -104,9 +111,13 @@ type ServiceScan struct {
 	Weight      func(*netsim.Target) float64                               // per-target cover multiplier (nil = 1)
 	MinAttempts int                                                        // probes per (src, target, port) hit
 	MaxAttempts int                                                        // inclusive; 0 means MinAttempts
-	Payload     func(rng *rand.Rand, t *netsim.Target) []byte              // first payload (nil = none)
-	Creds       func(rng *rand.Rand, t *netsim.Target) []netsim.Credential // login attempts per probe (nil = none)
-	Time        func(rng *rand.Rand) time.Time                             // probe timestamp (nil = uniform over week)
+	// Payload returns the interned id of the probe's first payload
+	// (0 = none). Actors draw ids from dictionaries registered with the
+	// study-wide interner at package init (see payloads.go), so no
+	// payload bytes are built, hashed, or copied per probe.
+	Payload func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID
+	Creds   func(rng *rand.Rand, t *netsim.Target) []netsim.Credential // login attempts per probe (nil = none)
+	Time    func(rng *rand.Rand) time.Time                             // probe timestamp (nil = uniform over week)
 }
 
 // ScanServices runs one ServiceScan for every source IP of the actor.
@@ -121,8 +132,22 @@ func (a *Actor) ScanServices(ctx *Context, emit func(netsim.Probe), s ServiceSca
 		timeFn = uniformTime
 	}
 	targets := ctx.U.ServiceTargets()
+	// Precompute each target's listening subset of s.Ports once: the
+	// src × target × port loop below would otherwise repeat the
+	// ListensOn checks per source IP. Port order is preserved, so the
+	// rng draw sequence is identical to the naive loop.
+	openPorts := make([][]uint16, len(targets))
+	for ti, t := range targets {
+		open := make([]uint16, 0, len(s.Ports))
+		for _, port := range s.Ports {
+			if t.ListensOn(port) {
+				open = append(open, port)
+			}
+		}
+		openPorts[ti] = open
+	}
 	for _, src := range a.IPs {
-		for _, t := range targets {
+		for ti, t := range targets {
 			if s.Filter != nil && !s.Filter(t) {
 				continue
 			}
@@ -133,10 +158,7 @@ func (a *Actor) ScanServices(ctx *Context, emit func(netsim.Probe), s ServiceSca
 			if cover <= 0 || rng.Float64() >= clampProb(cover) {
 				continue
 			}
-			for _, port := range s.Ports {
-				if !t.ListensOn(port) {
-					continue
-				}
+			for _, port := range openPorts[ti] {
 				attempts := s.MinAttempts
 				if s.MaxAttempts > s.MinAttempts {
 					attempts += rng.Intn(s.MaxAttempts - s.MinAttempts + 1)
@@ -154,7 +176,7 @@ func (a *Actor) ScanServices(ctx *Context, emit func(netsim.Probe), s ServiceSca
 						Transport: transport,
 					}
 					if s.Payload != nil {
-						p.Payload = s.Payload(rng, t)
+						p.Pay = s.Payload(rng, t)
 					}
 					if s.Creds != nil {
 						p.Creds = s.Creds(rng, t)
@@ -240,10 +262,11 @@ func Avoid255(factor float64) func(*rand.Rand, *netsim.Universe) wire.Addr {
 // Mirai/PonyNet's port-22 preference ("one order of magnitude more
 // likely to choose the first address of a /16 as its first scanning
 // target" ⇒ multiplier ≈ 10). The bias is scale-aware: it adapts to
-// however many /16 starts the telescope contains.
+// however many /16 starts the telescope contains (memoized on the
+// universe; the picker runs once per probe).
 func PreferSlash16Start(multiplier float64) func(*rand.Rand, *netsim.Universe) wire.Addr {
 	return func(rng *rand.Rand, u *netsim.Universe) wire.Addr {
-		starts := slash16Starts(u)
+		starts := u.TelescopeSlash16Starts()
 		if len(starts) > 0 {
 			p := (multiplier - 1) * float64(len(starts)) / float64(u.TelescopeSize())
 			if rng.Float64() < p {
@@ -252,27 +275,6 @@ func PreferSlash16Start(multiplier float64) func(*rand.Rand, *netsim.Universe) w
 		}
 		return UniformTelescope(rng, u)
 	}
-}
-
-// slash16Starts enumerates the /16-start addresses within the
-// telescope blocks.
-func slash16Starts(u *netsim.Universe) []wire.Addr {
-	var out []wire.Addr
-	seen := map[wire.Addr]bool{}
-	for _, b := range u.TelescopeBlocks {
-		start := b.Base & 0xFFFF0000
-		// Walk /16 boundaries overlapping the block.
-		for a := start; ; a += 1 << 16 {
-			if b.Contains(a) && !seen[a] {
-				seen[a] = true
-				out = append(out, a)
-			}
-			if a+1<<16 < a || a+1<<16 > b.Base+wire.Addr(b.Size()) {
-				break
-			}
-		}
-	}
-	return out
 }
 
 // FixedTelescopeSet builds a picker latched onto specific offsets into

@@ -98,6 +98,51 @@ func HTTPExploits(group string) [][]byte {
 // BenignHTTP returns the benign HTTP request corpus.
 func BenignHTTP() [][]byte { return benignHTTP }
 
+// Interned-id mirrors of the payload corpora: every dictionary
+// registers with the study-wide interner once at package init, and
+// actors emit the resulting compact ids — the collection pipeline
+// never hashes or copies payload bytes per probe.
+var (
+	benignHTTPIDs    = netsim.InternPayloads(benignHTTP)
+	researchHTTPIDs  = netsim.InternPayloads(researchHTTP)
+	nmapHTTPIDs      = netsim.InternPayloads(nmapHTTP)
+	telnetCommandID  = netsim.InternPayload(telnetCommand)
+	exploitAndroidID = netsim.InternPayload(exploitAndroid)
+	exploitPostLogID = netsim.InternPayload(exploitPostLogin)
+
+	httpExploitIDs = func() map[string][]netsim.PayloadID {
+		m := make(map[string][]netsim.PayloadID, len(httpExploitGroups))
+		for name, g := range httpExploitGroups {
+			m[name] = netsim.InternPayloads(g)
+		}
+		return m
+	}()
+
+	// protoProbeIDs interns fingerprint.Probe for every identifiable
+	// protocol, so protocol-probe emitters stop rebuilding the probe
+	// bytes per packet.
+	protoProbeIDs = func() map[fingerprint.Protocol]netsim.PayloadID {
+		m := map[fingerprint.Protocol]netsim.PayloadID{}
+		for _, p := range fingerprint.All() {
+			m[p] = netsim.InternPayload(fingerprint.Probe(p))
+		}
+		return m
+	}()
+)
+
+// HTTPExploitIDs returns the interned ids of a named exploit group, in
+// HTTPExploits order. It panics on an unknown group name.
+func HTTPExploitIDs(group string) []netsim.PayloadID {
+	g, ok := httpExploitIDs[group]
+	if !ok {
+		panic(fmt.Sprintf("scanners: unknown exploit group %q", group))
+	}
+	return g
+}
+
+// ProbeID returns the interned id of fingerprint.Probe(p).
+func ProbeID(p fingerprint.Protocol) netsim.PayloadID { return protoProbeIDs[p] }
+
 // unexpectedProtocolProbes are the non-HTTP first payloads sent to
 // HTTP-assigned ports (§6): TLS leads at 7%, then Telnet, SQL, RTSP,
 // SMB.
@@ -170,18 +215,30 @@ func TelnetDictGlobal() []netsim.Credential { return telnetUsersGlobal }
 // TelnetDictHuaweiAU returns the Australia-targeted Huawei dictionary.
 func TelnetDictHuaweiAU() []netsim.Credential { return telnetUsersHuaweiAU }
 
-// sshCreds builds the credential list of one SSH campaign: a username
-// flavor crossed with the shared password set.
+// sshCredsByFlavor memoizes the per-flavor campaign dictionaries:
+// several actors draw from them per probe, so they are built once at
+// init instead of per call.
+var sshCredsByFlavor = func() map[string][]netsim.Credential {
+	m := make(map[string][]netsim.Credential, len(sshUserLists))
+	for flavor, users := range sshUserLists {
+		var out []netsim.Credential
+		for _, u := range users {
+			for _, p := range sshPasswordsCommon {
+				out = append(out, netsim.Credential{Username: u, Password: p})
+			}
+		}
+		m[flavor] = out
+	}
+	return m
+}()
+
+// sshCreds returns the credential list of one SSH campaign: a username
+// flavor crossed with the shared password set. The list is shared and
+// read-only.
 func sshCreds(flavor string) []netsim.Credential {
-	users, ok := sshUserLists[flavor]
+	out, ok := sshCredsByFlavor[flavor]
 	if !ok {
 		panic(fmt.Sprintf("scanners: unknown ssh user flavor %q", flavor))
-	}
-	var out []netsim.Credential
-	for _, u := range users {
-		for _, p := range sshPasswordsCommon {
-			out = append(out, netsim.Credential{Username: u, Password: p})
-		}
 	}
 	return out
 }

@@ -1,8 +1,8 @@
 package scanners
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 	"time"
 
@@ -78,19 +78,19 @@ func newActor(cfg Config, name string, asn int, benign bool, n int,
 // --- Research / search-engine scanners (benign, scan everything) -----------
 
 func bulkResearch(cfg Config) []*Actor {
-	protoPayload := func(rng *rand.Rand, port uint16) []byte {
+	protoPayload := func(rng *rand.Rand, port uint16) netsim.PayloadID {
 		if p := fingerprint.Expected(port); p != fingerprint.Unknown {
 			// Research scanners occasionally probe alternate protocols
 			// on assigned ports; Censys is the paper's "leading benign
 			// organization to find unexpected services".
 			if port == 80 || port == 8080 {
 				if rng.Float64() < 0.10 {
-					return fingerprint.Probe(fingerprint.TLS)
+					return ProbeID(fingerprint.TLS)
 				}
 			}
-			return fingerprint.Probe(p)
+			return ProbeID(p)
 		}
-		return fingerprint.Probe(fingerprint.HTTP)
+		return ProbeID(fingerprint.HTTP)
 	}
 	mk := func(name string, asn int, n, perIP int, cover float64) *Actor {
 		return newActor(cfg, name, asn, true, n, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
@@ -98,7 +98,7 @@ func bulkResearch(cfg Config) []*Actor {
 				Ports:       []uint16{21, 22, 23, 25, 80, 443, 2222, 2323, 7547, 8080},
 				Cover:       cover,
 				MinAttempts: 1,
-				Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
+				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
 					return protoPayload(rng, 0)
 				},
 			})
@@ -126,7 +126,7 @@ func bulkResearch(cfg Config) []*Actor {
 					emit(netsim.Probe{
 						T: uniformTime(rng), Src: src, ASN: a.AS.ASN,
 						Dst: t.IP, Port: port, Transport: wire.TCP,
-						Payload: protoPayload(rng, port),
+						Pay: protoPayload(rng, port),
 					})
 				}
 			}
@@ -138,8 +138,8 @@ func bulkResearch(cfg Config) []*Actor {
 	zgrab := newActor(cfg, "zgrab-research", 14061, true, 15, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{22, 80, 443}, Cover: 0.5, MinAttempts: 1,
-			Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
-				return researchHTTP[rng.Intn(len(researchHTTP))]
+			Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
+				return researchHTTPIDs[rng.Intn(len(researchHTTPIDs))]
 			},
 		})
 		a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{22, 80, 443}, PerIP: 6})
@@ -158,7 +158,7 @@ func miraiFamily(cfg Config) []*Actor {
 	var actors []*Actor
 	for i, asn := range miraiASNs {
 		scan2323 := i%2 == 0 // half the family sweeps 2323 on the darknet (Table 8: 53% overlap)
-		name := fmt.Sprintf("mirai-%d", asn)
+		name := "mirai-" + strconv.Itoa(asn)
 		actors = append(actors, newActor(cfg, name, asn, false, 28, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{23, 2323}, Cover: 0.30,
@@ -166,7 +166,7 @@ func miraiFamily(cfg Config) []*Actor {
 				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
 					return pickCreds(rng, telnetUsersGlobal, 2, 5)
 				},
-				Payload: func(rng *rand.Rand, t *netsim.Target) []byte { return telnetCommand },
+				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID { return telnetCommandID },
 			})
 			telPorts := []uint16{23}
 			if scan2323 {
@@ -254,7 +254,7 @@ func tsunami(cfg Config) []*Actor {
 	asns := []int{202425, 204428, 48693, 211252, 47890}
 	var actors []*Actor
 	for _, asn := range asns {
-		actors = append(actors, newActor(cfg, fmt.Sprintf("tsunami-%d", asn), asn, false, 40,
+		actors = append(actors, newActor(cfg, "tsunami-"+strconv.Itoa(asn), asn, false, 40,
 			func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 				victim := pickRegionVictim(ctx, "he:us-ohio", "tsunami")
 				if victim == nil {
@@ -294,15 +294,15 @@ func httpCampaigns(cfg Config) []*Actor {
 	// target address), so identical neighboring services accumulate
 	// different top payloads from the same campaign — the §4.1 payload
 	// divergence without any shift in the AS distribution.
-	mixPayload := func(exploits [][]byte, exploitShare float64) func(*rand.Rand, *netsim.Target) []byte {
-		return func(rng *rand.Rand, t *netsim.Target) []byte {
+	mixPayload := func(exploits []netsim.PayloadID, exploitShare float64) func(*rand.Rand, *netsim.Target) netsim.PayloadID {
+		return func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
 			if rng.Float64() < exploitShare {
 				if rng.Float64() < 0.75 {
 					return exploits[int(uint32(t.IP)>>3)%len(exploits)]
 				}
 				return exploits[rng.Intn(len(exploits))]
 			}
-			return benignHTTP[rng.Intn(len(benignHTTP))]
+			return benignHTTPIDs[rng.Intn(len(benignHTTPIDs))]
 		}
 	}
 
@@ -312,7 +312,7 @@ func httpCampaigns(cfg Config) []*Actor {
 	actors = append(actors, newActor(cfg, "gafgyt-web", 202425, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.45, MinAttempts: 1, MaxAttempts: 2,
-			Payload: mixPayload(HTTPExploits("global"), 0.35),
+			Payload: mixPayload(HTTPExploitIDs("global"), 0.35),
 		})
 		a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{80, 8080}, PerIP: 14, Pick: Avoid255(4)})
 	}))
@@ -322,7 +322,7 @@ func httpCampaigns(cfg Config) []*Actor {
 	actors = append(actors, newActor(cfg, "web-crawl-baseline", 7922, true, 35, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080, 443}, Cover: 0.55, MinAttempts: 1, MaxAttempts: 2,
-			Payload: mixPayload(HTTPExploits("global"), 0),
+			Payload: mixPayload(HTTPExploitIDs("global"), 0),
 		})
 		a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{80, 8080}, PerIP: 12, Pick: Avoid255(4)})
 	}))
@@ -331,15 +331,15 @@ func httpCampaigns(cfg Config) []*Actor {
 	actors = append(actors, newActor(cfg, "censys-altproto", 398324, true, 8, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.7, MinAttempts: 1, MaxAttempts: 2,
-			Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
-				return fingerprint.Probe(fingerprint.TLS)
+			Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
+				return ProbeID(fingerprint.TLS)
 			},
 		})
 	}))
 	actors = append(actors, newActor(cfg, "log4shell-campaign", 204428, false, 18, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.5, MinAttempts: 1,
-			Payload: mixPayload(HTTPExploits("cloud-api"), 0.8),
+			Payload: mixPayload(HTTPExploitIDs("cloud-api"), 0.8),
 		})
 		a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{80}, PerIP: 10, Pick: Avoid255(4)})
 	}))
@@ -356,7 +356,7 @@ func httpCampaigns(cfg Config) []*Actor {
 				return 0.4
 			},
 			MinAttempts: 1, MaxAttempts: 2,
-			Payload: mixPayload(HTTPExploits("iot-apac"), 0.7),
+			Payload: mixPayload(HTTPExploitIDs("iot-apac"), 0.7),
 		})
 		a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{80, 8080}, PerIP: 8, Pick: Avoid255(4)})
 	}))
@@ -369,7 +369,7 @@ func httpCampaigns(cfg Config) []*Actor {
 				return t.Geo.Country == "IN" && t.Geo.City == "BOM"
 			},
 			MinAttempts: 2, MaxAttempts: 4,
-			Payload: func(rng *rand.Rand, t *netsim.Target) []byte { return exploitPostLogin },
+			Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID { return exploitPostLogID },
 		})
 	}))
 	// SATNET targets everything except Mumbai (§5.1).
@@ -380,7 +380,7 @@ func httpCampaigns(cfg Config) []*Actor {
 				return !(t.Geo.Country == "IN" && t.Geo.City == "BOM")
 			},
 			MinAttempts: 1,
-			Payload:     mixPayload(HTTPExploits("global"), 0.2),
+			Payload:     mixPayload(HTTPExploitIDs("global"), 0.2),
 		})
 	}))
 
@@ -395,7 +395,7 @@ func httpCampaigns(cfg Config) []*Actor {
 				return 0.3
 			},
 			MinAttempts: 1, MaxAttempts: 2,
-			Payload: func(rng *rand.Rand, t *netsim.Target) []byte { return exploitAndroid },
+			Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID { return exploitAndroidID },
 		})
 	}))
 	// Extra telnet volume into AWS Paris (§5.1).
@@ -433,17 +433,17 @@ func unexpectedProtocol(cfg Config) []*Actor {
 		return newActor(cfg, name, asn, false, count, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{80, 8080}, Cover: 0.55, MinAttempts: 1, MaxAttempts: 2,
-				Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
+				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
 					pick := unexpectedProtocolProbes[netsim.PickWeighted(rng, weights)]
-					return fingerprint.Probe(pick.Proto)
+					return ProbeID(pick.Proto)
 				},
 			})
 			// These sources are also seen exploiting (GreyNoise labels
 			// the majority of unexpected-protocol scanners malicious).
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{80}, Cover: 0.18, MinAttempts: 1,
-				Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
-					g := HTTPExploits("global")
+				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
+					g := HTTPExploitIDs("global")
 					return g[rng.Intn(len(g))]
 				},
 			})
@@ -467,7 +467,7 @@ type minerSpec struct {
 	engine   string // "censys", "shodan", or "history"
 	port     uint16
 	attempts [2]int
-	payload  func(rng *rand.Rand) []byte
+	payload  func(rng *rand.Rand) netsim.PayloadID
 	creds    func(rng *rand.Rand) []netsim.Credential
 }
 
@@ -496,13 +496,13 @@ func miners(cfg Config) []*Actor {
 	// HTTP miners interleave reconnaissance GETs with exploitation:
 	// the "All" fold exceeds the "Malicious" fold (7.7–17.2× vs
 	// 4.0–7.3×).
-	httpMinerPayload := func(rng *rand.Rand) []byte {
+	httpMinerPayload := func(rng *rand.Rand) netsim.PayloadID {
 		if rng.Float64() < 0.62 {
-			return benignHTTP[rng.Intn(len(benignHTTP))]
+			return benignHTTPIDs[rng.Intn(len(benignHTTPIDs))]
 		}
-		g := HTTPExploits("post-login")
+		g := HTTPExploitIDs("post-login")
 		if rng.Float64() < 0.4 {
-			g = HTTPExploits("global")
+			g = HTTPExploitIDs("global")
 		}
 		return g[rng.Intn(len(g))]
 	}
@@ -566,11 +566,11 @@ func miners(cfg Config) []*Actor {
 	return actors
 }
 
-func wrapPayload(f func(rng *rand.Rand) []byte) func(*rand.Rand, *netsim.Target) []byte {
+func wrapPayload(f func(rng *rand.Rand) netsim.PayloadID) func(*rand.Rand, *netsim.Target) netsim.PayloadID {
 	if f == nil {
 		return nil
 	}
-	return func(rng *rand.Rand, t *netsim.Target) []byte { return f(rng) }
+	return func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID { return f(rng) }
 }
 
 func wrapCreds(f func(rng *rand.Rand) []netsim.Credential) func(*rand.Rand, *netsim.Target) []netsim.Credential {
@@ -622,8 +622,8 @@ func nmapTrio(cfg Config) []*Actor {
 					return t.ListensOn(80) && !ctx.Censys.Indexed(t.IP, 80)
 				},
 				Cover: 0.8, MinAttempts: 1, MaxAttempts: 2,
-				Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
-					return nmapHTTP[rng.Intn(len(nmapHTTP))]
+				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
+					return nmapHTTPIDs[rng.Intn(len(nmapHTTPIDs))]
 				},
 			})
 		}))
@@ -712,11 +712,11 @@ func portCampaigns(cfg Config) []*Actor {
 		return newActor(cfg, name, asn, false, n, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{port}, Cover: 0.5, MinAttempts: 1, MaxAttempts: 2,
-				Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
+				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
 					if port == 443 {
-						return fingerprint.Probe(fingerprint.TLS)
+						return ProbeID(fingerprint.TLS)
 					}
-					return nil
+					return 0
 				},
 			})
 			k := int(float64(len(a.IPs)) * telescopeSrcFrac)
@@ -767,7 +767,7 @@ func neighborLatchers(cfg Config) []*Actor {
 			}
 			k := k
 			asn := latchASNs[(i+len(actors))%len(latchASNs)]
-			name := fmt.Sprintf("latch-%s-%s", k.kind, region)
+			name := "latch-" + k.kind + "-" + region
 			flavor := sshUserListKeys[rng.Intn(len(sshUserListKeys))]
 			vendorDict := telnetVendorDicts[rng.Intn(len(telnetVendorDicts))]
 			// A small share of SSH campaigns carry an unusual password
@@ -808,8 +808,8 @@ func neighborLatchers(cfg Config) []*Actor {
 					a.ScanServices(ctx, emit, ServiceScan{
 						Ports: []uint16{80, 8080}, Cover: 0.9, Filter: only,
 						MinAttempts: 3, MaxAttempts: 6,
-						Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
-							g := HTTPExploits("post-login")
+						Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
+							g := HTTPExploitIDs("post-login")
 							return g[rng.Intn(len(g))]
 						},
 					})
@@ -859,8 +859,8 @@ func apacCountryActors(cfg Config) []*Actor {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{80, 8080}, Cover: 0.5, Filter: inCountry,
 				MinAttempts: 1, MaxAttempts: 2,
-				Payload: func(rng *rand.Rand, t *netsim.Target) []byte {
-					g := HTTPExploits(exploitGroup)
+				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
+					g := HTTPExploitIDs(exploitGroup)
 					return g[rng.Intn(len(g))]
 				},
 			})
@@ -910,13 +910,28 @@ func pickCreds(rng *rand.Rand, dict []netsim.Credential, minN, maxN int) []netsi
 		n = len(dict)
 	}
 	out := make([]netsim.Credential, 0, n)
-	seen := map[int]bool{}
+	// Every dictionary fits in a word, so the seen-set is a bitmask —
+	// pickCreds runs per probe and must not allocate beyond the
+	// returned (record-retained) slice. The draw sequence is identical
+	// to the historical map-based rejection loop.
+	var seen uint64
+	var seenBig map[int]bool
+	if len(dict) > 64 {
+		seenBig = map[int]bool{}
+	}
 	for len(out) < n {
 		i := rng.Intn(len(dict))
-		if seen[i] {
-			continue
+		if seenBig != nil {
+			if seenBig[i] {
+				continue
+			}
+			seenBig[i] = true
+		} else {
+			if seen&(1<<i) != 0 {
+				continue
+			}
+			seen |= 1 << i
 		}
-		seen[i] = true
 		out = append(out, dict[i])
 	}
 	return out

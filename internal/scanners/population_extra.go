@@ -1,8 +1,8 @@
 package scanners
 
 import (
-	"fmt"
 	"math/rand"
+	"strconv"
 
 	"cloudwatch/internal/netsim"
 )
@@ -20,7 +20,7 @@ func backgroundRadiation(cfg Config) []*Actor {
 	var actors []*Actor
 	for i, as := range netsim.AllAS() {
 		i, as := i, as
-		name := fmt.Sprintf("ibr-%d", as.ASN)
+		name := "ibr-" + strconv.Itoa(as.ASN)
 		actors = append(actors, newActor(cfg, name, as.ASN, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 			a.ScanTelescope(ctx, emit, TelescopeScan{
 				Ports: []uint16{ports[i%len(ports)], ports[(i+5)%len(ports)]},
@@ -62,11 +62,14 @@ func narrowWebSweeps(cfg Config) []*Actor {
 	var actors []*Actor
 	for _, sw := range sweeps {
 		sw := sw
+		// The sweep payloads are exploit-corpus entries already
+		// registered at init; interning here resolves the shared id.
+		payID := netsim.InternPayload(sw.payload)
 		actors = append(actors, newActor(cfg, sw.name, sw.asn, false, 8, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{sw.port}, Cover: 0.20,
 				MinAttempts: 3, MaxAttempts: 8,
-				Payload: func(rng *rand.Rand, t *netsim.Target) []byte { return sw.payload },
+				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID { return payID },
 			})
 			// Web sweeps walk the whole address space: they reach the
 			// darknet too (Table 8: 73-80% overlap on 80/8080).
@@ -112,9 +115,9 @@ func monitorLatchers(cfg Config) []*Actor {
 		for _, m := range mix {
 			m := m
 			port := port
-			name := fmt.Sprintf("monitor-%d-%d-%s", port, m.asn, region)
+			name := "monitor-" + strconv.Itoa(int(port)) + "-" + strconv.Itoa(m.asn) + "-" + region
 			actors = append(actors, newActor(cfg, name, m.asn, false, m.ips, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
-				victim := pickRegionVictim(ctx, region, fmt.Sprintf("monitor-%d", port))
+				victim := pickRegionVictim(ctx, region, "monitor-"+strconv.Itoa(int(port)))
 				if victim == nil {
 					return
 				}

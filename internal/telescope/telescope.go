@@ -25,6 +25,34 @@ type Collector struct {
 	perAddr    map[uint16]map[wire.Addr]map[wire.Addr]struct{}
 	watch      map[uint16]bool
 	packets    int
+
+	// Per-port lookup cache for the observe hot path: sweeps hammer
+	// one port for long stretches, so the three per-probe map lookups
+	// collapse to a port comparison. Valid only between Observe calls
+	// (single-goroutine use, per the type contract).
+	cachePort  uint16
+	cacheOK    bool
+	cacheSrcs  map[wire.Addr]struct{}
+	cacheFreq  stats.Freq
+	cacheWatch map[wire.Addr]map[wire.Addr]struct{} // nil when port unwatched
+
+	// Source-repeat cache: a sweep emits long runs of probes from one
+	// source to one port, so the unique-source set insert is skipped
+	// while the (port, src) pair repeats.
+	cacheSrc   wire.Addr
+	cacheSrcOK bool
+
+	// Per-AS deferred count: consecutive probes come from one actor
+	// (one AS), so AS-frequency increments accumulate in a plain
+	// counter and flush into cacheFreq when the (port, ASN) run ends —
+	// one map assignment per run instead of per probe. flushAS runs on
+	// port/ASN switches, on Merge (both sides), and on the frequency
+	// readers; a merged study collector never observes, so its reads
+	// stay mutation-free and safe for concurrent experiments.
+	cacheASN int
+	cacheKey string
+	asValid  bool
+	pending  float64
 }
 
 // New returns a collector tracking per-destination detail for the
@@ -47,30 +75,27 @@ func New(watchPorts ...uint16) *Collector {
 // construction.
 func (c *Collector) Observe(p netsim.Probe) {
 	c.packets++
-	srcs, ok := c.srcsByPort[p.Port]
-	if !ok {
-		srcs = map[wire.Addr]struct{}{}
-		c.srcsByPort[p.Port] = srcs
+	if !c.cacheOK || p.Port != c.cachePort {
+		c.fillPortCache(p.Port)
 	}
-	srcs[p.Src] = struct{}{}
-
-	freq, ok := c.asByPort[p.Port]
-	if !ok {
-		freq = stats.Freq{}
-		c.asByPort[p.Port] = freq
-	}
-	if as, found := netsim.LookupAS(p.ASN); found {
-		freq.Add(as.Key(), 1)
-	} else {
-		freq.Add("unknown", 1)
+	if !c.cacheSrcOK || p.Src != c.cacheSrc {
+		c.cacheSrcs[p.Src] = struct{}{}
+		c.cacheSrc, c.cacheSrcOK = p.Src, true
 	}
 
-	if c.watch[p.Port] {
-		byDst, ok := c.perAddr[p.Port]
-		if !ok {
-			byDst = map[wire.Addr]map[wire.Addr]struct{}{}
-			c.perAddr[p.Port] = byDst
+	if p.ASN != c.cacheASN || !c.asValid {
+		c.flushAS()
+		c.cacheASN = p.ASN
+		c.asValid = true
+		if as, found := netsim.LookupAS(p.ASN); found {
+			c.cacheKey = as.Key()
+		} else {
+			c.cacheKey = "unknown"
 		}
+	}
+	c.pending++
+
+	if byDst := c.cacheWatch; byDst != nil {
 		set, ok := byDst[p.Dst]
 		if !ok {
 			set = map[wire.Addr]struct{}{}
@@ -78,6 +103,46 @@ func (c *Collector) Observe(p netsim.Probe) {
 		}
 		set[p.Src] = struct{}{}
 	}
+}
+
+// flushAS folds the deferred AS-frequency run counter into the cached
+// port's table. With nothing pending it performs no writes at all, so
+// the frequency readers of a merged (never-observed) collector stay
+// safe for concurrent use.
+func (c *Collector) flushAS() {
+	if c.asValid && c.pending > 0 {
+		c.cacheFreq.Add(c.cacheKey, c.pending)
+		c.pending = 0
+	}
+}
+
+// fillPortCache points the observe cache at port's aggregation maps,
+// creating them on first traffic. The deferred AS count is flushed
+// first: it belongs to the previous port's table.
+func (c *Collector) fillPortCache(port uint16) {
+	c.flushAS()
+	c.asValid = false
+	c.cacheSrcOK = false
+	srcs, ok := c.srcsByPort[port]
+	if !ok {
+		srcs = map[wire.Addr]struct{}{}
+		c.srcsByPort[port] = srcs
+	}
+	freq, ok := c.asByPort[port]
+	if !ok {
+		freq = stats.Freq{}
+		c.asByPort[port] = freq
+	}
+	var byDst map[wire.Addr]map[wire.Addr]struct{}
+	if c.watch[port] {
+		byDst, ok = c.perAddr[port]
+		if !ok {
+			byDst = map[wire.Addr]map[wire.Addr]struct{}{}
+			c.perAddr[port] = byDst
+		}
+	}
+	c.cachePort, c.cacheOK = port, true
+	c.cacheSrcs, c.cacheFreq, c.cacheWatch = srcs, freq, byDst
 }
 
 // Packets returns the total packet count observed.
@@ -94,6 +159,8 @@ func (c *Collector) Merge(o *Collector) {
 	if c == o {
 		return
 	}
+	c.flushAS()
+	o.flushAS()
 	c.packets += o.packets
 	for port, srcs := range o.srcsByPort {
 		dst, ok := c.srcsByPort[port]
@@ -162,6 +229,7 @@ func (c *Collector) AllSources() map[wire.Addr]struct{} {
 // ASFrequencies returns the AS frequency table of a port. The table is
 // shared; callers must not mutate it.
 func (c *Collector) ASFrequencies(port uint16) stats.Freq {
+	c.flushAS()
 	f := c.asByPort[port]
 	if f == nil {
 		return stats.Freq{}
@@ -171,6 +239,7 @@ func (c *Collector) ASFrequencies(port uint16) stats.Freq {
 
 // ASFrequenciesAll merges the AS tables of every port.
 func (c *Collector) ASFrequenciesAll() stats.Freq {
+	c.flushAS()
 	out := stats.Freq{}
 	for _, f := range c.asByPort {
 		for k, v := range f {

@@ -1,6 +1,7 @@
 package telescope
 
 import (
+	"sync"
 	"testing"
 
 	"cloudwatch/internal/netsim"
@@ -214,5 +215,85 @@ func TestCollectorSelfMergeNoOp(t *testing.T) {
 	}
 	if got := c.ASFrequencies(22)["AS4134 Chinanet"]; got != 1 {
 		t.Errorf("self-merge changed AS count: %v, want 1", got)
+	}
+}
+
+// TestObserveCachesFlushOnReads checks the deferred AS-frequency run
+// counter: interleaved ports, ASNs, and repeated sources must produce
+// exactly the per-probe counts, whether read directly or after Merge.
+func TestObserveCachesFlushOnReads(t *testing.T) {
+	c := New(22)
+	probes := []netsim.Probe{
+		mkProbe("10.0.0.1", "1.1.1.1", 22, 4134),
+		mkProbe("10.0.0.1", "1.1.1.1", 22, 4134),
+		mkProbe("10.0.0.1", "1.1.1.2", 22, 4134),
+		mkProbe("10.0.0.2", "1.1.1.1", 23, 4134),
+		mkProbe("10.0.0.2", "1.1.1.1", 22, 16276),
+		mkProbe("10.0.0.1", "1.1.1.1", 22, 16276),
+		mkProbe("10.0.0.1", "1.1.1.1", 22, 4134),
+	}
+	for _, p := range probes {
+		c.Observe(p)
+	}
+	f := c.ASFrequencies(22)
+	chinanet := netsim.MustAS(4134).Key()
+	ovh := netsim.MustAS(16276).Key()
+	if f[chinanet] != 4 || f[ovh] != 2 {
+		t.Fatalf("port 22 AS counts = %v, want %s:4 %s:2", f, chinanet, ovh)
+	}
+	if g := c.ASFrequencies(23); g[chinanet] != 1 {
+		t.Fatalf("port 23 AS counts = %v", g)
+	}
+	if c.UniqueSourceCount(22) != 2 || c.UniqueSourceCount(23) != 1 {
+		t.Fatalf("unique sources = %d/%d", c.UniqueSourceCount(22), c.UniqueSourceCount(23))
+	}
+
+	// Merge flushes pending runs on both sides.
+	a, b := New(22), New(22)
+	for _, p := range probes[:3] {
+		a.Observe(p)
+	}
+	for _, p := range probes[3:] {
+		b.Observe(p)
+	}
+	a.Merge(b)
+	got := a.ASFrequencies(22)
+	for k, v := range f {
+		if got[k] != v {
+			t.Fatalf("merged AS %q = %v, want %v", k, got[k], v)
+		}
+	}
+	if a.Packets() != c.Packets() {
+		t.Fatalf("merged packets = %d, want %d", a.Packets(), c.Packets())
+	}
+}
+
+// TestMergedCollectorConcurrentReads locks in the read-path contract:
+// frequency readers on a merged (never-observed) collector perform no
+// writes, so concurrent experiment fan-out is race-free (run under
+// -race).
+func TestMergedCollectorConcurrentReads(t *testing.T) {
+	shard := New(22)
+	for i := 0; i < 50; i++ {
+		shard.Observe(mkProbe("10.0.0.1", "1.1.1.1", 22, 4134))
+		shard.Observe(mkProbe("10.0.0.2", "1.1.1.2", 23, 16276))
+	}
+	merged := New(22)
+	merged.Merge(shard)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = merged.ASFrequencies(22)
+				_ = merged.ASFrequenciesAll()
+				_ = merged.UniqueSourceCount(23)
+			}
+		}()
+	}
+	wg.Wait()
+	if f := merged.ASFrequencies(22); f[netsim.MustAS(4134).Key()] != 50 {
+		t.Fatalf("merged AS counts wrong after concurrent reads: %v", f)
 	}
 }

@@ -6,14 +6,14 @@
 # comparison.
 #
 # Usage: scripts/bench.sh [output.json] [bench-log]
-#   output.json  summary destination (default: BENCH_PR3.json)
+#   output.json  summary destination (default: BENCH_PR4.json)
 #   bench-log    existing `go test -bench` output to parse for the
 #                cold-path numbers instead of re-running them (lets CI
 #                run them once); the steady-state pass always runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR3.json}"
+out="${1:-BENCH_PR4.json}"
 log="${2:-}"
 steady="$(mktemp)"
 cleanup="$steady"
@@ -21,9 +21,16 @@ trap 'rm -f $cleanup' EXIT
 if [ -z "$log" ]; then
   log="$(mktemp)"
   cleanup="$cleanup $log"
-  go test -bench 'BenchmarkStudyParallel$|BenchmarkTable|BenchmarkFigure1' \
+  go test -bench 'BenchmarkTable|BenchmarkFigure1' \
     -benchtime=1x -run '^$' . | tee "$log"
 fi
+
+# Generation throughput runs in its own multi-iteration pass: a single
+# -benchtime=1x sample of records/sec is dominated by first-run warmup
+# and scheduler noise. Appending to the log keeps the awk below a
+# single-pass parse whether the cold log came from CI or from here.
+go test -bench 'BenchmarkStudyGeneration$|BenchmarkStudySerial$|BenchmarkStudyParallel$' \
+  -benchtime=5x -run '^$' . | tee -a "$log"
 
 go test -bench 'BenchmarkTable2Neighborhoods$|BenchmarkTable5GeoSimilarity$' \
   -benchtime=20x -run '^$' . | tee "$steady"
@@ -35,8 +42,18 @@ awk -v out="$out" '
   { file = (FILENAME == ARGV[1]) ? 1 : 2 }
   # Lines without a ns/op field (interrupted or malformed bench
   # output) are skipped instead of emitting invalid JSON.
-  file == 1 && /^BenchmarkStudyParallel/ {
-    for (i = 1; i <= NF; i++) if ($i == "records/sec") rps = $(i-1)
+  # Per-benchmark generation throughput (BenchmarkStudyGeneration /
+  # Serial / Parallel) so the records/sec trajectory is tracked per PR.
+  file == 1 && /^BenchmarkStudy/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 1; i <= NF; i++)
+      if ($i == "records/sec") {
+        # Later lines win (the dedicated multi-iteration pass appends
+        # after any 1x smoke lines), without duplicating JSON keys.
+        if (!(name in gen)) gorder[gn++] = name
+        gen[name] = $(i-1)
+        if (name == "BenchmarkStudyParallel") rps = $(i-1)
+      }
   }
   file == 1 && /^Benchmark(Table|Figure)/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -49,7 +66,10 @@ awk -v out="$out" '
       if ($i == "ns/op") { sns[name] = $(i-1); sorder[sn++] = name; break }
   }
   END {
-    printf "{\n  \"records_per_sec\": %s,\n  \"table_bench_ns_per_op\": {\n", (rps == "" ? "null" : rps) > out
+    printf "{\n  \"records_per_sec\": %s,\n  \"generation_records_per_sec\": {\n", (rps == "" ? "null" : rps) > out
+    for (i = 0; i < gn; i++)
+      printf "    \"%s\": %s%s\n", gorder[i], gen[gorder[i]], (i < gn-1 ? "," : "") >> out
+    printf "  },\n  \"table_bench_ns_per_op\": {\n" >> out
     for (i = 0; i < n; i++)
       printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "") >> out
     printf "  },\n  \"steady_state_ns_per_op\": {\n" >> out
