@@ -14,8 +14,10 @@ import (
 	"cloudwatch/internal/core"
 	"cloudwatch/internal/fingerprint"
 	"cloudwatch/internal/ids"
+	"cloudwatch/internal/netsim"
 	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/stats"
+	"cloudwatch/internal/stream"
 )
 
 var (
@@ -336,6 +338,114 @@ func BenchmarkViewPipelineWarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.Table2()
+	}
+}
+
+// Streaming-engine benchmarks: ingest throughput and the K/prefix
+// sweep engine against cold re-runs.
+
+// sweepBenchEpochs matches the acceptance grid: Table 2 and Table 5
+// across K = 1..10 on every prefix of an 8-epoch week.
+const sweepBenchEpochs = 8
+
+var sweepBenchTables = []string{"table2", "table5"}
+
+var (
+	sweepEngOnce sync.Once
+	sweepEng     *StreamEngine
+	sweepEngErr  error
+)
+
+// sweepEngine builds (once) the fully-ingested streaming engine the
+// warm-sweep benchmark reads.
+func sweepEngine(b *testing.B) *StreamEngine {
+	b.Helper()
+	sweepEngOnce.Do(func() {
+		eng, err := NewStream(StreamConfig{Study: QuickStudy(42, 2021), Epochs: sweepBenchEpochs})
+		if err == nil {
+			err = eng.IngestAll()
+		}
+		sweepEng, sweepEngErr = eng, err
+	})
+	if sweepEngErr != nil {
+		b.Fatal(sweepEngErr)
+	}
+	return sweepEng
+}
+
+// BenchmarkStreamIngest measures end-to-end streaming ingestion:
+// epoch-partitioned generation plus the materialization of every
+// prefix snapshot, reported as records/sec of the final study (compare
+// against BenchmarkStudyParallel for the streaming overhead).
+func BenchmarkStreamIngest(b *testing.B) {
+	records := 0
+	for i := 0; i < b.N; i++ {
+		eng, err := NewStream(StreamConfig{Study: QuickStudy(int64(i), 2021), Epochs: sweepBenchEpochs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.IngestAll(); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := eng.Snapshot(sweepBenchEpochs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = snap.NumRecords()
+	}
+	if perOp := b.Elapsed().Seconds() / float64(b.N); perOp > 0 {
+		b.ReportMetric(float64(records)/perOp, "records/sec")
+	}
+}
+
+// BenchmarkSweepWarm measures the sweep engine on a fully-ingested
+// week: Table 2 and Table 5 at K = 1..10 across all 8 epoch prefixes
+// (160 renders per iteration), with the interned BatchSet summaries
+// and finished families reused across sweep points. Compare
+// renders/sec against BenchmarkSweepCold for the acceptance ratio.
+func BenchmarkSweepWarm(b *testing.B) {
+	eng := sweepEngine(b)
+	req := stream.SweepRequest{Tables: sweepBenchTables, KMin: 1, KMax: 10}
+	b.ResetTimer()
+	renders := 0
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Sweep(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		renders = res.Renders
+	}
+	if perOp := b.Elapsed().Seconds() / float64(b.N); perOp > 0 {
+		b.ReportMetric(float64(renders)/perOp, "renders/sec")
+	}
+}
+
+// BenchmarkSweepCold prices the same grid without the streaming
+// engine: each iteration renders one (prefix, K, table) point from a
+// fresh truncated batch run — what sweeping cost before snapshots.
+func BenchmarkSweepCold(b *testing.B) {
+	eb := netsim.NewEpochs(sweepBenchEpochs)
+	cfg := QuickStudy(42, 2021)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		point := i % (sweepBenchEpochs * 10 * len(sweepBenchTables))
+		tbl := sweepBenchTables[point%len(sweepBenchTables)]
+		k := (point / len(sweepBenchTables) % 10) + 1
+		prefix := point/(10*len(sweepBenchTables)) + 1
+		c := cfg
+		if prefix < sweepBenchEpochs {
+			c.WindowSec = eb.Bound(prefix)
+		}
+		s, err := Run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := core.RenderExperimentAtK(s, tbl, k); !ok {
+			b.Fatalf("unknown sweep table %q", tbl)
+		}
+	}
+	if perOp := b.Elapsed().Seconds() / float64(b.N); perOp > 0 {
+		b.ReportMetric(1/perOp, "renders/sec")
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"cloudwatch/internal/core"
 	"cloudwatch/internal/honeypot"
 	"cloudwatch/internal/scanners"
+	"cloudwatch/internal/stream"
 )
 
 // StudyConfig assembles a full study: vantage deployment, actor
@@ -75,6 +76,40 @@ func FigureStudy(seed int64, year int) StudyConfig {
 // worker count.
 func Run(cfg StudyConfig) (*Study, error) {
 	return core.Run(cfg)
+}
+
+// StreamConfig sizes a streaming study: the batch study configuration
+// plus the number of time epochs the week is partitioned into.
+type StreamConfig = stream.Config
+
+// StreamEngine ingests a study epoch by epoch and hands out immutable
+// prefix snapshots (full *Study values) plus K/prefix sweeps of the
+// §3.3 comparison tables.
+type StreamEngine = stream.Engine
+
+// StreamServer serves a streaming study's snapshots and sweeps as
+// JSON over HTTP with per-(epoch, experiment) render caching.
+type StreamServer = stream.Server
+
+// SweepRequest selects a sweep grid: tables × top-K widths × epoch
+// prefixes.
+type SweepRequest = stream.SweepRequest
+
+// SweepResult is a finished sweep grid with its render throughput.
+type SweepResult = stream.SweepResult
+
+// NewStream generates the epoch-partitioned study material and
+// returns an engine with nothing ingested yet. Every epoch-prefix
+// snapshot it assembles is byte-identical to a batch Run truncated to
+// the same window.
+func NewStream(cfg StreamConfig) (*StreamEngine, error) {
+	return stream.New(cfg)
+}
+
+// NewStreamServer wraps a streaming engine in the HTTP snapshot/sweep
+// API.
+func NewStreamServer(eng *StreamEngine) *StreamServer {
+	return stream.NewServer(eng)
 }
 
 // HoneypotConfig configures a real honeypot daemon (see Honeypot

@@ -8,34 +8,43 @@
 //	cloudwatch -experiment table8         # one experiment
 //	cloudwatch -year 2020 -experiment table2   # Appendix C variant
 //	cloudwatch -full                      # paper-scale deployment (slower)
+//	cloudwatch -experiment sweep -epochs 8 -sweep-kmin 1 -sweep-kmax 10
+//	                                      # streaming K/epoch sweep, JSON on stdout
+//	cloudwatch -serve :8080               # long-running snapshot/sweep server
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/stream"
 )
 
 // figureMinSlash24s is the smallest telescope that renders Figure 1
 // faithfully: two full /16s of darknet.
 const figureMinSlash24s = 512
 
-// rendersFigure1 reports whether an experiment selection will render
-// Figure 1 — the figure experiments themselves or the "all" sweep,
-// which ends with Figure 1. ("appendix" renders tables only.)
-func rendersFigure1(experiment string) bool {
-	return experiment == "all" || strings.HasPrefix(experiment, "figure")
+// rendersFigure1 reports whether an experiment selection may render
+// Figure 1 — the figure experiments themselves, the "all" sweep (which
+// ends with Figure 1), and serve mode (whose clients can request any
+// experiment). ("appendix" and "sweep" render tables only.)
+func rendersFigure1(experiment string, serve bool) bool {
+	return serve || experiment == "all" || strings.HasPrefix(experiment, "figure")
 }
 
 // studyConfig assembles the study configuration for one CLI
 // invocation and describes the deployment it chose. The Figure 1
-// telescope bump applies whenever Figure 1 will be rendered — under
-// "-experiment all" just as under "-experiment figure1" — so the same
-// seed produces the same Figure 1 regardless of how it was requested.
-func studyConfig(seed int64, year int, scale float64, full bool, workers int, experiment string) (core.Config, string) {
+// telescope bump applies whenever Figure 1 may be rendered — under
+// "-experiment all" and "-serve" just as under "-experiment figure1" —
+// so the same seed produces the same Figure 1 regardless of how it was
+// requested.
+func studyConfig(seed int64, year int, scale float64, full bool, workers int, experiment string, serve bool) (core.Config, string) {
 	cfg := core.DefaultConfig(seed, year)
 	cfg.Actors.Scale = scale
 	cfg.Workers = workers
@@ -44,28 +53,124 @@ func studyConfig(seed int64, year int, scale float64, full bool, workers int, ex
 		cfg.Deploy = cfg.Deploy.AtPaperScale()
 		deployment = "paper-scale deployment"
 	}
-	if rendersFigure1(experiment) && cfg.Deploy.TelescopeSlash24s < figureMinSlash24s {
+	if rendersFigure1(experiment, serve) && cfg.Deploy.TelescopeSlash24s < figureMinSlash24s {
 		cfg.Deploy.TelescopeSlash24s = figureMinSlash24s
 		deployment = "Figure 1 deployment (telescope bumped to two full /16s)"
 	}
 	return cfg, deployment
 }
 
+// sweepFlags collects the streaming-mode knobs. Validation is
+// separate from flag parsing so the tests can exercise it directly.
+type sweepFlags struct {
+	epochs   int
+	tables   string
+	kMin     int
+	kMax     int
+	prefixes string
+}
+
+// sweepRequest validates the sweep flags into an engine request,
+// returning errors that enumerate the valid values.
+func (f sweepFlags) sweepRequest() (stream.SweepRequest, error) {
+	req := stream.SweepRequest{KMin: f.kMin, KMax: f.kMax}
+	if f.epochs < 1 {
+		return req, fmt.Errorf("-epochs %d: need at least 1 epoch", f.epochs)
+	}
+	if f.kMin < 1 || f.kMax < f.kMin {
+		return req, fmt.Errorf("-sweep-kmin %d -sweep-kmax %d: need 1 <= kmin <= kmax", f.kMin, f.kMax)
+	}
+	valid := core.SweepTables()
+	for _, tbl := range strings.Split(f.tables, ",") {
+		tbl = strings.TrimSpace(tbl)
+		if tbl == "" {
+			continue
+		}
+		ok := false
+		for _, v := range valid {
+			if tbl == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return req, fmt.Errorf("-sweep-tables: unknown table %q; valid: %s", tbl, strings.Join(valid, ", "))
+		}
+		req.Tables = append(req.Tables, tbl)
+	}
+	if f.prefixes != "" && f.prefixes != "all" {
+		for _, part := range strings.Split(f.prefixes, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || p < 1 || p > f.epochs {
+				return req, fmt.Errorf("-sweep-prefixes: bad prefix %q; valid: \"all\" or comma-separated epoch counts in 1..%d", part, f.epochs)
+			}
+			req.Prefixes = append(req.Prefixes, p)
+		}
+	}
+	return req, nil
+}
+
+// validExperiments names every accepted -experiment value.
+func validExperiments() string {
+	return strings.Join(core.ExperimentNames(), ", ") + ", appendix, all, sweep"
+}
+
+// knownExperiment reports whether an -experiment value is accepted.
+func knownExperiment(name string) bool {
+	if name == "all" || name == "appendix" || name == "sweep" {
+		return true
+	}
+	for _, n := range core.ExperimentNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
 	var (
 		seed       = flag.Int64("seed", 42, "simulation seed (all results are deterministic per seed)")
 		year       = flag.Int("year", 2021, "dataset year: 2020, 2021, or 2022 (Appendix C variants)")
-		experiment = flag.String("experiment", "all", "experiment to run: table1..table11, figure1, appendix, all")
+		experiment = flag.String("experiment", "all", "experiment to run: table1..table11, figure1, appendix, all, sweep")
 		scale      = flag.Float64("scale", 1.0, "actor population scale")
 		full       = flag.Bool("full", false, "use the paper's Table 1 deployment scale: full Orion telescope (1856 /24s) and full HE /24 honeypot fleet (256 IPs) instead of the 128/64 defaults (slower)")
 		workers    = flag.Int("workers", 0, "pipeline workers sharding the actor population (0 = GOMAXPROCS); results are identical for every count")
+		serve      = flag.String("serve", "", "serve streaming snapshots and sweeps over HTTP on this address (e.g. :8080); ingests epochs in the background")
+		sf         sweepFlags
 	)
+	flag.IntVar(&sf.epochs, "epochs", stream.DefaultEpochs, "time epochs the study week is partitioned into (sweep/serve modes)")
+	flag.StringVar(&sf.tables, "sweep-tables", "table2,table5", "comma-separated §3.3 tables to sweep: "+strings.Join(core.SweepTables(), ", "))
+	flag.IntVar(&sf.kMin, "sweep-kmin", 1, "smallest top-K width of the sweep")
+	flag.IntVar(&sf.kMax, "sweep-kmax", 10, "largest top-K width of the sweep")
+	flag.StringVar(&sf.prefixes, "sweep-prefixes", "all", "epoch prefixes to sweep: \"all\" (every ingested epoch) or comma-separated counts")
 	flag.Parse()
 
-	cfg, deployment := studyConfig(*seed, *year, *scale, *full, *workers, *experiment)
+	if !knownExperiment(*experiment) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *experiment, validExperiments())
+		os.Exit(2)
+	}
 
+	serveMode := *serve != ""
+	if serveMode && *experiment == "sweep" {
+		// The two streaming modes choose different deployments (serve
+		// may render Figure 1, sweep never does) and different outputs;
+		// combining them would silently drop one.
+		fmt.Fprintln(os.Stderr, "error: -serve and -experiment sweep are mutually exclusive; use -serve for the HTTP server (sweeps via GET /v1/sweep) or -experiment sweep for a one-shot JSON sweep")
+		os.Exit(2)
+	}
+	cfg, deployment := studyConfig(*seed, *year, *scale, *full, *workers, *experiment, serveMode)
+
+	// The chosen deployment prints in every mode — batch, sweep, and
+	// serve — so operators can always tell which telescope they got.
 	fmt.Fprintf(os.Stderr, "running %d study (seed %d, %s, telescope %d /24s)...\n",
 		*year, *seed, deployment, cfg.Deploy.TelescopeSlash24s)
+
+	if serveMode || *experiment == "sweep" {
+		runStreaming(cfg, sf, *serve, *experiment == "sweep")
+		return
+	}
+
 	study, err := core.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -74,44 +179,100 @@ func main() {
 	fmt.Fprintf(os.Stderr, "collected %d honeypot records, %d telescope packets\n\n",
 		study.NumRecords(), study.Tel.Packets())
 
-	experiments := map[string]func() string{
-		"table1":  func() string { return study.Table1().Render() },
-		"table2":  func() string { return study.Table2().Render() },
-		"table3":  func() string { return study.Table3().Render() },
-		"table4":  func() string { return study.Table4().Render() },
-		"table5":  func() string { return study.Table5().Render() },
-		"table6":  func() string { return study.Table6().Render() },
-		"table7":  func() string { return study.Table7().Render() },
-		"table8":  func() string { return study.Table8().Render() },
-		"table9":  func() string { return study.Table9().Render() },
-		"table10": func() string { return study.Table10().Render() },
-		"table11": func() string { return study.Table11().Render() },
-		"figure1": func() string { return study.Figure1().Render() },
-	}
-	order := []string{"table1", "table2", "table3", "table4", "table5", "table6",
-		"table7", "table8", "table9", "table10", "table11", "figure1"}
-
 	switch *experiment {
 	case "all":
-		for _, name := range order {
-			fmt.Println(experiments[name]())
+		for _, name := range core.ExperimentNames() {
+			out, _ := core.RenderExperiment(study, name)
+			fmt.Println(out)
 		}
 	case "appendix":
 		// Tables 12-17 are the 2020/2022 variants of tables 2, 5, 7,
 		// 10, 4, 11; run this binary with -year 2020 or -year 2022.
-		fmt.Println(study.Table2().Render())
-		fmt.Println(study.Table5().Render())
-		fmt.Println(study.Table7().Render())
-		fmt.Println(study.Table10().Render())
-		fmt.Println(study.Table4().Render())
-		fmt.Println(study.Table11().Render())
+		for _, name := range core.AppendixExperiments() {
+			out, _ := core.RenderExperiment(study, name)
+			fmt.Println(out)
+		}
 	default:
-		run, ok := experiments[*experiment]
+		out, ok := core.RenderExperiment(study, *experiment)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s, appendix, all\n",
-				*experiment, strings.Join(order, ", "))
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *experiment, validExperiments())
 			os.Exit(2)
 		}
-		fmt.Println(run())
+		fmt.Println(out)
+	}
+}
+
+// runStreaming drives the sweep and serve modes: generate the
+// epoch-partitioned study, then either ingest-and-sweep once (JSON on
+// stdout) or serve snapshots and sweeps over HTTP while ingestion
+// advances in the background.
+func runStreaming(cfg core.Config, sf sweepFlags, addr string, sweep bool) {
+	req, err := sf.sweepRequest()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
+	eng, err := stream.New(stream.Config{Study: cfg, Epochs: sf.epochs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d epochs; ingesting...\n", eng.NumEpochs())
+
+	if sweep {
+		if err := ingestAll(eng); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		res, err := eng.Sweep(req)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "swept %d renders in %.3fs (%.1f renders/sec)\n",
+			res.Renders, res.Seconds, res.RendersPerSec)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	srv := stream.NewServer(eng)
+	// The -sweep-* flags seed the server's /v1/sweep defaults; query
+	// parameters override them per request.
+	srv.SetSweepDefaults(req)
+	go func() {
+		if err := ingestAll(eng); err != nil {
+			fmt.Fprintln(os.Stderr, "ingest error:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "serving snapshots and sweeps on %s\n", addr)
+	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// ingestAll ingests every epoch, logging each window to stderr.
+func ingestAll(eng *stream.Engine) error {
+	for {
+		p, ok, err := eng.IngestNext()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		start, end := eng.Window(p - 1)
+		snap, err := eng.Snapshot(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  epoch %d/%d [%s .. %s): +%d records (prefix total %d)\n",
+			p, eng.NumEpochs(), start.Format("01-02 15:04"), end.Format("01-02 15:04"),
+			eng.EpochRecords(p-1), snap.NumRecords())
 	}
 }

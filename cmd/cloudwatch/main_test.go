@@ -14,8 +14,8 @@ import (
 // (the same seed used to render two different Figure 1s: 128 /24s
 // under "all", 512 under "figure1").
 func TestFigureBumpAppliesToAll(t *testing.T) {
-	all, allDesc := studyConfig(42, 2021, 1, false, 0, "all")
-	fig, figDesc := studyConfig(42, 2021, 1, false, 0, "figure1")
+	all, allDesc := studyConfig(42, 2021, 1, false, 0, "all", false)
+	fig, figDesc := studyConfig(42, 2021, 1, false, 0, "figure1", false)
 	if !reflect.DeepEqual(all, fig) {
 		t.Fatalf("configs differ between all and figure1:\n all %+v\n fig %+v", all, fig)
 	}
@@ -34,7 +34,7 @@ func TestFigureBumpAppliesToAll(t *testing.T) {
 func TestNoBumpForTableExperiments(t *testing.T) {
 	def := core.DefaultConfig(42, 2021).Deploy.TelescopeSlash24s
 	for _, exp := range []string{"table2", "table10", "appendix"} {
-		cfg, desc := studyConfig(42, 2021, 1, false, 0, exp)
+		cfg, desc := studyConfig(42, 2021, 1, false, 0, exp, false)
 		if cfg.Deploy.TelescopeSlash24s != def {
 			t.Errorf("%s: telescope = %d /24s, want default %d", exp, cfg.Deploy.TelescopeSlash24s, def)
 		}
@@ -48,7 +48,7 @@ func TestNoBumpForTableExperiments(t *testing.T) {
 // means the full Orion telescope and the full HE /24 honeypot fleet,
 // not just the telescope.
 func TestFullFlagScalesWholeDeployment(t *testing.T) {
-	cfg, desc := studyConfig(42, 2021, 1, true, 0, "table2")
+	cfg, desc := studyConfig(42, 2021, 1, true, 0, "table2", false)
 	if cfg.Deploy.TelescopeSlash24s != 1856 {
 		t.Errorf("full telescope = %d /24s, want 1856", cfg.Deploy.TelescopeSlash24s)
 	}
@@ -59,9 +59,91 @@ func TestFullFlagScalesWholeDeployment(t *testing.T) {
 		t.Errorf("deployment description = %q", desc)
 	}
 	// -full already exceeds the Figure 1 minimum: no further bump.
-	fig, _ := studyConfig(42, 2021, 1, true, 0, "figure1")
+	fig, _ := studyConfig(42, 2021, 1, true, 0, "figure1", false)
 	if fig.Deploy.TelescopeSlash24s != 1856 {
 		t.Errorf("full+figure1 telescope = %d /24s, want 1856", fig.Deploy.TelescopeSlash24s)
+	}
+}
+
+// TestServeModeBumpsTelescope pins the serve-mode deployment choice:
+// a server's clients can request Figure 1 at any time, so serve mode
+// gets the Figure 1 telescope; one-shot sweep mode renders tables only
+// and keeps the default.
+func TestServeModeBumpsTelescope(t *testing.T) {
+	srv, desc := studyConfig(42, 2021, 1, false, 0, "all", true)
+	if srv.Deploy.TelescopeSlash24s != figureMinSlash24s {
+		t.Errorf("serve telescope = %d /24s, want %d", srv.Deploy.TelescopeSlash24s, figureMinSlash24s)
+	}
+	if !strings.Contains(desc, "Figure 1") {
+		t.Errorf("serve deployment description = %q", desc)
+	}
+	swp, desc := studyConfig(42, 2021, 1, false, 0, "sweep", false)
+	if def := core.DefaultConfig(42, 2021).Deploy.TelescopeSlash24s; swp.Deploy.TelescopeSlash24s != def {
+		t.Errorf("sweep telescope = %d /24s, want default %d", swp.Deploy.TelescopeSlash24s, def)
+	}
+	if desc != "default deployment" {
+		t.Errorf("sweep deployment description = %q", desc)
+	}
+}
+
+// TestSweepFlagValidation exercises the sweep-flag validation: bad
+// values are rejected with errors that enumerate the valid ones.
+func TestSweepFlagValidation(t *testing.T) {
+	good := sweepFlags{epochs: 8, tables: "table2,table5", kMin: 1, kMax: 10, prefixes: "all"}
+	req, err := good.sweepRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Tables) != 2 || req.KMin != 1 || req.KMax != 10 || req.Prefixes != nil {
+		t.Fatalf("request = %+v", req)
+	}
+
+	bad := good
+	bad.tables = "table2,table3"
+	if _, err := bad.sweepRequest(); err == nil || !strings.Contains(err.Error(), "table10") {
+		t.Errorf("unknown table error should list valid tables, got %v", err)
+	}
+	bad = good
+	bad.kMin, bad.kMax = 4, 2
+	if _, err := bad.sweepRequest(); err == nil {
+		t.Error("inverted K range accepted")
+	}
+	bad = good
+	bad.prefixes = "1,99"
+	if _, err := bad.sweepRequest(); err == nil || !strings.Contains(err.Error(), "1..8") {
+		t.Errorf("out-of-range prefix error should name the range, got %v", err)
+	}
+	bad = good
+	bad.epochs = 0
+	if _, err := bad.sweepRequest(); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	explicit := good
+	explicit.prefixes = "2, 4"
+	req, err = explicit.sweepRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Prefixes) != 2 || req.Prefixes[0] != 2 || req.Prefixes[1] != 4 {
+		t.Fatalf("explicit prefixes = %v", req.Prefixes)
+	}
+}
+
+// TestKnownExperiment pins the accepted -experiment values, including
+// the streaming sweep mode.
+func TestKnownExperiment(t *testing.T) {
+	for _, name := range []string{"table1", "table11", "figure1", "appendix", "all", "sweep"} {
+		if !knownExperiment(name) {
+			t.Errorf("%q rejected", name)
+		}
+	}
+	for _, name := range []string{"table12", "bogus", ""} {
+		if knownExperiment(name) {
+			t.Errorf("%q accepted", name)
+		}
+	}
+	if v := validExperiments(); !strings.Contains(v, "sweep") || !strings.Contains(v, "table11") {
+		t.Errorf("validExperiments() = %q", v)
 	}
 }
 
@@ -70,8 +152,8 @@ func TestFullFlagScalesWholeDeployment(t *testing.T) {
 // requested via "figure1" or as part of "all". Reduced actor scale
 // keeps the two 512-/24 studies fast.
 func TestAllAndFigure1RenderIdenticalFigure1(t *testing.T) {
-	cfgAll, _ := studyConfig(42, 2021, 0.1, false, 0, "all")
-	cfgFig, _ := studyConfig(42, 2021, 0.1, false, 0, "figure1")
+	cfgAll, _ := studyConfig(42, 2021, 0.1, false, 0, "all", false)
+	cfgFig, _ := studyConfig(42, 2021, 0.1, false, 0, "figure1", false)
 	sAll, err := core.Run(cfgAll)
 	if err != nil {
 		t.Fatal(err)

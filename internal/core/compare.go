@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"cloudwatch/internal/stats"
 )
@@ -41,6 +43,18 @@ func (c Characteristic) String() string {
 // (§3.3: "we always choose the most popular 3 values ... studying
 // top-3 decreases bias").
 const TopK = 3
+
+// labelAtK renders a characteristic's table label at an explicit top-K
+// width: the paper's fixed "Top 3 ..." names at the default width
+// (k == TopK, or k == 0 for results predating the K axis), the actual
+// width otherwise — so a K=5 sweep cell does not claim a top-3
+// statistic.
+func labelAtK(c Characteristic, k int) string {
+	if k == 0 || k == TopK || c == CharFracMalicious {
+		return c.String()
+	}
+	return strings.Replace(c.String(), "Top 3", "Top "+strconv.Itoa(k), 1)
+}
 
 // Alpha is the base significance level before Bonferroni correction.
 const Alpha = 0.05

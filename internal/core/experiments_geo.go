@@ -36,6 +36,7 @@ type Table4Cell struct {
 // Table4Result reproduces Table 4 (and Table 16 on the 2020 config).
 type Table4Result struct {
 	Year  int
+	K     int // top-K width the families compared (0 = TopK)
 	Cells []Table4Cell
 }
 
@@ -58,12 +59,16 @@ var table4Axes = []struct {
 // (family_test proves batched == naive per pair), and the Bonferroni m
 // is re-derived from the provider's own testable pairs, keeping the
 // output byte-identical to the per-provider families this replaced.
-func (s *Study) Table4() Table4Result {
-	res := Table4Result{Year: s.Cfg.Year}
+func (s *Study) Table4() Table4Result { return s.Table4AtK(TopK) }
+
+// Table4AtK is Table 4 with a parameterized top-K width (the sweep
+// engine's K axis); Table4AtK(TopK) shares Table4's memo entries.
+func (s *Study) Table4AtK(k int) Table4Result {
+	res := Table4Result{Year: s.Cfg.Year, K: k}
 	for _, provider := range []string{"aws", "google", "linode"} {
 		for _, axis := range table4Axes {
 			for _, char := range axis.chars {
-				pairs, fr := s.geoRegionFamily(axis.slice, char)
+				pairs, fr := s.geoRegionFamily(axis.slice, char, k)
 				var idxs []int
 				for idx, p := range pairs {
 					if p.provider == provider {
@@ -118,9 +123,9 @@ func (s *Study) Table4() Table4Result {
 // own Bonferroni m, which keeps both outputs byte-identical to the
 // separate families this replaced (per-pair results are independent
 // of family composition).
-func (s *Study) geoRegionFamily(slice ProtocolSlice, char Characteristic) ([]geoPair, *familyResult) {
+func (s *Study) geoRegionFamily(slice ProtocolSlice, char Characteristic, k int) ([]geoPair, *familyResult) {
 	pairs := s.geoRegionPairs()
-	fr := s.pairwiseFamily("georegions", slice, char, TopK, func() famJob {
+	fr := s.pairwiseFamily("georegions", slice, char, k, func() famJob {
 		regionPairs := make([][2]string, len(pairs))
 		for i, p := range pairs {
 			regionPairs[i] = [2]string{p.a, p.b}
@@ -177,7 +182,7 @@ func (r Table4Result) Render() string {
 		cells[k][c.Provider] = c
 	}
 	for _, k := range order {
-		row := []string{k.char.String(), k.slice.String()}
+		row := []string{labelAtK(k.char, r.K), k.slice.String()}
 		for _, p := range []string{"aws", "google", "linode"} {
 			if c, ok := cells[k][p]; ok {
 				row = append(row, c.MostDiffRegion, fmtPhi(c.AvgPhi, magnitudeLabel(c.AvgPhi)))
@@ -203,6 +208,7 @@ type Table5Cell struct {
 // Table5Result reproduces Table 5 (and Table 13 on the 2020 config).
 type Table5Result struct {
 	Year  int
+	K     int // top-K width the families compared (0 = TopK)
 	Cells []Table5Cell
 }
 
@@ -273,11 +279,15 @@ func (s *Study) buildGeoRegionPairs() []geoPair {
 // Table5 compares every same-network pair of regions, grouped by
 // geography, each (slice, characteristic) as one batched family —
 // the shared geoRegionFamily Table 4 subsets.
-func (s *Study) Table5() Table5Result {
-	res := Table5Result{Year: s.Cfg.Year}
+func (s *Study) Table5() Table5Result { return s.Table5AtK(TopK) }
+
+// Table5AtK is Table 5 with a parameterized top-K width (the sweep
+// engine's K axis); Table5AtK(TopK) shares Table5's memo entries.
+func (s *Study) Table5AtK(k int) Table5Result {
+	res := Table5Result{Year: s.Cfg.Year, K: k}
 	for _, axis := range table5Axes {
 		for _, char := range axis.chars {
-			pairs, fr := s.geoRegionFamily(axis.slice, char)
+			pairs, fr := s.geoRegionFamily(axis.slice, char, k)
 			// Bonferroni m over Table 5's own (geography-grouped)
 			// testable pairs; the shared family also carries pairs only
 			// Table 4 reads.
@@ -329,7 +339,7 @@ func (r Table5Result) Render() string {
 		cells[k][c.GeoGroup] = c
 	}
 	for _, k := range order {
-		row := []string{k.slice.String(), k.char.String()}
+		row := []string{k.slice.String(), labelAtK(k.char, r.K)}
 		for _, g := range []string{"US", "EU", "APAC", "Intercontinental"} {
 			c := cells[k][g]
 			if c.Pairs == 0 {

@@ -24,6 +24,7 @@ type Table2Cell struct {
 // services.
 type Table2Result struct {
 	Year  int
+	K     int // top-K width the families compared (0 = TopK)
 	Cells []Table2Cell
 }
 
@@ -43,14 +44,21 @@ var neighborhoodSlices = []struct {
 // region, same network) on every §3.3 characteristic. Each (slice,
 // characteristic) family runs through the batched comparison engine
 // (family.go) in canonical region order.
-func (s *Study) Table2() Table2Result {
-	res := Table2Result{Year: s.Cfg.Year}
+func (s *Study) Table2() Table2Result { return s.Table2AtK(TopK) }
+
+// Table2AtK is Table 2 with the top-K width as a parameter — the
+// K-axis of the sweep engine. Families are memoized per K, and the
+// per-(view, characteristic) ranked summaries are shared across every
+// K, so sweeping K re-ranks nothing. Table2AtK(TopK) is exactly
+// Table2 (same memo entries).
+func (s *Study) Table2AtK(k int) Table2Result {
+	res := Table2Result{Year: s.Cfg.Year, K: k}
 	for _, group := range neighborhoodSlices {
 		nbs := s.greyNoiseNeighborhoods(group.slice)
 		pairs, labels, refs := neighborhoodPairs(nbs)
 		for _, char := range group.chars {
 			cell := Table2Cell{Slice: group.slice, Characteristic: char}
-			fr := s.pairwiseFamily("neighborhood", group.slice, char, TopK, func() famJob {
+			fr := s.pairwiseFamily("neighborhood", group.slice, char, k, func() famJob {
 				return famJob{sides: s.neighborhoodSides(nbs, char), pairs: pairs, labels: labels}
 			})
 			m := fr.fam.Comparisons()
@@ -168,7 +176,7 @@ func (r Table2Result) Render() string {
 	title := fmt.Sprintf("Table 2 (%d): attackers target neighboring services differently", r.Year)
 	t := newTable(title, "Protocol", "Characteristic", "n", "% Neighborhoods different", "Avg phi")
 	for _, c := range r.Cells {
-		t.add(c.Slice.String(), c.Characteristic.String(),
+		t.add(c.Slice.String(), labelAtK(c.Characteristic, r.K),
 			fmt.Sprint(c.Neighborhoods), fmtPct(c.FractionDifferent),
 			fmtPhi(c.AvgPhi, c.AvgMagnitude))
 	}

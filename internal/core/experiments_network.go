@@ -26,6 +26,7 @@ type Table7Cell struct {
 // configs): differences across network types.
 type Table7Result struct {
 	Year  int
+	K     int // top-K width the families compared (0 = TopK)
 	Cells []Table7Cell
 }
 
@@ -75,8 +76,12 @@ func table7Kinds() []table7Kind {
 
 // Table7 compares traffic across network types, each computable
 // (kind, slice, characteristic) cell as one batched family.
-func (s *Study) Table7() Table7Result {
-	res := Table7Result{Year: s.Cfg.Year}
+func (s *Study) Table7() Table7Result { return s.Table7AtK(TopK) }
+
+// Table7AtK is Table 7 with a parameterized top-K width (the sweep
+// engine's K axis); Table7AtK(TopK) shares Table7's memo entries.
+func (s *Study) Table7AtK(k int) Table7Result {
+	res := Table7Result{Year: s.Cfg.Year, K: k}
 	kinds := table7Kinds()
 
 	for _, axis := range table7Axes {
@@ -91,7 +96,7 @@ func (s *Study) Table7() Table7Result {
 					res.Cells = append(res.Cells, cell)
 					continue
 				}
-				fr := s.pairwiseFamily("table7:"+kind.name, axis.slice, char, TopK, func() famJob {
+				fr := s.pairwiseFamily("table7:"+kind.name, axis.slice, char, k, func() famJob {
 					return regionPairJob(s, kind.pairs, char, func(region string) *View {
 						return s.anyRegionGroupView(region, axis.slice)
 					})
@@ -142,7 +147,7 @@ func (r Table7Result) Render() string {
 		return []string{fmt.Sprintf("%d/%d", c.Different, c.Pairs), fmtPhi(c.AvgPhi, magnitudeLabel(c.AvgPhi))}
 	}
 	for _, k := range order {
-		row := []string{k.char.String(), k.slice.String()}
+		row := []string{labelAtK(k.char, r.K), k.slice.String()}
 		row = append(row, fmtCell(cells[k]["cloud-cloud"])...)
 		row = append(row, fmtCell(cells[k]["cloud-edu"])...)
 		ee := cells[k]["edu-edu"]
@@ -314,6 +319,7 @@ type Table10Cell struct {
 // Table10Result reproduces Table 10 (and Table 15 on the 2022 config).
 type Table10Result struct {
 	Year  int
+	K     int // top-K width the families compared (0 = TopK)
 	Cells []Table10Cell
 }
 
@@ -367,13 +373,17 @@ func (s *Study) table10Job(kind table10Kind, slice ProtocolSlice, port uint16) f
 // Table10 compares the top scanning ASes of the telescope against
 // each education and cloud service network, one batched family per
 // (kind, slice).
-func (s *Study) Table10() Table10Result {
-	res := Table10Result{Year: s.Cfg.Year}
+func (s *Study) Table10() Table10Result { return s.Table10AtK(TopK) }
+
+// Table10AtK is Table 10 with a parameterized top-K width (the sweep
+// engine's K axis); Table10AtK(TopK) shares Table10's memo entries.
+func (s *Study) Table10AtK(k int) Table10Result {
+	res := Table10Result{Year: s.Cfg.Year, K: k}
 	for _, sl := range table10Slices {
 		sl := sl
 		for _, kind := range table10Kinds() {
 			kind := kind
-			fr := s.pairwiseFamily("table10:"+kind.name, sl.slice, CharTopAS, TopK, func() famJob {
+			fr := s.pairwiseFamily("table10:"+kind.name, sl.slice, CharTopAS, k, func() famJob {
 				return s.table10Job(kind, sl.slice, sl.port)
 			})
 			res.Cells = append(res.Cells, Table10Cell{
@@ -390,7 +400,11 @@ func (s *Study) Table10() Table10Result {
 
 // Render formats Table 10.
 func (r Table10Result) Render() string {
-	title := fmt.Sprintf("Table 10 (%d): different scanners target telescopes (top-3 AS comparisons)", r.Year)
+	k := r.K
+	if k == 0 {
+		k = TopK
+	}
+	title := fmt.Sprintf("Table 10 (%d): different scanners target telescopes (top-%d AS comparisons)", r.Year, k)
 	t := newTable(title, "Protocol", "Tel-EDU dif", "Tel-EDU phi", "Tel-Cloud dif", "Tel-Cloud phi")
 	type row struct{ edu, cloud Table10Cell }
 	rows := map[ProtocolSlice]*row{}

@@ -1,0 +1,81 @@
+package core
+
+// The experiment registry: one name per table and figure of the
+// paper's evaluation, in the paper's order. cmd/cloudwatch and the
+// streaming study server both resolve experiment names through it, so
+// "valid experiment" means the same thing everywhere.
+
+// experimentOrder lists every renderable experiment in render order.
+var experimentOrder = []string{
+	"table1", "table2", "table3", "table4", "table5", "table6",
+	"table7", "table8", "table9", "table10", "table11", "figure1",
+}
+
+// ExperimentNames returns the renderable experiment names in the
+// paper's order. The slice is fresh; callers may keep or modify it.
+func ExperimentNames() []string {
+	return append([]string(nil), experimentOrder...)
+}
+
+// AppendixExperiments returns the table subset the "appendix" selection
+// renders (Tables 12–17 are the 2020/2022 variants of these).
+func AppendixExperiments() []string {
+	return []string{"table2", "table5", "table7", "table10", "table4", "table11"}
+}
+
+// RenderExperiment renders one named experiment of a study, reporting
+// ok=false for unknown names.
+func RenderExperiment(s *Study, name string) (string, bool) {
+	switch name {
+	case "table1":
+		return s.Table1().Render(), true
+	case "table2":
+		return s.Table2().Render(), true
+	case "table3":
+		return s.Table3().Render(), true
+	case "table4":
+		return s.Table4().Render(), true
+	case "table5":
+		return s.Table5().Render(), true
+	case "table6":
+		return s.Table6().Render(), true
+	case "table7":
+		return s.Table7().Render(), true
+	case "table8":
+		return s.Table8().Render(), true
+	case "table9":
+		return s.Table9().Render(), true
+	case "table10":
+		return s.Table10().Render(), true
+	case "table11":
+		return s.Table11().Render(), true
+	case "figure1":
+		return s.Figure1().Render(), true
+	}
+	return "", false
+}
+
+// SweepTables lists the experiments the K-sweep engine can drive —
+// the §3.3 comparison tables whose families take a top-K width.
+func SweepTables() []string {
+	return []string{"table2", "table4", "table5", "table7", "table10"}
+}
+
+// RenderExperimentAtK renders one sweepable table at an explicit top-K
+// width, reporting ok=false for names outside SweepTables. K == TopK
+// reuses the exact memo entries the plain tables populate.
+func RenderExperimentAtK(s *Study, name string, k int) (string, bool) {
+	switch name {
+	case "table2":
+		return s.Table2AtK(k).Render(), true
+	case "table4":
+		return s.Table4AtK(k).Render(), true
+	case "table5":
+		return s.Table5AtK(k).Render(), true
+	case "table7":
+		return s.Table7AtK(k).Render(), true
+	case "table10":
+		return s.Table10AtK(k).Render(), true
+	}
+	return "", false
+}

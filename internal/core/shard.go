@@ -31,14 +31,19 @@ import (
 // the output whenever a payload's verdict differed across destination
 // ports.)
 type shard struct {
-	u   *netsim.Universe
-	tel *telescope.Collector
-	gn  *greynoise.Delta
-	blk netsim.RecordBlock
+	dc     dstCache
+	window int32 // drop probes at study-second >= window (0 = keep all)
+	tel    *telescope.Collector
+	gn     *greynoise.Delta
+	blk    netsim.RecordBlock
+}
 
-	// Destination-repeat cache: attempt and port loops emit runs of
-	// probes to one address, so the telescope membership test and the
-	// target lookup run once per destination run.
+// dstCache memoizes the per-destination routing decision — telescope
+// membership and the target lookup — across the runs of probes the
+// attempt and port loops emit to one address. Shared by the batch
+// shard and the streaming engine's epoch shards.
+type dstCache struct {
+	u          *netsim.Universe
 	lastDst    wire.Addr
 	lastDstOK  bool
 	lastTel    bool
@@ -46,32 +51,47 @@ type shard struct {
 	lastVi     int32
 }
 
+// resolve classifies a probe's destination: telescope space, a
+// monitored target (with its interned vantage id), or unmonitored
+// space (tel=false, t=nil).
+func (c *dstCache) resolve(dst wire.Addr) (tel bool, t *netsim.Target, vi int32) {
+	if !c.lastDstOK || dst != c.lastDst {
+		c.lastDst, c.lastDstOK = dst, true
+		c.lastTel = c.u.InTelescope(dst)
+		c.lastTarget, c.lastVi = nil, 0
+		if !c.lastTel {
+			c.lastTarget, c.lastVi, _ = c.u.ByIPIndexed(dst)
+		}
+	}
+	return c.lastTel, c.lastTarget, c.lastVi
+}
+
 func newShard(s *Study) *shard {
 	return &shard{
-		u:   s.U,
-		tel: telescope.New(s.Cfg.TelescopeWatch...),
-		gn:  greynoise.NewDelta(),
+		dc:     dstCache{u: s.U},
+		window: s.Cfg.WindowSec,
+		tel:    telescope.New(s.Cfg.TelescopeWatch...),
+		gn:     greynoise.NewDelta(),
 	}
 }
 
 // dispatch routes one probe to the shard's collectors — the parallel
 // counterpart of the serial per-probe pipeline: telescope probes are
 // aggregated in place, honeypot probes become record-column rows, and
-// every collected source feeds the GreyNoise delta.
+// every collected source feeds the GreyNoise delta. Probes outside a
+// truncation window vanish before any collector sees them.
 func (sh *shard) dispatch(p netsim.Probe) {
-	if !sh.lastDstOK || p.Dst != sh.lastDst {
-		sh.lastDst, sh.lastDstOK = p.Dst, true
-		sh.lastTel = sh.u.InTelescope(p.Dst)
-		if !sh.lastTel {
-			sh.lastTarget, sh.lastVi, _ = sh.u.ByIPIndexed(p.Dst)
+	if sh.window > 0 {
+		if sec, _ := netsim.StudySeconds(p.T); sec >= sh.window {
+			return
 		}
 	}
-	if sh.lastTel {
+	tel, t, vi := sh.dc.resolve(p.Dst)
+	if tel {
 		sh.tel.Observe(p)
 		sh.gn.Observe(p.Src)
 		return
 	}
-	t := sh.lastTarget
 	if t == nil {
 		return // probe to unmonitored space: invisible to the study
 	}
@@ -80,7 +100,7 @@ func (sh *shard) dispatch(p netsim.Probe) {
 		return
 	}
 	sh.gn.Observe(p.Src)
-	sh.blk.Append(sh.lastVi, &p, pay, creds)
+	sh.blk.Append(vi, &p, pay, creds)
 }
 
 // span is the record range one actor produced within its shard's

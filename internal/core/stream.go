@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cloudwatch/internal/cloud"
+	"cloudwatch/internal/greynoise"
+	"cloudwatch/internal/honeypot"
+	"cloudwatch/internal/ids"
+	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/scanners"
+	"cloudwatch/internal/searchengine"
+	"cloudwatch/internal/telescope"
+)
+
+// This file is the generation side of the streaming study engine: the
+// study week is partitioned into time epochs, the existing sharded
+// generators run once, and every probe lands in the per-epoch sink its
+// timestamp belongs to — per-epoch record columns, telescope
+// collectors, and GreyNoise deltas. Prefix snapshots (Snapshot)
+// reassemble the first p epochs into a full *Study that is
+// byte-identical to a batch Run truncated at the epoch boundary
+// (Config.WindowSec), so every table, figure, and ablation renders on
+// a snapshot unchanged. internal/stream layers the ingestion loop, the
+// K/prefix sweep engine, and the HTTP server on top.
+
+// epochSink is one (worker, epoch) cell of the partitioned pipeline:
+// the records, telescope aggregation, and GreyNoise delta of the
+// probes one worker routed into one epoch. seq is the per-actor
+// emission index of each record — the key the snapshot merge uses to
+// restore an actor's emission order across epochs.
+type epochSink struct {
+	tel *telescope.Collector
+	gn  *greynoise.Delta
+	blk netsim.RecordBlock
+	seq []int32
+}
+
+// actorRuns locates one actor's records inside its worker's epoch
+// sinks: the [lo, hi) record range per epoch. An actor runs on exactly
+// one worker, so all of its epoch runs live in one sink set.
+type actorRuns struct {
+	sinks  []*epochSink
+	lo, hi []int32
+}
+
+// streamShard is the epoch-routing counterpart of shard: one worker's
+// view of the partitioned pipeline. Each probe resolves its
+// destination through the shared dstCache, then lands in the sink of
+// the epoch its timestamp falls in.
+type streamShard struct {
+	dc    dstCache
+	eb    netsim.Epochs
+	sinks []*epochSink
+	seq   int32 // per-actor emission counter, reset at actor start
+}
+
+func (sh *streamShard) dispatch(p netsim.Probe) {
+	sec, _ := netsim.StudySeconds(p.T)
+	sink := sh.sinks[sh.eb.EpochOf(sec)]
+	tel, t, vi := sh.dc.resolve(p.Dst)
+	if tel {
+		sink.tel.Observe(p)
+		sink.gn.Observe(p.Src)
+		return
+	}
+	if t == nil {
+		return
+	}
+	pay, creds, ok := honeypot.Collect(t, &p)
+	if !ok {
+		return
+	}
+	sink.gn.Observe(p.Src)
+	sink.blk.Append(vi, &p, pay, creds)
+	sink.seq = append(sink.seq, sh.seq)
+	sh.seq++
+}
+
+// EpochSet is the generated, epoch-partitioned raw material of one
+// study: everything needed to assemble a prefix snapshot for any
+// number of ingested epochs. It is immutable once GenerateEpochs
+// returns; Snapshot may be called concurrently.
+type EpochSet struct {
+	cfg    Config
+	eb     netsim.Epochs
+	u      *netsim.Universe
+	censys *searchengine.Engine
+	shodan *searchengine.Engine
+	actors []*scanners.Actor
+
+	sinks [][]*epochSink // per worker, per epoch
+	runs  []actorRuns    // per actor, canonical order
+}
+
+// GenerateEpochs builds the deployment, crawls the search engines, and
+// runs the actor population once through the sharded pipeline with
+// every probe routed into the per-epoch sink of its timestamp. The
+// result feeds prefix snapshots; epochs < 1 is treated as 1.
+// Config.WindowSec must be zero — truncation is what snapshots are
+// for.
+func GenerateEpochs(cfg Config, epochs int) (*EpochSet, error) {
+	if cfg.WindowSec != 0 {
+		return nil, fmt.Errorf("core: WindowSec is incompatible with epoch streaming (prefix snapshots are the truncation mechanism)")
+	}
+	if cfg.Year == 0 {
+		cfg.Year = 2021
+	}
+	deployment, err := cloud.Build(cfg.Deploy)
+	if err != nil {
+		return nil, fmt.Errorf("core: building deployment: %w", err)
+	}
+	u, err := deployment.Universe(cfg.Seed, cfg.Year)
+	if err != nil {
+		return nil, fmt.Errorf("core: building universe: %w", err)
+	}
+
+	es := &EpochSet{
+		cfg:    cfg,
+		eb:     netsim.NewEpochs(epochs),
+		u:      u,
+		censys: searchengine.New("censys"),
+		shodan: searchengine.New("shodan"),
+	}
+	crawlTime := netsim.StudyStart.Add(-24 * time.Hour)
+	es.censys.Crawl(u, crawlTime)
+	es.shodan.Crawl(u, crawlTime)
+
+	es.actors = scanners.Population(cfg.Actors)
+	ctx := &scanners.Context{U: u, Censys: es.censys, Shodan: es.shodan, Seed: cfg.Seed, Year: cfg.Year}
+	es.runActors(ctx, cfg.Workers)
+	return es, nil
+}
+
+// runActors drives the population across workers exactly like the
+// batch pipeline (each actor on one worker, its own seeded streams),
+// but into per-epoch sinks, recording each actor's per-epoch record
+// ranges. Sinks are sealed afterwards so snapshot assembly is
+// write-free on the shared state.
+func (es *EpochSet) runActors(ctx *scanners.Context, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(es.actors) {
+		workers = len(es.actors)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	nEpochs := es.eb.NumEpochs()
+	es.sinks = make([][]*epochSink, workers)
+	es.runs = make([]actorRuns, len(es.actors))
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sinks := make([]*epochSink, nEpochs)
+		for e := range sinks {
+			sinks[e] = &epochSink{
+				tel: telescope.New(es.cfg.TelescopeWatch...),
+				gn:  greynoise.NewDelta(),
+			}
+		}
+		es.sinks[w] = sinks
+		sh := &streamShard{dc: dstCache{u: es.u}, eb: es.eb, sinks: sinks}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(es.actors) {
+					return
+				}
+				run := actorRuns{sinks: sinks, lo: make([]int32, nEpochs), hi: make([]int32, nEpochs)}
+				for e, sink := range sinks {
+					run.lo[e] = int32(sink.blk.Len())
+				}
+				sh.seq = 0
+				es.actors[i].Run(ctx, sh.dispatch)
+				for e, sink := range sinks {
+					run.hi[e] = int32(sink.blk.Len())
+				}
+				es.runs[i] = run
+			}
+		}()
+	}
+	wg.Wait()
+	for _, sinks := range es.sinks {
+		for _, sink := range sinks {
+			sink.tel.Flush()
+		}
+	}
+}
+
+// NumEpochs returns the number of epochs the week is partitioned into.
+func (es *EpochSet) NumEpochs() int { return es.eb.NumEpochs() }
+
+// Config returns the (year-defaulted) study configuration the epochs
+// were generated from.
+func (es *EpochSet) Config() Config { return es.cfg }
+
+// Window returns the wall-clock span of epoch e.
+func (es *EpochSet) Window(e int) (start, end time.Time) { return es.eb.Window(e) }
+
+// Bound returns the starting study-second of epoch e (Bound(NumEpochs())
+// is the end of the week) — the WindowSec a truncated batch Run needs
+// to reproduce the first e epochs.
+func (es *EpochSet) Bound(e int) int32 { return es.eb.Bound(e) }
+
+// EpochRecords returns the number of honeypot records generated inside
+// epoch e across all workers.
+func (es *EpochSet) EpochRecords(e int) int {
+	n := 0
+	for _, sinks := range es.sinks {
+		n += sinks[e].blk.Len()
+	}
+	return n
+}
+
+// EpochTelescopePackets returns the telescope packets of epoch e.
+func (es *EpochSet) EpochTelescopePackets(e int) int {
+	n := 0
+	for _, sinks := range es.sinks {
+		n += sinks[e].tel.Packets()
+	}
+	return n
+}
+
+// Snapshot assembles the immutable study of the first `prefix` epochs
+// (1 ≤ prefix ≤ NumEpochs()): record columns k-way merged per actor in
+// emission order, telescope and GreyNoise shards union-merged, and
+// every derived column (verdicts anchored at first occurrence in the
+// merged canonical order, per-payload facts, per-vantage lists)
+// finalized — so the snapshot renders every table, figure, and
+// ablation exactly like a batch Run truncated at Bound(prefix) (the
+// full-week Run when prefix == NumEpochs()). Each snapshot owns its
+// collectors and caches; building one never mutates the EpochSet, so
+// snapshots may be assembled concurrently.
+func (es *EpochSet) Snapshot(prefix int) (*Study, error) {
+	if prefix < 1 || prefix > es.eb.NumEpochs() {
+		return nil, fmt.Errorf("core: snapshot prefix %d out of range [1, %d]", prefix, es.eb.NumEpochs())
+	}
+	cfg := es.cfg
+	if prefix < es.eb.NumEpochs() {
+		cfg.WindowSec = es.eb.Bound(prefix)
+	}
+	s := &Study{
+		Cfg:    cfg,
+		U:      es.u,
+		Tel:    telescope.New(cfg.TelescopeWatch...),
+		GN:     greynoise.NewService(),
+		Censys: es.censys,
+		Shodan: es.shodan,
+		Actors: es.actors,
+		IDS:    ids.DefaultEngine(),
+	}
+	for _, actor := range es.actors {
+		if actor.Benign {
+			s.GN.VetASN(actor.AS.ASN)
+		}
+	}
+
+	// Union-merge the collector shards of every ingested epoch and lay
+	// out the snapshot's credential arena (per-sink index rebasing, as
+	// the batch merge does per shard).
+	total, credTotal := 0, 0
+	credBase := make(map[*epochSink]int32)
+	for _, sinks := range es.sinks {
+		for e := 0; e < prefix; e++ {
+			sink := sinks[e]
+			s.Tel.Merge(sink.tel)
+			s.GN.MergeDelta(sink.gn)
+			credBase[sink] = int32(credTotal)
+			credTotal += len(sink.blk.CredLists)
+			total += sink.blk.Len()
+		}
+	}
+	s.blk.Grow(total)
+	s.blk.CredLists = make([][]netsim.Credential, 0, credTotal)
+	for _, sinks := range es.sinks {
+		for e := 0; e < prefix; e++ {
+			s.blk.CredLists = append(s.blk.CredLists, sinks[e].blk.CredLists...)
+		}
+	}
+
+	// Reassemble the record columns in canonical order: actors in
+	// population order, and within an actor its ingested-epoch runs
+	// k-way merged by emission index — exactly the subsequence a
+	// truncated batch dispatch would have appended.
+	type cursor struct {
+		sink    *epochSink
+		idx, hi int32
+	}
+	var cur []cursor
+	for i := range es.runs {
+		run := &es.runs[i]
+		cur = cur[:0]
+		for e := 0; e < prefix; e++ {
+			if run.hi[e] > run.lo[e] {
+				cur = append(cur, cursor{run.sinks[e], run.lo[e], run.hi[e]})
+			}
+		}
+		if len(cur) == 1 {
+			c := cur[0]
+			s.blk.AppendRange(&c.sink.blk, int(c.idx), int(c.hi), credBase[c.sink])
+			continue
+		}
+		for len(cur) > 0 {
+			best := 0
+			for k := 1; k < len(cur); k++ {
+				if cur[k].sink.seq[cur[k].idx] < cur[best].sink.seq[cur[best].idx] {
+					best = k
+				}
+			}
+			// Extend the winning run while it stays below every other
+			// cursor's next emission index, then append it as one range.
+			minOther := int32(math.MaxInt32)
+			for k := range cur {
+				if k != best {
+					if sq := cur[k].sink.seq[cur[k].idx]; sq < minOther {
+						minOther = sq
+					}
+				}
+			}
+			c := &cur[best]
+			lo := c.idx
+			for c.idx < c.hi && c.sink.seq[c.idx] < minOther {
+				c.idx++
+			}
+			s.blk.AppendRange(&c.sink.blk, int(lo), int(c.idx), credBase[c.sink])
+			if c.idx == c.hi {
+				cur = append(cur[:best], cur[best+1:]...)
+			}
+		}
+	}
+
+	s.buildVerdicts()
+	s.buildDerived(netsim.PayloadCount())
+	return s, nil
+}

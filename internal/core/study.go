@@ -34,6 +34,12 @@ type Config struct {
 	// is sharded across. 0 (the default) means runtime.GOMAXPROCS(0).
 	// Results are byte-identical for every worker count.
 	Workers int
+	// WindowSec truncates the study to the first WindowSec study-
+	// seconds: probes timestamped at or past the boundary are dropped
+	// before they reach any collector. 0 (the default) keeps the full
+	// week. A truncated Run is the batch reference for the streaming
+	// engine's epoch-prefix snapshots (see EpochSet).
+	WindowSec int32
 }
 
 // DefaultConfig returns the standard study of a given year at default

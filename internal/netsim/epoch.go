@@ -1,0 +1,69 @@
+package netsim
+
+import "time"
+
+// Epochs partitions the study week into n contiguous time windows with
+// whole-second boundaries — the time axis of the streaming study
+// engine. Epoch i covers study-seconds [Bound(i), Bound(i+1)); the
+// final epoch additionally absorbs any probe whose timestamp lands at
+// or beyond the end of the week (burst windows may spill a few seconds
+// past it), so every probe belongs to exactly one epoch.
+//
+// The boundaries are pure integer arithmetic over the epoch count, so
+// a streaming ingest and a batch run truncated at Bound(i) agree on
+// exactly which probes fall inside the first i epochs.
+type Epochs struct {
+	bounds []int32 // len n+1, ascending, bounds[0] = 0
+}
+
+// NewEpochs splits the study week into n equal-length epochs (the last
+// absorbs the rounding remainder). n < 1 is treated as 1; n larger
+// than the week's seconds clamps to one-second epochs, keeping the
+// bounds strictly ascending (EpochOf divides by the first width).
+func NewEpochs(n int) Epochs {
+	if n < 1 {
+		n = 1
+	}
+	total := int32(StudyHours) * 3600
+	if n > int(total) {
+		n = int(total)
+	}
+	bounds := make([]int32, n+1)
+	for i := 0; i <= n; i++ {
+		bounds[i] = int32(int64(total) * int64(i) / int64(n))
+	}
+	return Epochs{bounds: bounds}
+}
+
+// NumEpochs returns the number of epochs.
+func (e Epochs) NumEpochs() int { return len(e.bounds) - 1 }
+
+// Bound returns the start study-second of epoch i; Bound(NumEpochs())
+// is the end of the week.
+func (e Epochs) Bound(i int) int32 { return e.bounds[i] }
+
+// EpochOf returns the epoch containing a study-second. Seconds past
+// the end of the week clamp into the final epoch (StudySeconds already
+// clamps negatives to zero).
+func (e Epochs) EpochOf(sec int32) int {
+	n := e.NumEpochs()
+	// Near-equal epoch lengths make division a guess within a step or
+	// two of the true epoch; the fixup loops absorb the ±1s rounding
+	// drift of the integer boundaries.
+	i := int(sec / (e.bounds[1] - e.bounds[0]))
+	if i > n-1 {
+		i = n - 1
+	}
+	for i > 0 && sec < e.bounds[i] {
+		i--
+	}
+	for i < n-1 && sec >= e.bounds[i+1] {
+		i++
+	}
+	return i
+}
+
+// Window returns the wall-clock span of epoch i.
+func (e Epochs) Window(i int) (start, end time.Time) {
+	return StudyTime(e.bounds[i], 0), StudyTime(e.bounds[i+1], 0)
+}

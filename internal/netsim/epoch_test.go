@@ -1,0 +1,89 @@
+package netsim
+
+import "testing"
+
+func TestEpochBoundsPartitionTheWeek(t *testing.T) {
+	total := int32(StudyHours) * 3600
+	for _, n := range []int{1, 2, 3, 5, 7, 8, 11, 24, 64} {
+		eb := NewEpochs(n)
+		if eb.NumEpochs() != n {
+			t.Fatalf("n=%d: NumEpochs = %d", n, eb.NumEpochs())
+		}
+		if eb.Bound(0) != 0 || eb.Bound(n) != total {
+			t.Fatalf("n=%d: bounds [%d, %d], want [0, %d]", n, eb.Bound(0), eb.Bound(n), total)
+		}
+		for i := 1; i <= n; i++ {
+			if eb.Bound(i) <= eb.Bound(i-1) {
+				t.Fatalf("n=%d: bound %d not ascending", n, i)
+			}
+		}
+	}
+}
+
+func TestEpochOfMatchesBounds(t *testing.T) {
+	total := int32(StudyHours) * 3600
+	for _, n := range []int{1, 3, 5, 7, 8, 11, 13, 64} {
+		eb := NewEpochs(n)
+		// Reference: linear scan over the bounds.
+		ref := func(sec int32) int {
+			for i := n - 1; i > 0; i-- {
+				if sec >= eb.Bound(i) {
+					return i
+				}
+			}
+			return 0
+		}
+		// Every boundary ±1 plus a coarse sweep.
+		var secs []int32
+		for i := 0; i <= n; i++ {
+			b := eb.Bound(i)
+			secs = append(secs, b-1, b, b+1)
+		}
+		for s := int32(0); s < total; s += 997 {
+			secs = append(secs, s)
+		}
+		secs = append(secs, total, total+5000) // burst spill past the week
+		for _, sec := range secs {
+			if sec < 0 {
+				continue
+			}
+			want := ref(sec)
+			if sec >= total {
+				want = n - 1 // clamp
+			}
+			if got := eb.EpochOf(sec); got != want {
+				t.Fatalf("n=%d: EpochOf(%d) = %d, want %d", n, sec, got, want)
+			}
+		}
+	}
+}
+
+func TestEpochWindowRoundTrips(t *testing.T) {
+	eb := NewEpochs(4)
+	for i := 0; i < 4; i++ {
+		start, end := eb.Window(i)
+		if s, _ := StudySeconds(start); s != eb.Bound(i) {
+			t.Fatalf("epoch %d window start %v != bound %d", i, start, eb.Bound(i))
+		}
+		if e, _ := StudySeconds(end); e != eb.Bound(i+1) {
+			t.Fatalf("epoch %d window end %v != bound %d", i, end, eb.Bound(i+1))
+		}
+	}
+	if NewEpochs(0).NumEpochs() != 1 || NewEpochs(-3).NumEpochs() != 1 {
+		t.Fatal("degenerate epoch counts should clamp to 1")
+	}
+	// Epoch counts beyond the week's seconds clamp to one-second
+	// epochs instead of producing zero-width bounds (which would make
+	// EpochOf divide by zero).
+	total := int(StudyHours) * 3600
+	huge := NewEpochs(total + 123456)
+	if huge.NumEpochs() != total {
+		t.Fatalf("oversized epoch count = %d epochs, want %d", huge.NumEpochs(), total)
+	}
+	if got := huge.EpochOf(0); got != 0 {
+		t.Fatalf("EpochOf(0) = %d on one-second epochs", got)
+	}
+	if got := huge.EpochOf(int32(total) + 99); got != total-1 {
+		t.Fatalf("past-week EpochOf = %d, want %d", got, total-1)
+	}
+}

@@ -30,6 +30,53 @@ type Actor struct {
 	Benign bool // GreyNoise-vetted organization
 	IPs    []wire.Addr
 	Gen    func(a *Actor, ctx *Context, emit func(netsim.Probe))
+
+	// arena is the actor's credential slab (see credAlloc). Lazily
+	// created; shared by design when an actor value is copied for a
+	// narrowed re-scan, which is safe because an actor's generation
+	// runs on a single goroutine.
+	arena *credSlab
+}
+
+// credSlab carves the small record-retained credential slices of
+// cred-carrying probes out of chunked backing arrays, so a bruteforce
+// campaign costs one allocation per ~thousand login attempts instead
+// of one per probe. Returned slices are capacity-clipped, so a later
+// append through one can never spill into the next allocation.
+type credSlab struct {
+	buf []netsim.Credential
+}
+
+// credSlabChunk is the slab chunk size in credentials: large enough to
+// amortize allocation across a campaign's probes, small enough that a
+// finished chunk retained by a handful of records wastes little.
+const credSlabChunk = 1024
+
+func (s *credSlab) alloc(n int) []netsim.Credential {
+	if n <= 0 {
+		return nil
+	}
+	if len(s.buf)+n > cap(s.buf) {
+		size := credSlabChunk
+		if n > size {
+			size = n
+		}
+		s.buf = make([]netsim.Credential, 0, size)
+	}
+	off := len(s.buf)
+	s.buf = s.buf[:off+n]
+	return s.buf[off:off : off+n]
+}
+
+// credAlloc returns an empty credential slice with capacity n drawn
+// from the actor's slab. The slice is retained by the records that
+// observe it; the slab chunk stays alive exactly as long as any of its
+// slices do. Callers run on the actor's single generation goroutine.
+func (a *Actor) credAlloc(n int) []netsim.Credential {
+	if a.arena == nil {
+		a.arena = &credSlab{}
+	}
+	return a.arena.alloc(n)
 }
 
 // Run generates the actor's traffic for the study week.

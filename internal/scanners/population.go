@@ -164,7 +164,7 @@ func miraiFamily(cfg Config) []*Actor {
 				Ports: []uint16{23, 2323}, Cover: 0.30,
 				MinAttempts: 1, MaxAttempts: 2,
 				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-					return pickCreds(rng, telnetUsersGlobal, 2, 5)
+					return a.pickCreds(rng, telnetUsersGlobal, 2, 5)
 				},
 				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID { return telnetCommandID },
 			})
@@ -185,7 +185,7 @@ func miraiFamily(cfg Config) []*Actor {
 			},
 			MinAttempts: 2, MaxAttempts: 4,
 			Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-				return pickCreds(rng, telnetUsersHuaweiAU, 2, 4)
+				return a.pickCreds(rng, telnetUsersHuaweiAU, 2, 4)
 			},
 		})
 	}))
@@ -204,7 +204,7 @@ func sshCampaigns(cfg Config) []*Actor {
 				Ports: []uint16{22, 2222}, Cover: cover, Weight: weight,
 				MinAttempts: 1, MaxAttempts: 3,
 				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-					return pickCreds(rng, creds, 1, 3)
+					return a.pickCreds(rng, creds, 1, 3)
 				},
 			})
 			if telescopeSrcs > 0 {
@@ -265,7 +265,7 @@ func tsunami(cfg Config) []*Actor {
 					Filter:      func(t *netsim.Target) bool { return t == victim },
 					MinAttempts: 2, MaxAttempts: 5,
 					Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-						return pickCreds(rng, sshCreds("root-heavy"), 2, 4)
+						return a.pickCreds(rng, sshCreds("root-heavy"), 2, 4)
 					},
 				})
 			}))
@@ -410,7 +410,7 @@ func httpCampaigns(cfg Config) []*Actor {
 			},
 			MinAttempts: 1, MaxAttempts: 3,
 			Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-				return pickCreds(rng, telnetUsersGlobal, 1, 3)
+				return a.pickCreds(rng, telnetUsersGlobal, 1, 3)
 			},
 		})
 	}))
@@ -468,14 +468,14 @@ type minerSpec struct {
 	port     uint16
 	attempts [2]int
 	payload  func(rng *rand.Rand) netsim.PayloadID
-	creds    func(rng *rand.Rand) []netsim.Credential
+	creds    func(a *Actor, rng *rand.Rand) []netsim.Credential
 }
 
 func miners(cfg Config) []*Actor {
 	extendedPw := []string{"123456", "password", "admin", "changeme", "qwerty", "letmein", "toor", "111111", "abc123"}
-	sshMinerCreds := func(rng *rand.Rand) []netsim.Credential {
-		var out []netsim.Credential
+	sshMinerCreds := func(a *Actor, rng *rand.Rand) []netsim.Credential {
 		n := 3 + rng.Intn(4)
+		out := a.credAlloc(n)
 		for i := 0; i < n; i++ {
 			out = append(out, netsim.Credential{
 				Username: []string{"root", "admin", "ubuntu"}[rng.Intn(3)],
@@ -487,9 +487,9 @@ func miners(cfg Config) []*Actor {
 	// Telnet miners mostly connect-and-probe; only a sliver of their
 	// volume carries logins — Table 3's telnet rows pair a 72.6× "All"
 	// fold with a mere 1.6× "Malicious" fold.
-	telnetMinerCreds := func(rng *rand.Rand) []netsim.Credential {
+	telnetMinerCreds := func(a *Actor, rng *rand.Rand) []netsim.Credential {
 		if rng.Float64() < 0.08 {
-			return pickCreds(rng, telnetUsersGlobal, 1, 2)
+			return a.pickCreds(rng, telnetUsersGlobal, 1, 2)
 		}
 		return nil
 	}
@@ -558,7 +558,7 @@ func miners(cfg Config) []*Actor {
 				},
 				MinAttempts: sp.attempts[0], MaxAttempts: sp.attempts[1],
 				Payload: wrapPayload(sp.payload),
-				Creds:   wrapCreds(sp.creds),
+				Creds:   wrapCreds(a, sp.creds),
 				Time:    burstClock(ctx, sp.name),
 			})
 		}))
@@ -573,11 +573,14 @@ func wrapPayload(f func(rng *rand.Rand) netsim.PayloadID) func(*rand.Rand, *nets
 	return func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID { return f(rng) }
 }
 
-func wrapCreds(f func(rng *rand.Rand) []netsim.Credential) func(*rand.Rand, *netsim.Target) []netsim.Credential {
+// wrapCreds binds a shared credential generator to the actor whose
+// slab the generated slices draw from (generators are shared across a
+// spec table; slabs must not be).
+func wrapCreds(a *Actor, f func(a *Actor, rng *rand.Rand) []netsim.Credential) func(*rand.Rand, *netsim.Target) []netsim.Credential {
 	if f == nil {
 		return nil
 	}
-	return func(rng *rand.Rand, t *netsim.Target) []netsim.Credential { return f(rng) }
+	return func(rng *rand.Rand, t *netsim.Target) []netsim.Credential { return f(a, rng) }
 }
 
 // burstClock produces spike-shaped timestamps: each miner condenses
@@ -658,7 +661,7 @@ func telescopeSweeps(cfg Config) []*Actor {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{22}, Cover: 0.04, MinAttempts: 1,
 				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-					return pickCreds(rng, sshCreds("iot-heavy"), 1, 2)
+					return a.pickCreds(rng, sshCreds("iot-heavy"), 1, 2)
 				},
 			})
 		}),
@@ -697,7 +700,7 @@ func eduLocal(cfg Config) []*Actor {
 				Filter: func(t *netsim.Target) bool { return t.Kind == netsim.KindEducation },
 				Cover:  0.5, MinAttempts: 1,
 				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-					return pickCreds(rng, sshCreds("user-heavy"), 1, 2)
+					return a.pickCreds(rng, sshCreds("user-heavy"), 1, 2)
 				},
 			})
 			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{21, 22, 25, 443, 2222, 7547}, PerIP: 12})
@@ -790,7 +793,7 @@ func neighborLatchers(cfg Config) []*Actor {
 						Ports: []uint16{22}, Cover: 0.9, Filter: only,
 						MinAttempts: 2, MaxAttempts: 5,
 						Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-							return pickCreds(rng, creds, 2, 4)
+							return a.pickCreds(rng, creds, 2, 4)
 						},
 					})
 				case "telnet":
@@ -798,7 +801,7 @@ func neighborLatchers(cfg Config) []*Actor {
 						Ports: []uint16{23}, Cover: 0.9, Filter: only,
 						MinAttempts: 5, MaxAttempts: 10,
 						Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-							return pickCreds(rng, vendorDict, 2, 3)
+							return a.pickCreds(rng, vendorDict, 2, 3)
 						},
 					})
 					// Telnet campaigns are botnet-driven and do not
@@ -853,7 +856,7 @@ func apacCountryActors(cfg Config) []*Actor {
 				Ports: []uint16{22}, Cover: 0.55, Filter: inCountry,
 				MinAttempts: 1, MaxAttempts: 3,
 				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-					return pickCreds(rng, sshCreds(c.flavor), 1, 3)
+					return a.pickCreds(rng, sshCreds(c.flavor), 1, 3)
 				},
 			})
 			a.ScanServices(ctx, emit, ServiceScan{
@@ -891,7 +894,7 @@ func year2020Anomalies(cfg Config) []*Actor {
 				Filter:      func(t *netsim.Target) bool { return t == victim },
 				MinAttempts: 3, MaxAttempts: 6,
 				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
-					return pickCreds(rng, sshCreds("service-heavy"), 2, 4)
+					return a.pickCreds(rng, sshCreds("service-heavy"), 2, 4)
 				},
 			})
 		}))
@@ -901,7 +904,7 @@ func year2020Anomalies(cfg Config) []*Actor {
 
 // --- shared helpers -----------------------------------------------------------
 
-func pickCreds(rng *rand.Rand, dict []netsim.Credential, minN, maxN int) []netsim.Credential {
+func (a *Actor) pickCreds(rng *rand.Rand, dict []netsim.Credential, minN, maxN int) []netsim.Credential {
 	n := minN
 	if maxN > minN {
 		n += rng.Intn(maxN - minN + 1)
@@ -909,11 +912,12 @@ func pickCreds(rng *rand.Rand, dict []netsim.Credential, minN, maxN int) []netsi
 	if n > len(dict) {
 		n = len(dict)
 	}
-	out := make([]netsim.Credential, 0, n)
-	// Every dictionary fits in a word, so the seen-set is a bitmask —
-	// pickCreds runs per probe and must not allocate beyond the
-	// returned (record-retained) slice. The draw sequence is identical
-	// to the historical map-based rejection loop.
+	// The returned (record-retained) slice comes from the actor's
+	// credential slab, so a cred-carrying probe costs no allocation of
+	// its own; every dictionary fits in a word, so the seen-set is a
+	// bitmask. The draw sequence is identical to the historical
+	// map-based rejection loop.
+	out := a.credAlloc(n)
 	var seen uint64
 	var seenBig map[int]bool
 	if len(dict) > 64 {

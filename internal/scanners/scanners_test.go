@@ -246,7 +246,7 @@ func TestHTTPExploitsPanicsOnUnknownGroup(t *testing.T) {
 func TestPickCreds(t *testing.T) {
 	rng := netsim.Stream(1, "creds")
 	dict := TelnetDictGlobal()
-	got := pickCreds(rng, dict, 2, 5)
+	got := (&Actor{}).pickCreds(rng, dict, 2, 5)
 	if len(got) < 2 || len(got) > 5 {
 		t.Errorf("pickCreds size = %d", len(got))
 	}
@@ -260,8 +260,35 @@ func TestPickCreds(t *testing.T) {
 	}
 	// Requesting more than the dictionary yields the whole dictionary.
 	small := dict[:3]
-	if got := pickCreds(rng, small, 5, 9); len(got) != 3 {
+	if got := (&Actor{}).pickCreds(rng, small, 5, 9); len(got) != 3 {
 		t.Errorf("oversized request = %d creds, want 3", len(got))
+	}
+}
+
+// TestCredSlabSlicesAreIsolated proves the per-actor slab hands out
+// non-overlapping, capacity-clipped slices: earlier picks keep their
+// contents as later picks (including chunk rollovers) fill the slab,
+// and appending through a returned slice cannot reach its neighbor.
+func TestCredSlabSlicesAreIsolated(t *testing.T) {
+	rng := netsim.Stream(2, "slab")
+	a := &Actor{}
+	dict := TelnetDictGlobal()
+	var picks [][]netsim.Credential
+	var want [][]netsim.Credential
+	for i := 0; i < 3*credSlabChunk; i++ { // force several chunk rollovers
+		p := a.pickCreds(rng, dict, 1, 3)
+		picks = append(picks, p)
+		want = append(want, append([]netsim.Credential(nil), p...))
+	}
+	for i, p := range picks {
+		if cap(p) != len(p) {
+			t.Fatalf("pick %d: cap %d > len %d (append could cross into the next allocation)", i, cap(p), len(p))
+		}
+		for j := range p {
+			if p[j] != want[i][j] {
+				t.Fatalf("pick %d clobbered by a later slab allocation", i)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,267 @@
+// Package stream is the streaming study engine: it partitions a study
+// year into time epochs, ingests them incrementally through the
+// epoch-partitioned generator (core.GenerateEpochs), and exposes an
+// immutable prefix snapshot per ingested epoch — a full *core.Study on
+// which every table, figure, and ablation renders exactly as a batch
+// run truncated to the same window would. On top of snapshots it runs
+// K/prefix sweeps of the §3.3 comparison tables (Sweep) and serves
+// snapshots and sweeps as JSON over HTTP (Server) with
+// per-(epoch, experiment) result caching.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudwatch/internal/core"
+)
+
+// Config sizes a streaming study.
+type Config struct {
+	// Study is the batch study configuration the stream partitions.
+	Study core.Config
+	// Epochs is the number of time epochs the week is split into
+	// (default 8).
+	Epochs int
+}
+
+// DefaultEpochs is the epoch count used when Config.Epochs is zero.
+const DefaultEpochs = 8
+
+// Engine ingests a study epoch by epoch and hands out immutable
+// prefix snapshots. Safe for concurrent use: ingestion serializes,
+// reads of already-ingested snapshots proceed in parallel — snapshot
+// assembly itself runs outside the read lock, so serving never stalls
+// behind an ingest.
+type Engine struct {
+	es *core.EpochSet
+
+	ingestMu sync.Mutex // serializes ingestion
+	mu       sync.RWMutex
+	snaps    []*core.Study // snaps[p-1] is the prefix-p snapshot
+	ingested int
+}
+
+// New generates the epoch-partitioned study material (the expensive
+// step: one full pass of the sharded generators) and returns an engine
+// with nothing ingested yet.
+func New(cfg Config) (*Engine, error) {
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		epochs = DefaultEpochs
+	}
+	es, err := core.GenerateEpochs(cfg.Study, epochs)
+	if err != nil {
+		return nil, err
+	}
+	// es.NumEpochs() is the authoritative count (netsim clamps
+	// degenerate epoch requests).
+	return &Engine{es: es, snaps: make([]*core.Study, es.NumEpochs())}, nil
+}
+
+// NumEpochs returns the total number of epochs.
+func (e *Engine) NumEpochs() int { return e.es.NumEpochs() }
+
+// Ingested returns how many epochs have been ingested so far.
+func (e *Engine) Ingested() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.ingested
+}
+
+// Window returns the wall-clock span of epoch i.
+func (e *Engine) Window(i int) (start, end time.Time) { return e.es.Window(i) }
+
+// EpochRecords returns the honeypot records generated inside epoch i.
+func (e *Engine) EpochRecords(i int) int { return e.es.EpochRecords(i) }
+
+// EpochTelescopePackets returns the telescope packets of epoch i.
+func (e *Engine) EpochTelescopePackets(i int) int { return e.es.EpochTelescopePackets(i) }
+
+// IngestNext ingests the next epoch and materializes its prefix
+// snapshot. It reports the new prefix length, or ok=false when every
+// epoch is already ingested. The O(prefix) snapshot assembly runs
+// outside the read-write lock (EpochSet.Snapshot never mutates shared
+// state), so concurrent snapshot reads and sweeps proceed while an
+// epoch ingests; only the publish at the end takes the write lock.
+func (e *Engine) IngestNext() (prefix int, ok bool, err error) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.mu.RLock()
+	p := e.ingested + 1
+	e.mu.RUnlock()
+	if p > e.es.NumEpochs() {
+		return p - 1, false, nil
+	}
+	snap, err := e.es.Snapshot(p)
+	if err != nil {
+		return p - 1, false, err
+	}
+	e.mu.Lock()
+	e.snaps[p-1] = snap
+	e.ingested = p
+	e.mu.Unlock()
+	return p, true, nil
+}
+
+// IngestAll ingests every remaining epoch.
+func (e *Engine) IngestAll() error {
+	for {
+		_, ok, err := e.IngestNext()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// Snapshot returns the immutable study of the first `prefix` epochs.
+// The prefix must already be ingested.
+func (e *Engine) Snapshot(prefix int) (*core.Study, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if prefix < 1 || prefix > e.es.NumEpochs() {
+		return nil, fmt.Errorf("stream: snapshot prefix %d out of range [1, %d]", prefix, e.es.NumEpochs())
+	}
+	if prefix > e.ingested {
+		return nil, fmt.Errorf("stream: epoch prefix %d not ingested yet (%d/%d ingested)", prefix, e.ingested, e.es.NumEpochs())
+	}
+	return e.snaps[prefix-1], nil
+}
+
+// SweepRequest selects the grid of one sweep: which §3.3 comparison
+// tables, which top-K widths, and which epoch prefixes.
+type SweepRequest struct {
+	// Tables must be a subset of core.SweepTables(); empty means
+	// {table2, table5}.
+	Tables []string `json:"tables"`
+	// KMin/KMax bound the top-K width axis, inclusive; zero values
+	// default to 1..10.
+	KMin int `json:"k_min"`
+	KMax int `json:"k_max"`
+	// Prefixes lists the epoch prefixes to render; empty means every
+	// ingested prefix.
+	Prefixes []int `json:"prefixes"`
+}
+
+// SweepCell is one rendered (prefix, K, table) grid point.
+type SweepCell struct {
+	Prefix    int    `json:"prefix"`
+	WindowEnd string `json:"window_end"` // RFC 3339 end of the prefix window
+	K         int    `json:"k"`
+	Table     string `json:"table"`
+	Output    string `json:"output"`
+}
+
+// SweepResult is a finished sweep with its throughput.
+type SweepResult struct {
+	Year          int         `json:"year"`
+	Seed          int64       `json:"seed"`
+	Cells         []SweepCell `json:"cells"`
+	Renders       int         `json:"renders"`
+	Seconds       float64     `json:"seconds"`
+	RendersPerSec float64     `json:"renders_per_sec"`
+}
+
+// normalize validates a request against the engine state and fills
+// defaults. Returned errors enumerate the valid values.
+func (e *Engine) normalize(req SweepRequest) (SweepRequest, error) {
+	if len(req.Tables) == 0 {
+		req.Tables = []string{"table2", "table5"}
+	}
+	valid := core.SweepTables()
+	for _, tbl := range req.Tables {
+		ok := false
+		for _, v := range valid {
+			if tbl == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return req, fmt.Errorf("stream: unknown sweep table %q; valid: %s", tbl, strings.Join(valid, ", "))
+		}
+	}
+	if req.KMin == 0 {
+		req.KMin = 1
+	}
+	if req.KMax == 0 {
+		req.KMax = 10
+	}
+	if req.KMin < 1 || req.KMax < req.KMin {
+		return req, fmt.Errorf("stream: invalid K range [%d, %d]; need 1 <= k_min <= k_max", req.KMin, req.KMax)
+	}
+	ingested := e.Ingested()
+	if len(req.Prefixes) == 0 {
+		for p := 1; p <= ingested; p++ {
+			req.Prefixes = append(req.Prefixes, p)
+		}
+	} else {
+		sorted := append([]int(nil), req.Prefixes...)
+		sort.Ints(sorted)
+		deduped := make([]int, 0, len(sorted))
+		for _, p := range sorted {
+			if p < 1 || p > ingested {
+				return req, fmt.Errorf("stream: prefix %d not ingested; valid: 1..%d", p, ingested)
+			}
+			if n := len(deduped); n > 0 && deduped[n-1] == p {
+				continue // duplicates would double-count renders
+			}
+			deduped = append(deduped, p)
+		}
+		req.Prefixes = deduped
+	}
+	if len(req.Prefixes) == 0 {
+		return req, fmt.Errorf("stream: nothing ingested yet; call IngestNext first")
+	}
+	return req, nil
+}
+
+// Sweep renders every (prefix, K, table) grid point of the request.
+// Each prefix snapshot's interned category dictionaries and ranked
+// per-(view, characteristic) summaries are built once and reused by
+// every K (only the family's chi-squared pass depends on K), and
+// finished families are memoized per K — so repeated and overlapping
+// sweeps cost renders, not recomputation. Safe for concurrent use.
+func (e *Engine) Sweep(req SweepRequest) (*SweepResult, error) {
+	req, err := e.normalize(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.es.Config()
+	res := &SweepResult{Year: cfg.Year, Seed: cfg.Seed}
+	start := time.Now()
+	for _, p := range req.Prefixes {
+		snap, err := e.Snapshot(p)
+		if err != nil {
+			return nil, err
+		}
+		_, end := e.es.Window(p - 1)
+		for k := req.KMin; k <= req.KMax; k++ {
+			for _, tbl := range req.Tables {
+				out, ok := core.RenderExperimentAtK(snap, tbl, k)
+				if !ok {
+					return nil, fmt.Errorf("stream: unknown sweep table %q; valid: %s", tbl, strings.Join(core.SweepTables(), ", "))
+				}
+				res.Cells = append(res.Cells, SweepCell{
+					Prefix:    p,
+					WindowEnd: end.UTC().Format(time.RFC3339),
+					K:         k,
+					Table:     tbl,
+					Output:    out,
+				})
+			}
+		}
+	}
+	res.Renders = len(res.Cells)
+	res.Seconds = time.Since(start).Seconds()
+	if res.Seconds > 0 {
+		res.RendersPerSec = float64(res.Renders) / res.Seconds
+	}
+	return res, nil
+}

@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudwatch/internal/core"
+)
+
+// Server exposes a streaming study over HTTP as JSON: ingestion state,
+// per-epoch snapshot renders, and K/prefix sweeps. Rendered experiment
+// output is cached per (epoch prefix, experiment) — snapshots are
+// immutable, so a cached render never goes stale — which is what lets
+// the server absorb heavy repeated read traffic.
+//
+//	GET  /v1/status                          ingestion state + epoch windows
+//	GET  /v1/snapshot/{prefix}/{experiment}  one rendered table/figure
+//	GET  /v1/sweep?tables=&kmin=&kmax=&prefixes=   a sweep grid
+//	POST /v1/ingest                          ingest the next epoch
+type Server struct {
+	eng *Engine
+
+	// sweepDefaults seeds /v1/sweep requests; absent query parameters
+	// fall back to these (then to the engine's own defaults). Set
+	// before serving — not synchronized with request handling.
+	sweepDefaults SweepRequest
+
+	mu      sync.Mutex
+	renders map[renderKey]string
+}
+
+type renderKey struct {
+	prefix     int
+	experiment string
+}
+
+// NewServer wraps an engine.
+func NewServer(eng *Engine) *Server {
+	return &Server{eng: eng, renders: map[renderKey]string{}}
+}
+
+// Engine returns the wrapped engine (the ingestion loop drives it
+// directly).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// SetSweepDefaults installs the sweep parameters /v1/sweep uses when a
+// request omits the corresponding query parameter (the CLI's
+// -sweep-* flags in serve mode). Call before serving.
+func (s *Server) SetSweepDefaults(req SweepRequest) { s.sweepDefaults = req }
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/snapshot/{prefix}/{experiment}", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	return mux
+}
+
+// statusEpoch is one epoch's row in the status response.
+type statusEpoch struct {
+	Epoch            int    `json:"epoch"`
+	Start            string `json:"start"`
+	End              string `json:"end"`
+	Records          int    `json:"records"`
+	TelescopePackets int    `json:"telescope_packets"`
+	Ingested         bool   `json:"ingested"`
+}
+
+type statusResponse struct {
+	Year        int           `json:"year"`
+	Seed        int64         `json:"seed"`
+	Epochs      int           `json:"epochs"`
+	Ingested    int           `json:"ingested"`
+	Experiments []string      `json:"experiments"`
+	SweepTables []string      `json:"sweep_tables"`
+	EpochList   []statusEpoch `json:"epoch_list"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	cfg := s.eng.es.Config()
+	ingested := s.eng.Ingested()
+	resp := statusResponse{
+		Year:        cfg.Year,
+		Seed:        cfg.Seed,
+		Epochs:      s.eng.NumEpochs(),
+		Ingested:    ingested,
+		Experiments: core.ExperimentNames(),
+		SweepTables: core.SweepTables(),
+	}
+	for e := 0; e < s.eng.NumEpochs(); e++ {
+		start, end := s.eng.Window(e)
+		resp.EpochList = append(resp.EpochList, statusEpoch{
+			Epoch:            e,
+			Start:            start.UTC().Format(time.RFC3339),
+			End:              end.UTC().Format(time.RFC3339),
+			Records:          s.eng.EpochRecords(e),
+			TelescopePackets: s.eng.EpochTelescopePackets(e),
+			Ingested:         e < ingested,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type snapshotResponse struct {
+	Prefix     int    `json:"prefix"`
+	Experiment string `json:"experiment"`
+	WindowEnd  string `json:"window_end"`
+	Records    int    `json:"records"`
+	Cached     bool   `json:"cached"`
+	Output     string `json:"output"`
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	prefix, err := strconv.Atoi(r.PathValue("prefix"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad prefix %q: must be an epoch count in 1..%d", r.PathValue("prefix"), s.eng.NumEpochs()))
+		return
+	}
+	experiment := r.PathValue("experiment")
+	snap, err := s.eng.Snapshot(prefix)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+
+	key := renderKey{prefix, experiment}
+	s.mu.Lock()
+	out, cached := s.renders[key]
+	s.mu.Unlock()
+	if !cached {
+		var ok bool
+		out, ok = core.RenderExperiment(snap, experiment)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q; valid: %s",
+				experiment, strings.Join(core.ExperimentNames(), ", ")))
+			return
+		}
+		s.mu.Lock()
+		s.renders[key] = out
+		s.mu.Unlock()
+	}
+
+	_, end := s.eng.Window(prefix - 1)
+	writeJSON(w, http.StatusOK, snapshotResponse{
+		Prefix:     prefix,
+		Experiment: experiment,
+		WindowEnd:  end.UTC().Format(time.RFC3339),
+		Records:    snap.NumRecords(),
+		Cached:     cached,
+		Output:     out,
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req := s.sweepDefaults
+	q := r.URL.Query()
+	if v := q.Get("tables"); v != "" {
+		req.Tables = strings.Split(v, ",")
+	}
+	var err error
+	if req.KMin, err = intParam(q.Get("kmin"), req.KMin); err != nil {
+		writeError(w, http.StatusBadRequest, "bad kmin: "+err.Error())
+		return
+	}
+	if req.KMax, err = intParam(q.Get("kmax"), req.KMax); err != nil {
+		writeError(w, http.StatusBadRequest, "bad kmax: "+err.Error())
+		return
+	}
+	if v := q.Get("prefixes"); v != "" {
+		req.Prefixes = nil
+		for _, part := range strings.Split(v, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad prefix %q in prefixes", part))
+				return
+			}
+			req.Prefixes = append(req.Prefixes, p)
+		}
+	}
+	res, err := s.eng.Sweep(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+type ingestResponse struct {
+	Prefix   int  `json:"prefix"`
+	Done     bool `json:"done"` // true when every epoch was already ingested
+	Records  int  `json:"records"`
+	Ingested int  `json:"ingested"`
+	Epochs   int  `json:"epochs"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	prefix, ok, err := s.eng.IngestNext()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := ingestResponse{
+		Prefix:   prefix,
+		Done:     !ok,
+		Ingested: s.eng.Ingested(),
+		Epochs:   s.eng.NumEpochs(),
+	}
+	if ok {
+		resp.Records = s.eng.EpochRecords(prefix - 1)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func intParam(v string, def int) (int, error) {
+	if v == "" {
+		return def, nil
+	}
+	return strconv.Atoi(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	eng := newTestEngine(t, 3)
+	srv := NewServer(eng)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+}
+
+func TestServerStatusAndIngest(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	var st statusResponse
+	getJSON(t, ts.URL+"/v1/status", http.StatusOK, &st)
+	if st.Epochs != 3 || st.Ingested != 0 || len(st.EpochList) != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(st.Experiments) != 12 || st.Experiments[0] != "table1" {
+		t.Fatalf("experiments = %v", st.Experiments)
+	}
+
+	// POST /v1/ingest advances one epoch at a time, then reports done.
+	for want := 1; want <= 3; want++ {
+		resp, err := http.Post(ts.URL+"/v1/ingest", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ing ingestResponse
+		if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ing.Done || ing.Prefix != want {
+			t.Fatalf("ingest #%d = %+v", want, ing)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/ingest", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !ing.Done {
+		t.Fatalf("fourth ingest should report done, got %+v", ing)
+	}
+}
+
+func TestServerSnapshotRenderAndCache(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Engine().IngestAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	var first, second snapshotResponse
+	getJSON(t, ts.URL+"/v1/snapshot/2/table2", http.StatusOK, &first)
+	if first.Cached || first.Output == "" || !strings.Contains(first.Output, "Table 2") {
+		t.Fatalf("first render = %+v", first)
+	}
+	getJSON(t, ts.URL+"/v1/snapshot/2/table2", http.StatusOK, &second)
+	if !second.Cached || second.Output != first.Output {
+		t.Fatal("second request should be a cache hit with identical output")
+	}
+
+	// The served output equals a direct snapshot render.
+	snap, err := srv.Engine().Snapshot(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := snap.Table2().Render(); first.Output != want {
+		t.Fatal("served output differs from direct render")
+	}
+
+	// Unknown experiments 404 and list the valid names.
+	var e errorResponse
+	getJSON(t, ts.URL+"/v1/snapshot/2/table99", http.StatusNotFound, &e)
+	if !strings.Contains(e.Error, "figure1") {
+		t.Fatalf("error should list valid experiments: %q", e.Error)
+	}
+	// Un-ingested and absurd prefixes fail cleanly.
+	getJSON(t, ts.URL+"/v1/snapshot/9/table2", http.StatusNotFound, &e)
+	getJSON(t, ts.URL+"/v1/snapshot/x/table2", http.StatusBadRequest, &e)
+}
+
+func TestServerSweep(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Engine().IngestAll(); err != nil {
+		t.Fatal(err)
+	}
+	var res SweepResult
+	getJSON(t, ts.URL+"/v1/sweep?tables=table2&kmin=1&kmax=3&prefixes=1,3", http.StatusOK, &res)
+	if want := 2 * 3; res.Renders != want {
+		t.Fatalf("sweep renders = %d, want %d", res.Renders, want)
+	}
+
+	// Server-level sweep defaults (the CLI's -sweep-* flags) seed
+	// requests; query parameters override them individually.
+	srv.SetSweepDefaults(SweepRequest{Tables: []string{"table5"}, KMin: 2, KMax: 4, Prefixes: []int{1}})
+	getJSON(t, ts.URL+"/v1/sweep", http.StatusOK, &res)
+	if res.Renders != 3 || res.Cells[0].Table != "table5" || res.Cells[0].K != 2 {
+		t.Fatalf("default-seeded sweep = %d renders, first cell %+v", res.Renders, res.Cells[0])
+	}
+	getJSON(t, ts.URL+"/v1/sweep?kmax=2&prefixes=1,2", http.StatusOK, &res)
+	if res.Renders != 2*1 { // K=2..2 x prefixes {1,2} x table5
+		t.Fatalf("override sweep renders = %d, want 2", res.Renders)
+	}
+	var e errorResponse
+	getJSON(t, ts.URL+"/v1/sweep?tables=bogus", http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "table2") {
+		t.Fatalf("sweep error should list valid tables: %q", e.Error)
+	}
+	getJSON(t, ts.URL+"/v1/sweep?kmin=x", http.StatusBadRequest, &e)
+}

@@ -16,13 +16,40 @@ import (
 	"cloudwatch/internal/wire"
 )
 
+// watchLog is the columnar per-destination tracking of one watched
+// port: an append-only (dst, src) observation log with a run-length
+// skip (sweeps emit long runs of one pair). Uniqueness is deferred to
+// the reader — PerAddressSeries sorts and dedups the packed pairs —
+// so observing costs two column appends instead of two nested map
+// probes, and merging shard logs is a column concatenation.
+type watchLog struct {
+	dst []wire.Addr
+	src []wire.Addr
+
+	lastDst, lastSrc wire.Addr
+	lastOK           bool
+}
+
+// observe appends one (dst, src) pair unless it repeats the previous
+// one. Skipped pairs are always already in the log, so the read-side
+// dedup sees the same unique-pair set the historical per-address maps
+// held.
+func (l *watchLog) observe(dst, src wire.Addr) {
+	if l.lastOK && dst == l.lastDst && src == l.lastSrc {
+		return
+	}
+	l.dst = append(l.dst, dst)
+	l.src = append(l.src, src)
+	l.lastDst, l.lastSrc, l.lastOK = dst, src, true
+}
+
 // Collector aggregates darknet traffic. Not safe for concurrent use;
 // the parallel study driver gives each worker a private Collector and
 // folds the shards together with Merge.
 type Collector struct {
 	srcsByPort map[uint16]map[wire.Addr]struct{}
 	asByPort   map[uint16]stats.Freq
-	perAddr    map[uint16]map[wire.Addr]map[wire.Addr]struct{}
+	perAddr    map[uint16]*watchLog
 	watch      map[uint16]bool
 	packets    int
 
@@ -34,7 +61,7 @@ type Collector struct {
 	cacheOK    bool
 	cacheSrcs  map[wire.Addr]struct{}
 	cacheFreq  stats.Freq
-	cacheWatch map[wire.Addr]map[wire.Addr]struct{} // nil when port unwatched
+	cacheWatch *watchLog // nil when port unwatched
 
 	// Source-repeat cache: a sweep emits long runs of probes from one
 	// source to one port, so the unique-source set insert is skipped
@@ -65,7 +92,7 @@ func New(watchPorts ...uint16) *Collector {
 	return &Collector{
 		srcsByPort: map[uint16]map[wire.Addr]struct{}{},
 		asByPort:   map[uint16]stats.Freq{},
-		perAddr:    map[uint16]map[wire.Addr]map[wire.Addr]struct{}{},
+		perAddr:    map[uint16]*watchLog{},
 		watch:      w,
 	}
 }
@@ -95,13 +122,8 @@ func (c *Collector) Observe(p netsim.Probe) {
 	}
 	c.pending++
 
-	if byDst := c.cacheWatch; byDst != nil {
-		set, ok := byDst[p.Dst]
-		if !ok {
-			set = map[wire.Addr]struct{}{}
-			byDst[p.Dst] = set
-		}
-		set[p.Src] = struct{}{}
+	if log := c.cacheWatch; log != nil {
+		log.observe(p.Dst, p.Src)
 	}
 }
 
@@ -133,20 +155,27 @@ func (c *Collector) fillPortCache(port uint16) {
 		freq = stats.Freq{}
 		c.asByPort[port] = freq
 	}
-	var byDst map[wire.Addr]map[wire.Addr]struct{}
+	var log *watchLog
 	if c.watch[port] {
-		byDst, ok = c.perAddr[port]
+		log, ok = c.perAddr[port]
 		if !ok {
-			byDst = map[wire.Addr]map[wire.Addr]struct{}{}
-			c.perAddr[port] = byDst
+			log = &watchLog{}
+			c.perAddr[port] = log
 		}
 	}
 	c.cachePort, c.cacheOK = port, true
-	c.cacheSrcs, c.cacheFreq, c.cacheWatch = srcs, freq, byDst
+	c.cacheSrcs, c.cacheFreq, c.cacheWatch = srcs, freq, log
 }
 
 // Packets returns the total packet count observed.
 func (c *Collector) Packets() int { return c.packets }
+
+// Flush folds any deferred per-run aggregation into the tables. After
+// Flush, and as long as no further Observe calls happen, the collector
+// is pure data: Merge sources and every reader are write-free, so a
+// sealed collector may feed concurrent merges (the streaming engine
+// seals its per-epoch collectors once generation finishes).
+func (c *Collector) Flush() { c.flushAS() }
 
 // Merge folds another collector's observations into c. Every
 // aggregate is a set union or an integer-count sum, so merging shard
@@ -182,24 +211,21 @@ func (c *Collector) Merge(o *Collector) {
 			dst.Add(k, v)
 		}
 	}
-	for port, byDst := range o.perAddr {
+	for port, olog := range o.perAddr {
 		if !c.watch[port] {
 			continue
 		}
-		dstMap, ok := c.perAddr[port]
+		log, ok := c.perAddr[port]
 		if !ok {
-			dstMap = make(map[wire.Addr]map[wire.Addr]struct{}, len(byDst))
-			c.perAddr[port] = dstMap
+			log = &watchLog{}
+			c.perAddr[port] = log
 		}
-		for addr, srcs := range byDst {
-			set, ok := dstMap[addr]
-			if !ok {
-				set = make(map[wire.Addr]struct{}, len(srcs))
-				dstMap[addr] = set
-			}
-			for s := range srcs {
-				set[s] = struct{}{}
-			}
+		log.dst = append(log.dst, olog.dst...)
+		log.src = append(log.src, olog.src...)
+		// The merged tail ends with o's last pair; adopting it keeps the
+		// run-length skip sound (a skipped pair is always in the log).
+		if olog.lastOK {
+			log.lastDst, log.lastSrc, log.lastOK = olog.lastDst, olog.lastSrc, true
 		}
 	}
 }
@@ -252,19 +278,38 @@ func (c *Collector) ASFrequenciesAll() stats.Freq {
 // PerAddressSeries returns, for a watched port, the unique-source
 // count of every destination address in u's telescope space in address
 // order — the raw series behind Figure 1. Unwatched ports return nil.
+//
+// The watch log is columnar: pairs are packed into one uint64 key,
+// sorted, and deduplicated in a scratch copy (the log itself is never
+// mutated, so concurrent series builds over different — or the same —
+// ports are safe on a merged collector), and each distinct
+// destination's count lands at its global index via the universe's
+// sorted-block telescope index, one binary search per destination run.
 func (c *Collector) PerAddressSeries(u *netsim.Universe, port uint16) []int {
-	byDst, ok := c.perAddr[port]
+	log, ok := c.perAddr[port]
 	if !ok {
 		return nil
 	}
-	n := u.TelescopeSize()
-	out := make([]int, n)
-	// Addresses inside the blocks are ordered; walk the map and place
-	// counts by global index (an O(log blocks) lookup on the universe's
-	// telescope index).
-	for dst, srcs := range byDst {
-		if idx, ok := u.TelescopeIndex(dst); ok {
-			out[idx] = len(srcs)
+	out := make([]int, u.TelescopeSize())
+	keys := make([]uint64, len(log.dst))
+	for i, dst := range log.dst {
+		keys[i] = uint64(dst)<<32 | uint64(log.src[i])
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var prev uint64
+	curIdx, curOK := 0, false
+	var curDst wire.Addr
+	for i, k := range keys {
+		if i > 0 && k == prev {
+			continue
+		}
+		prev = k
+		if dst := wire.Addr(k >> 32); !curOK || dst != curDst {
+			curDst = dst
+			curIdx, curOK = u.TelescopeIndex(dst)
+		}
+		if curOK {
+			out[curIdx]++
 		}
 	}
 	return out

@@ -2,18 +2,19 @@
 # Benchmark smoke for trajectory tracking: runs the study-throughput
 # benchmark plus every table/figure benchmark once (the cold path),
 # then the §3.3 comparison-engine benchmarks at -benchtime=20x (the
-# memoized steady state), and emits a JSON summary for cross-PR
-# comparison.
+# memoized steady state) and the streaming-engine benchmarks (ingest
+# records/sec plus warm-vs-cold sweep renders/sec), and emits a JSON
+# summary for cross-PR comparison.
 #
 # Usage: scripts/bench.sh [output.json] [bench-log]
-#   output.json  summary destination (default: BENCH_PR4.json)
+#   output.json  summary destination (default: BENCH_PR5.json)
 #   bench-log    existing `go test -bench` output to parse for the
 #                cold-path numbers instead of re-running them (lets CI
 #                run them once); the steady-state pass always runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 log="${2:-}"
 steady="$(mktemp)"
 cleanup="$steady"
@@ -25,12 +26,22 @@ if [ -z "$log" ]; then
     -benchtime=1x -run '^$' . | tee "$log"
 fi
 
-# Generation throughput runs in its own multi-iteration pass: a single
-# -benchtime=1x sample of records/sec is dominated by first-run warmup
-# and scheduler noise. Appending to the log keeps the awk below a
-# single-pass parse whether the cold log came from CI or from here.
+# Generation and streaming throughput run in their own multi-iteration
+# passes: a single -benchtime=1x sample of records/sec is dominated by
+# first-run warmup and scheduler noise. Appending to the log keeps the
+# awk below a single-pass parse whether the cold log came from CI or
+# from here.
 go test -bench 'BenchmarkStudyGeneration$|BenchmarkStudySerial$|BenchmarkStudyParallel$' \
   -benchtime=5x -run '^$' . | tee -a "$log"
+
+# Streaming engine: ingest throughput, then the PR 5 acceptance grid —
+# Table 2 + Table 5 at K=1..10 across 8 epoch prefixes — warm (sweep
+# engine over prefix snapshots) vs cold (fresh truncated run per
+# point). BenchmarkSweepWarm runs 20 iterations so the steady state
+# dominates the first iteration's cache build.
+go test -bench 'BenchmarkStreamIngest$' -benchtime=3x -run '^$' . | tee -a "$log"
+go test -bench 'BenchmarkSweepWarm$' -benchtime=20x -run '^$' . | tee -a "$log"
+go test -bench 'BenchmarkSweepCold$' -benchtime=10x -run '^$' . | tee -a "$log"
 
 go test -bench 'BenchmarkTable2Neighborhoods$|BenchmarkTable5GeoSimilarity$' \
   -benchtime=20x -run '^$' . | tee "$steady"
@@ -55,6 +66,18 @@ awk -v out="$out" '
         if (name == "BenchmarkStudyParallel") rps = $(i-1)
       }
   }
+  file == 1 && /^BenchmarkStreamIngest/ {
+    for (i = 1; i <= NF; i++)
+      if ($i == "records/sec") ingest = $(i-1)
+  }
+  file == 1 && /^BenchmarkSweepWarm/ {
+    for (i = 1; i <= NF; i++)
+      if ($i == "renders/sec") warm = $(i-1)
+  }
+  file == 1 && /^BenchmarkSweepCold/ {
+    for (i = 1; i <= NF; i++)
+      if ($i == "renders/sec") cold = $(i-1)
+  }
   file == 1 && /^Benchmark(Table|Figure)/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     for (i = 1; i <= NF; i++)
@@ -66,7 +89,12 @@ awk -v out="$out" '
       if ($i == "ns/op") { sns[name] = $(i-1); sorder[sn++] = name; break }
   }
   END {
-    printf "{\n  \"records_per_sec\": %s,\n  \"generation_records_per_sec\": {\n", (rps == "" ? "null" : rps) > out
+    printf "{\n  \"records_per_sec\": %s,\n", (rps == "" ? "null" : rps) > out
+    printf "  \"streaming_ingest_records_per_sec\": %s,\n", (ingest == "" ? "null" : ingest) >> out
+    printf "  \"sweep_renders_per_sec\": %s,\n", (warm == "" ? "null" : warm) >> out
+    printf "  \"sweep_cold_renders_per_sec\": %s,\n", (cold == "" ? "null" : cold) >> out
+    printf "  \"sweep_warm_over_cold\": %s,\n", (warm != "" && cold + 0 > 0 ? sprintf("%.1f", warm / cold) : "null") >> out
+    printf "  \"generation_records_per_sec\": {\n" >> out
     for (i = 0; i < gn; i++)
       printf "    \"%s\": %s%s\n", gorder[i], gen[gorder[i]], (i < gn-1 ? "," : "") >> out
     printf "  },\n  \"table_bench_ns_per_op\": {\n" >> out
