@@ -10,6 +10,7 @@ package cloudwatch
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"cloudwatch/internal/core"
 	"cloudwatch/internal/fingerprint"
@@ -395,6 +396,41 @@ func BenchmarkStreamIngest(b *testing.B) {
 	}
 	if perOp := b.Elapsed().Seconds() / float64(b.N); perOp > 0 {
 		b.ReportMetric(float64(records)/perOp, "records/sec")
+	}
+}
+
+// BenchmarkStreamIngestLatency measures per-epoch ingest latency at
+// the start and the end of the week. Snapshot assembly is incremental
+// (each ingest adopts the previous prefix snapshot and folds in only
+// the new epoch), so ingesting epoch 8 should cost about the same as
+// ingesting epoch 2 — the p8-over-p2 ratio near 1.0 is the flatness
+// acceptance metric; the O(prefix) from-scratch assembler sat near 3.
+func BenchmarkStreamIngestLatency(b *testing.B) {
+	var p2, p8 time.Duration
+	for i := 0; i < b.N; i++ {
+		eng, err := NewStream(StreamConfig{Study: QuickStudy(int64(i), 2021), Epochs: sweepBenchEpochs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for p := 1; p <= sweepBenchEpochs; p++ {
+			start := time.Now()
+			if _, ok, err := eng.IngestNext(); err != nil || !ok {
+				b.Fatalf("ingest #%d: ok=%v err=%v", p, ok, err)
+			}
+			d := time.Since(start)
+			switch p {
+			case 2:
+				p2 += d
+			case sweepBenchEpochs:
+				p8 += d
+			}
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(p2.Seconds()*1e3/n, "p2-ms")
+	b.ReportMetric(p8.Seconds()*1e3/n, "p8-ms")
+	if p2 > 0 {
+		b.ReportMetric(p8.Seconds()/p2.Seconds(), "p8-over-p2")
 	}
 }
 

@@ -23,6 +23,19 @@ func AppendixExperiments() []string {
 	return []string{"table2", "table5", "table7", "table10", "table4", "table11"}
 }
 
+// KnownExperiment reports whether name is a renderable experiment —
+// the validity check servers run before doing any per-request work, so
+// an unknown name fails the same way whatever else the request got
+// wrong.
+func KnownExperiment(name string) bool {
+	for _, n := range experimentOrder {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // RenderExperiment renders one named experiment of a study, reporting
 // ok=false for unknown names.
 func RenderExperiment(s *Study, name string) (string, bool) {

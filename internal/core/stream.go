@@ -16,6 +16,7 @@ import (
 	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/searchengine"
 	"cloudwatch/internal/telescope"
+	"cloudwatch/internal/wire"
 )
 
 // This file is the generation side of the streaming study engine: the
@@ -58,15 +59,45 @@ type streamShard struct {
 	eb    netsim.Epochs
 	sinks []*epochSink
 	seq   int32 // per-actor emission counter, reset at actor start
+
+	// Per-source GreyNoise dedup, hoisted out of the sinks: actors emit
+	// long same-source probe runs, but with timestamps routing probes
+	// round-robin across epoch sinks the per-Delta last-source
+	// short-circuit almost never fires, degenerating gn.Observe into a
+	// map insert per probe. The shard instead tracks which epoch sinks
+	// have already seen the current source run (a bitmask for studies
+	// of ≤64 epochs) and skips the Delta call entirely. Observe is a
+	// set insert, so skipping duplicates is observation-equivalent.
+	gnSrc  wire.Addr
+	gnOK   bool
+	gnMask uint64
+}
+
+// observeGN records p.Src as seen in epoch e's GreyNoise delta,
+// short-circuiting repeats within one source run.
+func (sh *streamShard) observeGN(sink *epochSink, e int, src wire.Addr) {
+	if !sh.gnOK || src != sh.gnSrc {
+		sh.gnSrc, sh.gnOK = src, true
+		sh.gnMask = 0
+	}
+	if e < 64 {
+		if bit := uint64(1) << e; sh.gnMask&bit == 0 {
+			sh.gnMask |= bit
+			sink.gn.Observe(src)
+		}
+		return
+	}
+	sink.gn.Observe(src)
 }
 
 func (sh *streamShard) dispatch(p netsim.Probe) {
-	sec, _ := netsim.StudySeconds(p.T)
-	sink := sh.sinks[sh.eb.EpochOf(sec)]
+	sec, nsec := netsim.StudySeconds(p.T)
+	e := sh.eb.EpochOf(sec)
+	sink := sh.sinks[e]
 	tel, t, vi := sh.dc.resolve(p.Dst)
 	if tel {
 		sink.tel.Observe(p)
-		sink.gn.Observe(p.Src)
+		sh.observeGN(sink, e, p.Src)
 		return
 	}
 	if t == nil {
@@ -76,8 +107,8 @@ func (sh *streamShard) dispatch(p netsim.Probe) {
 	if !ok {
 		return
 	}
-	sink.gn.Observe(p.Src)
-	sink.blk.Append(vi, &p, pay, creds)
+	sh.observeGN(sink, e, p.Src)
+	sink.blk.AppendAt(vi, sec, nsec, &p, pay, creds)
 	sink.seq = append(sink.seq, sh.seq)
 	sh.seq++
 }

@@ -66,6 +66,26 @@ func TestStreamingSnapshotsMatchTruncatedRuns(t *testing.T) {
 							t.Errorf("workers=%d prefix=%d: snapshot analyses differ from truncated batch run", workers, p)
 						}
 					}
+
+					// The incremental chain (the path the streaming
+					// engine's IngestNext takes) must match the same
+					// truncated batch references; rendering after the
+					// whole chain is built also checks that later
+					// appends leave earlier snapshots untouched.
+					inc := es.Incremental()
+					chain := make([]*Study, 0, epochs)
+					for p := 1; p <= epochs; p++ {
+						snap, err := inc.Advance()
+						if err != nil {
+							t.Fatal(err)
+						}
+						chain = append(chain, snap)
+					}
+					for p := 1; p <= epochs; p++ {
+						if got := renderAllAnalyses(chain[p-1]); got != wants[p] {
+							t.Errorf("workers=%d prefix=%d: incremental snapshot differs from truncated batch run", workers, p)
+						}
+					}
 				}
 			})
 		}

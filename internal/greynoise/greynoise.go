@@ -76,6 +76,41 @@ func (s *Service) ObserveExploit(src wire.Addr) {
 	s.exploited[src] = true
 }
 
+// RemoveExploit withdraws an exploit observation: the source drops
+// back to seen-but-not-exploiting. The incremental snapshot assembler
+// uses it when a moved verdict anchor flips a payload benign and no
+// malicious record names the source anymore.
+func (s *Service) RemoveExploit(src wire.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.exploited, src)
+}
+
+// Clone returns a service with the same observation state. The three
+// aggregates are deep-copied, so extending the clone (Merge,
+// MergeDelta, ObserveExploit) never mutates the original — the
+// incremental snapshot chain clones the previous prefix's service and
+// folds only the new epoch's deltas into the clone.
+func (s *Service) Clone() *Service {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := &Service{
+		vettedASN: make(map[int]bool, len(s.vettedASN)),
+		exploited: make(map[wire.Addr]bool, len(s.exploited)),
+		seen:      make(map[wire.Addr]bool, len(s.seen)),
+	}
+	for asn := range s.vettedASN {
+		n.vettedASN[asn] = true
+	}
+	for src := range s.exploited {
+		n.exploited[src] = true
+	}
+	for src := range s.seen {
+		n.seen[src] = true
+	}
+	return n
+}
+
 // Merge folds another service's observations into s. All three
 // aggregates are sets, so merging per-worker deltas in any order
 // reaches the same state as serial observation — the property the
@@ -124,9 +159,13 @@ type Delta struct {
 	exploited map[wire.Addr]struct{}
 
 	// last short-circuits the seen-set insert while one source's probe
-	// run lasts (actors emit long same-source runs).
-	last   wire.Addr
-	lastOK bool
+	// run lasts (actors emit long same-source runs); lastExp does the
+	// same for the exploited-set insert (verdict fills walk records in
+	// canonical order, which has the same run structure).
+	last      wire.Addr
+	lastOK    bool
+	lastExp   wire.Addr
+	lastExpOK bool
 }
 
 // NewDelta returns an empty per-worker accumulator.
@@ -149,8 +188,12 @@ func (d *Delta) Observe(src wire.Addr) {
 // ObserveExploit records that a source IP was seen actively exploiting
 // services.
 func (d *Delta) ObserveExploit(src wire.Addr) {
+	if d.lastExpOK && src == d.lastExp {
+		return
+	}
 	d.seen[src] = struct{}{}
 	d.exploited[src] = struct{}{}
+	d.lastExp, d.lastExpOK = src, true
 }
 
 // MergeDelta folds a worker delta into the service under one lock

@@ -178,3 +178,43 @@ func TestDeltaMatchesService(t *testing.T) {
 		t.Fatal("second delta merge lost an exploit observation")
 	}
 }
+
+// TestServiceCloneIsolation checks the incremental-chain contract: a
+// clone classifies exactly like the original, and new observations on
+// the clone never leak back.
+func TestServiceCloneIsolation(t *testing.T) {
+	orig := NewService()
+	orig.VetASN(7)
+	orig.Observe(wire.MustParseAddr("1.1.1.1"))
+	orig.ObserveExploit(wire.MustParseAddr("2.2.2.2"))
+
+	clone := orig.Clone()
+	cSeen, cExp, cVet := clone.Stats()
+	oSeen, oExp, oVet := orig.Stats()
+	if cSeen != oSeen || cExp != oExp || cVet != oVet {
+		t.Fatalf("clone Stats = %d,%d,%d, want %d,%d,%d", cSeen, cExp, cVet, oSeen, oExp, oVet)
+	}
+	if clone.Classify(wire.MustParseAddr("2.2.2.2"), 0) != Malicious {
+		t.Fatal("clone lost an exploit observation")
+	}
+	if clone.Classify(wire.MustParseAddr("1.1.1.1"), 7) != Benign {
+		t.Fatal("clone lost the vetted ASN")
+	}
+
+	// Extending the clone (directly and via a worker delta) leaves the
+	// original sealed.
+	clone.ObserveExploit(wire.MustParseAddr("1.1.1.1"))
+	d := NewDelta()
+	d.Observe(wire.MustParseAddr("3.3.3.3"))
+	clone.MergeDelta(d)
+
+	if orig.Classify(wire.MustParseAddr("1.1.1.1"), 7) != Benign {
+		t.Fatal("clone exploit observation leaked into the original")
+	}
+	if seen, exploited, _ := orig.Stats(); seen != 2 || exploited != 1 {
+		t.Fatalf("original Stats moved: seen %d exploited %d, want 2 and 1", seen, exploited)
+	}
+	if seen, exploited, _ := clone.Stats(); seen != 3 || exploited != 2 {
+		t.Fatalf("clone Stats = seen %d exploited %d, want 3 and 2", seen, exploited)
+	}
+}

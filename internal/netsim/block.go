@@ -45,15 +45,26 @@ func (b *RecordBlock) Len() int { return len(b.Sec) }
 // reallocations), so the hot path is a capacity check plus scalar
 // stores.
 func (b *RecordBlock) Append(vantage int32, p *Probe, pay PayloadID, creds []Credential) {
+	sec, nsec := StudySeconds(p.T)
+	b.AppendAt(vantage, sec, nsec, p, pay, creds)
+}
+
+// AppendAt is Append with the timestamp already split into study
+// seconds — the epoch-routing dispatch computes the split to pick a
+// sink and passes it through instead of re-deriving it here.
+func (b *RecordBlock) AppendAt(vantage, sec, nsec int32, p *Probe, pay PayloadID, creds []Credential) {
 	i := len(b.Sec)
 	if i == cap(b.Sec) {
-		grow := 2 * i
+		// 4× growth, not 2×: blocks are pointer-free scalar columns, so
+		// over-allocation costs idle bytes rather than GC scan work,
+		// while each saved doubling round saves a nine-column copy of
+		// the whole block.
+		grow := 4 * i
 		if grow < 4096 {
 			grow = 4096
 		}
 		b.ensureCap(grow)
 	}
-	sec, nsec := StudySeconds(p.T)
 	b.Vantage = b.Vantage[:i+1]
 	b.Vantage[i] = vantage
 	b.Sec = b.Sec[:i+1]

@@ -14,6 +14,11 @@ import "time"
 // exactly which probes fall inside the first i epochs.
 type Epochs struct {
 	bounds []int32 // len n+1, ascending, bounds[0] = 0
+	// rcp ≈ 2³²/width of the first epoch: EpochOf estimates the epoch
+	// by multiply-shift instead of dividing per probe, and its fixup
+	// loops absorb the (at most ±1) estimation error exactly as they
+	// absorb the boundary rounding drift.
+	rcp uint64
 }
 
 // NewEpochs splits the study week into n equal-length epochs (the last
@@ -32,7 +37,7 @@ func NewEpochs(n int) Epochs {
 	for i := 0; i <= n; i++ {
 		bounds[i] = int32(int64(total) * int64(i) / int64(n))
 	}
-	return Epochs{bounds: bounds}
+	return Epochs{bounds: bounds, rcp: (1<<32)/uint64(bounds[1]) + 1}
 }
 
 // NumEpochs returns the number of epochs.
@@ -47,10 +52,11 @@ func (e Epochs) Bound(i int) int32 { return e.bounds[i] }
 // clamps negatives to zero).
 func (e Epochs) EpochOf(sec int32) int {
 	n := e.NumEpochs()
-	// Near-equal epoch lengths make division a guess within a step or
-	// two of the true epoch; the fixup loops absorb the ±1s rounding
-	// drift of the integer boundaries.
-	i := int(sec / (e.bounds[1] - e.bounds[0]))
+	// Near-equal epoch lengths make the multiply-shift estimate (a
+	// division-free sec / firstWidth) a guess within a step or two of
+	// the true epoch; the fixup loops absorb both the estimation error
+	// and the ±1s rounding drift of the integer boundaries.
+	i := int(uint64(uint32(sec)) * e.rcp >> 32)
 	if i > n-1 {
 		i = n - 1
 	}

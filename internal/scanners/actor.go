@@ -65,7 +65,7 @@ func (s *credSlab) alloc(n int) []netsim.Credential {
 	}
 	off := len(s.buf)
 	s.buf = s.buf[:off+n]
-	return s.buf[off:off : off+n]
+	return s.buf[off : off : off+n]
 }
 
 // credAlloc returns an empty credential slice with capacity n drawn
@@ -151,13 +151,13 @@ func burstTime(rng *rand.Rand, start time.Time, width time.Duration) time.Time {
 
 // ServiceScan describes a sweep over the honeypot targets.
 type ServiceScan struct {
-	Ports       []uint16                                                   // destination ports probed
-	Transport   wire.Transport                                             // defaults to TCP
-	Filter      func(*netsim.Target) bool                                  // eligible targets (nil = all service targets)
-	Cover       float64                                                    // P(src hits an eligible target)
-	Weight      func(*netsim.Target) float64                               // per-target cover multiplier (nil = 1)
-	MinAttempts int                                                        // probes per (src, target, port) hit
-	MaxAttempts int                                                        // inclusive; 0 means MinAttempts
+	Ports       []uint16                     // destination ports probed
+	Transport   wire.Transport               // defaults to TCP
+	Filter      func(*netsim.Target) bool    // eligible targets (nil = all service targets)
+	Cover       float64                      // P(src hits an eligible target)
+	Weight      func(*netsim.Target) float64 // per-target cover multiplier (nil = 1)
+	MinAttempts int                          // probes per (src, target, port) hit
+	MaxAttempts int                          // inclusive; 0 means MinAttempts
 	// Payload returns the interned id of the probe's first payload
 	// (0 = none). Actors draw ids from dictionaries registered with the
 	// study-wide interner at package init (see payloads.go), so no

@@ -39,7 +39,8 @@ const DefaultEpochs = 8
 type Engine struct {
 	es *core.EpochSet
 
-	ingestMu sync.Mutex // serializes ingestion
+	ingestMu sync.Mutex        // serializes ingestion
+	inc      *core.Incremental // tip-chain assembler, guarded by ingestMu
 	mu       sync.RWMutex
 	snaps    []*core.Study // snaps[p-1] is the prefix-p snapshot
 	ingested int
@@ -59,7 +60,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	// es.NumEpochs() is the authoritative count (netsim clamps
 	// degenerate epoch requests).
-	return &Engine{es: es, snaps: make([]*core.Study, es.NumEpochs())}, nil
+	return &Engine{es: es, inc: es.Incremental(), snaps: make([]*core.Study, es.NumEpochs())}, nil
 }
 
 // NumEpochs returns the total number of epochs.
@@ -82,21 +83,23 @@ func (e *Engine) EpochRecords(i int) int { return e.es.EpochRecords(i) }
 func (e *Engine) EpochTelescopePackets(i int) int { return e.es.EpochTelescopePackets(i) }
 
 // IngestNext ingests the next epoch and materializes its prefix
-// snapshot. It reports the new prefix length, or ok=false when every
-// epoch is already ingested. The O(prefix) snapshot assembly runs
-// outside the read-write lock (EpochSet.Snapshot never mutates shared
-// state), so concurrent snapshot reads and sweeps proceed while an
-// epoch ingests; only the publish at the end takes the write lock.
+// snapshot incrementally: the assembler adopts the previous snapshot
+// and folds in only the new epoch's columns and collector shards
+// (core.Incremental), so per-epoch ingest cost is flat in the prefix
+// length. It reports the new prefix length, or ok=false when every
+// epoch is already ingested. The O(epoch) snapshot assembly runs
+// outside the read-write lock (the assembler only ever appends past
+// published snapshot lengths), so concurrent snapshot reads and
+// sweeps proceed while an epoch ingests; only the publish at the end
+// takes the write lock.
 func (e *Engine) IngestNext() (prefix int, ok bool, err error) {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
-	e.mu.RLock()
-	p := e.ingested + 1
-	e.mu.RUnlock()
+	p := e.inc.Prefix() + 1
 	if p > e.es.NumEpochs() {
 		return p - 1, false, nil
 	}
-	snap, err := e.es.Snapshot(p)
+	snap, err := e.inc.Advance()
 	if err != nil {
 		return p - 1, false, err
 	}
@@ -121,7 +124,11 @@ func (e *Engine) IngestAll() error {
 }
 
 // Snapshot returns the immutable study of the first `prefix` epochs.
-// The prefix must already be ingested.
+// The prefix must already be ingested. Served snapshots were assembled
+// incrementally at ingest time and retained (each keeps its own
+// analysis caches warm); assembling a snapshot for an arbitrary prefix
+// without the chain — e.g. outside the engine — still goes through the
+// from-scratch core.EpochSet.Snapshot path.
 func (e *Engine) Snapshot(prefix int) (*core.Study, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()

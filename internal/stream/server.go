@@ -30,8 +30,13 @@ type Server struct {
 	// before serving — not synchronized with request handling.
 	sweepDefaults SweepRequest
 
+	// render produces one experiment's output; it is
+	// core.RenderExperiment except in tests, which swap it to count
+	// renders.
+	render func(s *core.Study, experiment string) (string, bool)
+
 	mu      sync.Mutex
-	renders map[renderKey]string
+	renders map[renderKey]*renderEntry
 }
 
 type renderKey struct {
@@ -39,9 +44,18 @@ type renderKey struct {
 	experiment string
 }
 
+// renderEntry is one cached render in singleflight form: the first
+// request for a key installs the entry and renders; concurrent
+// requests for the same key find it and wait on ready instead of
+// duplicating the work.
+type renderEntry struct {
+	ready chan struct{} // closed once out is set
+	out   string
+}
+
 // NewServer wraps an engine.
 func NewServer(eng *Engine) *Server {
-	return &Server{eng: eng, renders: map[renderKey]string{}}
+	return &Server{eng: eng, render: core.RenderExperiment, renders: map[renderKey]*renderEntry{}}
 }
 
 // Engine returns the wrapped engine (the ingestion loop drives it
@@ -123,29 +137,41 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad prefix %q: must be an epoch count in 1..%d", r.PathValue("prefix"), s.eng.NumEpochs()))
 		return
 	}
+	// Validate the experiment before touching the engine: a request
+	// that is wrong in both dimensions gets the unknown-experiment
+	// answer (with the valid names), not whichever snapshot error
+	// happens to fire first.
 	experiment := r.PathValue("experiment")
+	if !core.KnownExperiment(experiment) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q; valid: %s",
+			experiment, strings.Join(core.ExperimentNames(), ", ")))
+		return
+	}
 	snap, err := s.eng.Snapshot(prefix)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
 
+	// Singleflight per (prefix, experiment): the first request installs
+	// the cache entry and renders; concurrent requests for the same key
+	// wait for that one render instead of duplicating it. Only the
+	// request that actually rendered reports cached=false.
 	key := renderKey{prefix, experiment}
 	s.mu.Lock()
-	out, cached := s.renders[key]
-	s.mu.Unlock()
+	ent, cached := s.renders[key]
 	if !cached {
-		var ok bool
-		out, ok = core.RenderExperiment(snap, experiment)
-		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q; valid: %s",
-				experiment, strings.Join(core.ExperimentNames(), ", ")))
-			return
-		}
-		s.mu.Lock()
-		s.renders[key] = out
-		s.mu.Unlock()
+		ent = &renderEntry{ready: make(chan struct{})}
+		s.renders[key] = ent
 	}
+	s.mu.Unlock()
+	if cached {
+		<-ent.ready
+	} else {
+		ent.out, _ = s.render(snap, experiment) // name validated above
+		close(ent.ready)
+	}
+	out := ent.out
 
 	_, end := s.eng.Window(prefix - 1)
 	writeJSON(w, http.StatusOK, snapshotResponse{
@@ -162,7 +188,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	req := s.sweepDefaults
 	q := r.URL.Query()
 	if v := q.Get("tables"); v != "" {
-		req.Tables = strings.Split(v, ",")
+		// Trim whitespace and skip empty parts, matching the CLI's
+		// -sweep-tables parsing: "table2, table5" and trailing commas
+		// are fine; a list of only empty parts falls back to the
+		// defaults like an absent parameter.
+		var tables []string
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				tables = append(tables, part)
+			}
+		}
+		if len(tables) > 0 {
+			req.Tables = tables
+		}
 	}
 	var err error
 	if req.KMin, err = intParam(q.Get("kmin"), req.KMin); err != nil {

@@ -2,10 +2,17 @@ package stream
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"cloudwatch/internal/core"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
@@ -139,4 +146,134 @@ func TestServerSweep(t *testing.T) {
 		t.Fatalf("sweep error should list valid tables: %q", e.Error)
 	}
 	getJSON(t, ts.URL+"/v1/sweep?kmin=x", http.StatusBadRequest, &e)
+}
+
+// TestServerSweepTablesParsing checks /v1/sweep parses the tables
+// parameter like the CLI's -sweep-tables flag: whitespace around parts
+// is trimmed, empty parts are skipped, and a list of only empty parts
+// falls back to the configured defaults.
+func TestServerSweepTablesParsing(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Engine().IngestAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	var res SweepResult
+	q := url.Values{"tables": {" table2, table5 ,"}, "kmin": {"1"}, "kmax": {"1"}, "prefixes": {"1"}}
+	getJSON(t, ts.URL+"/v1/sweep?"+q.Encode(), http.StatusOK, &res)
+	if res.Renders != 2 {
+		t.Fatalf("padded tables list rendered %d cells, want 2", res.Renders)
+	}
+	seen := map[string]bool{}
+	for _, cell := range res.Cells {
+		seen[cell.Table] = true
+	}
+	if !seen["table2"] || !seen["table5"] {
+		t.Fatalf("padded tables list rendered %v, want table2 and table5", seen)
+	}
+
+	// Only-empty parts behave like an absent parameter: the server
+	// defaults win.
+	srv.SetSweepDefaults(SweepRequest{Tables: []string{"table7"}, KMin: 1, KMax: 1, Prefixes: []int{1}})
+	q = url.Values{"tables": {" , ,"}}
+	getJSON(t, ts.URL+"/v1/sweep?"+q.Encode(), http.StatusOK, &res)
+	if res.Renders != 1 || res.Cells[0].Table != "table7" {
+		t.Fatalf("empty tables list = %d renders of %q, want the table7 default",
+			res.Renders, res.Cells[0].Table)
+	}
+
+	// A padded-but-bogus part still fails with the valid names.
+	var e errorResponse
+	q = url.Values{"tables": {" table2, bogus "}}
+	getJSON(t, ts.URL+"/v1/sweep?"+q.Encode(), http.StatusBadRequest, &e)
+	if !strings.Contains(e.Error, "bogus") || !strings.Contains(e.Error, "table10") {
+		t.Fatalf("bad-table error should name the part and the valid tables: %q", e.Error)
+	}
+}
+
+// TestServerSnapshotSingleflight fires concurrent requests at one cold
+// (prefix, experiment) key: exactly one must render, exactly one must
+// report cached=false, and everyone must get the same output.
+func TestServerSnapshotSingleflight(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Engine().IngestAll(); err != nil {
+		t.Fatal(err)
+	}
+	var renders int32
+	inner := srv.render
+	srv.render = func(s *core.Study, experiment string) (string, bool) {
+		atomic.AddInt32(&renders, 1)
+		time.Sleep(25 * time.Millisecond) // hold the cold window open
+		return inner(s, experiment)
+	}
+
+	const n = 8
+	resps := make([]snapshotResponse, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/snapshot/2/table5")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&resps[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := atomic.LoadInt32(&renders); got != 1 {
+		t.Fatalf("concurrent cold requests rendered %d times, want exactly 1", got)
+	}
+	cold := 0
+	for i, r := range resps {
+		if !r.Cached {
+			cold++
+		}
+		if r.Output == "" || r.Output != resps[0].Output {
+			t.Fatalf("request %d output diverges", i)
+		}
+	}
+	if cold != 1 {
+		t.Fatalf("%d responses report cached=false, want exactly 1", cold)
+	}
+
+	// The key is now warm: one more request is a cache hit with no new
+	// render.
+	var warm snapshotResponse
+	getJSON(t, ts.URL+"/v1/snapshot/2/table5", http.StatusOK, &warm)
+	if !warm.Cached || warm.Output != resps[0].Output || atomic.LoadInt32(&renders) != 1 {
+		t.Fatal("warm request should hit the cache without rendering")
+	}
+}
+
+// TestServerSnapshotErrorPrecedence checks a request wrong in both
+// dimensions gets the unknown-experiment answer: experiment validity is
+// decided before the engine is asked for the snapshot.
+func TestServerSnapshotErrorPrecedence(t *testing.T) {
+	_, ts := newTestServer(t) // nothing ingested
+
+	var e errorResponse
+	getJSON(t, ts.URL+"/v1/snapshot/2/tableX", http.StatusNotFound, &e)
+	if !strings.Contains(e.Error, "unknown experiment") || !strings.Contains(e.Error, "figure1") {
+		t.Fatalf("unknown experiment on an un-ingested prefix should win and list valid names: %q", e.Error)
+	}
+	// With a valid experiment the prefix error surfaces.
+	getJSON(t, ts.URL+"/v1/snapshot/2/table2", http.StatusNotFound, &e)
+	if !strings.Contains(e.Error, "not ingested") {
+		t.Fatalf("valid experiment on an un-ingested prefix should report ingestion state: %q", e.Error)
+	}
 }

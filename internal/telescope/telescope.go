@@ -177,6 +177,52 @@ func (c *Collector) Packets() int { return c.packets }
 // seals its per-epoch collectors once generation finishes).
 func (c *Collector) Flush() { c.flushAS() }
 
+// Clone returns a collector with the same aggregated state, for
+// extending a sealed collector without mutating it — the incremental
+// snapshot chain clones the previous prefix's collector and merges
+// only the new epoch's shards into the clone. The aggregation maps are
+// deep-copied (they mutate on merge); the watch-port set is shared
+// (immutable after New), and the per-destination watch-log columns are
+// shared append-style: the clone's logs start as views of c's columns,
+// so a later Merge extends them without copying the history. Only one
+// clone per collector may ever be extended (the snapshot chain is
+// linear), which keeps the shared column tails single-writer; c itself
+// stays sealed and safe for concurrent readers throughout.
+func (c *Collector) Clone() *Collector {
+	c.flushAS()
+	n := &Collector{
+		srcsByPort: make(map[uint16]map[wire.Addr]struct{}, len(c.srcsByPort)),
+		asByPort:   make(map[uint16]stats.Freq, len(c.asByPort)),
+		perAddr:    make(map[uint16]*watchLog, len(c.perAddr)),
+		watch:      c.watch,
+		packets:    c.packets,
+	}
+	for port, srcs := range c.srcsByPort {
+		dst := make(map[wire.Addr]struct{}, len(srcs))
+		for s := range srcs {
+			dst[s] = struct{}{}
+		}
+		n.srcsByPort[port] = dst
+	}
+	for port, freq := range c.asByPort {
+		dst := make(stats.Freq, len(freq))
+		for k, v := range freq {
+			dst[k] = v
+		}
+		n.asByPort[port] = dst
+	}
+	for port, log := range c.perAddr {
+		n.perAddr[port] = &watchLog{
+			dst:     log.dst,
+			src:     log.src,
+			lastDst: log.lastDst,
+			lastSrc: log.lastSrc,
+			lastOK:  log.lastOK,
+		}
+	}
+	return n
+}
+
 // Merge folds another collector's observations into c. Every
 // aggregate is a set union or an integer-count sum, so merging shard
 // collectors in any order yields the same state a single collector

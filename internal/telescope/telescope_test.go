@@ -297,3 +297,62 @@ func TestMergedCollectorConcurrentReads(t *testing.T) {
 		t.Fatalf("merged AS counts wrong after concurrent reads: %v", f)
 	}
 }
+
+// TestCollectorCloneIsolation checks the incremental-chain contract:
+// a clone carries the original's aggregated state exactly, and merging
+// new shards into the clone never mutates the sealed original — while
+// the shared watch-log columns keep extending append-style.
+func TestCollectorCloneIsolation(t *testing.T) {
+	u := telUniverse(t)
+	orig := New(22, 445)
+	orig.Observe(mkProbe("1.1.1.1", "100.64.0.5", 22, 4134))
+	orig.Observe(mkProbe("2.2.2.2", "100.64.0.5", 22, 174))
+	orig.Observe(mkProbe("2.2.2.2", "100.64.1.9", 445, 174))
+	orig.Flush()
+
+	clone := orig.Clone()
+	if clone.Packets() != orig.Packets() {
+		t.Fatalf("clone packets = %d, want %d", clone.Packets(), orig.Packets())
+	}
+	chinanet := netsim.MustAS(4134).Key()
+	if clone.UniqueSourceCount(22) != 2 || clone.ASFrequencies(22)[chinanet] != 1 {
+		t.Fatalf("clone lost aggregated state: %d srcs, AS table %v",
+			clone.UniqueSourceCount(22), clone.ASFrequencies(22))
+	}
+	wantSeries := orig.PerAddressSeries(u, 22)
+	gotSeries := clone.PerAddressSeries(u, 22)
+	for i := range wantSeries {
+		if gotSeries[i] != wantSeries[i] {
+			t.Fatalf("clone series[%d] = %d, want %d", i, gotSeries[i], wantSeries[i])
+		}
+	}
+
+	// Extend the clone with a new shard; the original must not move.
+	shard := New(22, 445)
+	shard.Observe(mkProbe("3.3.3.3", "100.64.0.7", 22, 4134))
+	shard.Observe(mkProbe("3.3.3.3", "100.64.1.9", 445, 4134))
+	clone.Merge(shard)
+
+	if orig.Packets() != 3 || clone.Packets() != 5 {
+		t.Fatalf("packets after merge = orig %d / clone %d, want 3 / 5", orig.Packets(), clone.Packets())
+	}
+	if orig.UniqueSourceCount(22) != 2 || clone.UniqueSourceCount(22) != 3 {
+		t.Fatalf("port 22 srcs after merge = orig %d / clone %d, want 2 / 3",
+			orig.UniqueSourceCount(22), clone.UniqueSourceCount(22))
+	}
+	if orig.ASFrequencies(22)[chinanet] != 1 || clone.ASFrequencies(22)[chinanet] != 2 {
+		t.Fatalf("AS counts after merge = orig %v / clone %v",
+			orig.ASFrequencies(22)[chinanet], clone.ASFrequencies(22)[chinanet])
+	}
+	// Figure 1 series: the clone sees the new destination, the sealed
+	// original still renders its own window.
+	if s := orig.PerAddressSeries(u, 22); s[7] != 0 {
+		t.Fatalf("original series gained the clone's destination: %v", s[7])
+	}
+	if s := clone.PerAddressSeries(u, 22); s[7] != 1 || s[5] != 2 {
+		t.Fatalf("clone series = dst7:%d dst5:%d, want 1 and 2", s[7], s[5])
+	}
+	if s := clone.PerAddressSeries(u, 445); s[256+9] != 2 {
+		t.Fatalf("clone port 445 series[265] = %d, want 2 unique scanners", s[256+9])
+	}
+}

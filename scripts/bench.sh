@@ -7,14 +7,14 @@
 # summary for cross-PR comparison.
 #
 # Usage: scripts/bench.sh [output.json] [bench-log]
-#   output.json  summary destination (default: BENCH_PR5.json)
+#   output.json  summary destination (default: BENCH_PR6.json)
 #   bench-log    existing `go test -bench` output to parse for the
 #                cold-path numbers instead of re-running them (lets CI
 #                run them once); the steady-state pass always runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR6.json}"
 log="${2:-}"
 steady="$(mktemp)"
 cleanup="$steady"
@@ -40,6 +40,10 @@ go test -bench 'BenchmarkStudyGeneration$|BenchmarkStudySerial$|BenchmarkStudyPa
 # point). BenchmarkSweepWarm runs 20 iterations so the steady state
 # dominates the first iteration's cache build.
 go test -bench 'BenchmarkStreamIngest$' -benchtime=3x -run '^$' . | tee -a "$log"
+# Per-epoch ingest latency at prefix 2 vs prefix 8: with incremental
+# snapshot assembly the p8/p2 ratio should sit near 1.0 (flat), where
+# the O(prefix) from-scratch assembler sat near 3.
+go test -bench 'BenchmarkStreamIngestLatency$' -benchtime=3x -run '^$' . | tee -a "$log"
 go test -bench 'BenchmarkSweepWarm$' -benchtime=20x -run '^$' . | tee -a "$log"
 go test -bench 'BenchmarkSweepCold$' -benchtime=10x -run '^$' . | tee -a "$log"
 
@@ -65,6 +69,14 @@ awk -v out="$out" '
         gen[name] = $(i-1)
         if (name == "BenchmarkStudyParallel") rps = $(i-1)
       }
+  }
+  file == 1 && /^BenchmarkStreamIngestLatency/ {
+    for (i = 1; i <= NF; i++) {
+      if ($i == "p2-ms") lp2 = $(i-1)
+      if ($i == "p8-ms") lp8 = $(i-1)
+      if ($i == "p8-over-p2") lratio = $(i-1)
+    }
+    next
   }
   file == 1 && /^BenchmarkStreamIngest/ {
     for (i = 1; i <= NF; i++)
@@ -94,6 +106,11 @@ awk -v out="$out" '
     printf "  \"sweep_renders_per_sec\": %s,\n", (warm == "" ? "null" : warm) >> out
     printf "  \"sweep_cold_renders_per_sec\": %s,\n", (cold == "" ? "null" : cold) >> out
     printf "  \"sweep_warm_over_cold\": %s,\n", (warm != "" && cold + 0 > 0 ? sprintf("%.1f", warm / cold) : "null") >> out
+    printf "  \"snapshot_latency_flat\": {\n" >> out
+    printf "    \"prefix2_ms\": %s,\n", (lp2 == "" ? "null" : lp2) >> out
+    printf "    \"prefix8_ms\": %s,\n", (lp8 == "" ? "null" : lp8) >> out
+    printf "    \"p8_over_p2\": %s\n", (lratio == "" ? "null" : lratio) >> out
+    printf "  },\n" >> out
     printf "  \"generation_records_per_sec\": {\n" >> out
     for (i = 0; i < gn; i++)
       printf "    \"%s\": %s%s\n", gorder[i], gen[gorder[i]], (i < gn-1 ? "," : "") >> out
