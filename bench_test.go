@@ -485,6 +485,61 @@ func BenchmarkSweepCold(b *testing.B) {
 	}
 }
 
+// Cold-start benchmarks: wall time from process start (engine open) to
+// the first rendered table, with and without a warm durable store. The
+// recovered path decodes persisted epoch blocks instead of running the
+// generators, so cold-start-ms should drop well below the regenerate
+// path — the PR 7 acceptance metric.
+
+func benchColdStart(b *testing.B, warm bool) {
+	cfg := StreamConfig{Study: QuickStudy(42, 2021), Epochs: sweepBenchEpochs}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		if warm {
+			eng, err := OpenStream(cfg, dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		eng, err := OpenStream(cfg, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if warm != eng.Recovered() {
+			b.Fatalf("recovered=%v, want %v", eng.Recovered(), warm)
+		}
+		if _, _, err := eng.IngestNext(); err != nil {
+			b.Fatal(err)
+		}
+		snap, err := eng.Snapshot(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out, ok := core.RenderExperiment(snap, "table2"); !ok || out == "" {
+			b.Fatal("first render produced no output")
+		}
+		b.StopTimer()
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "cold-start-ms")
+}
+
+// BenchmarkColdStartRecovered opens a warm store: epoch blocks decode
+// from disk, generation is skipped.
+func BenchmarkColdStartRecovered(b *testing.B) { benchColdStart(b, true) }
+
+// BenchmarkColdStartRegenerate opens an empty store: the study is
+// generated from the seed and persisted before the first render.
+func BenchmarkColdStartRegenerate(b *testing.B) { benchColdStart(b, false) }
+
 // Micro-benchmarks of the hot paths.
 
 func BenchmarkFingerprintIdentify(b *testing.B) {

@@ -24,6 +24,7 @@ import (
 	"cloudwatch/internal/core"
 	"cloudwatch/internal/honeypot"
 	"cloudwatch/internal/scanners"
+	"cloudwatch/internal/store"
 	"cloudwatch/internal/stream"
 )
 
@@ -110,6 +111,21 @@ func NewStream(cfg StreamConfig) (*StreamEngine, error) {
 // API.
 func NewStreamServer(eng *StreamEngine) *StreamServer {
 	return stream.NewServer(eng)
+}
+
+// OpenStream builds a streaming engine backed by a durable store in
+// directory dir. A store holding a complete study generated under the
+// same configuration is recovered — generation is skipped and the
+// engine rehydrates to the last acknowledged epoch prefix; an empty or
+// torn store is (re)generated deterministically and rewritten. Every
+// snapshot a recovered engine serves is byte-identical to one from an
+// engine that never restarted.
+func OpenStream(cfg StreamConfig, dir string) (*StreamEngine, error) {
+	st, err := store.Open(store.DirFS(), dir)
+	if err != nil {
+		return nil, err
+	}
+	return stream.Open(cfg, st)
 }
 
 // HoneypotConfig configures a real honeypot daemon (see Honeypot

@@ -14,15 +14,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/store"
 	"cloudwatch/internal/stream"
 )
 
@@ -137,6 +144,7 @@ func main() {
 		full       = flag.Bool("full", false, "use the paper's Table 1 deployment scale: full Orion telescope (1856 /24s) and full HE /24 honeypot fleet (256 IPs) instead of the 128/64 defaults (slower)")
 		workers    = flag.Int("workers", 0, "pipeline workers sharding the actor population (0 = GOMAXPROCS); results are identical for every count")
 		serve      = flag.String("serve", "", "serve streaming snapshots and sweeps over HTTP on this address (e.g. :8080); ingests epochs in the background")
+		storeDir   = flag.String("store", "", "durable store directory for sweep/serve modes: the generated epoch study is persisted there and recovered on restart, skipping regeneration")
 		sf         sweepFlags
 	)
 	flag.IntVar(&sf.epochs, "epochs", stream.DefaultEpochs, "time epochs the study week is partitioned into (sweep/serve modes)")
@@ -167,7 +175,7 @@ func main() {
 		*year, *seed, deployment, cfg.Deploy.TelescopeSlash24s)
 
 	if serveMode || *experiment == "sweep" {
-		runStreaming(cfg, sf, *serve, *experiment == "sweep")
+		runStreaming(cfg, sf, *serve, *storeDir, *experiment == "sweep")
 		return
 	}
 
@@ -202,24 +210,53 @@ func main() {
 	}
 }
 
-// runStreaming drives the sweep and serve modes: generate the
-// epoch-partitioned study, then either ingest-and-sweep once (JSON on
-// stdout) or serve snapshots and sweeps over HTTP while ingestion
-// advances in the background.
-func runStreaming(cfg core.Config, sf sweepFlags, addr string, sweep bool) {
+// runStreaming drives the sweep and serve modes: build the
+// epoch-partitioned study — recovered from the durable store when one
+// is configured and holds this study, generated (and persisted)
+// otherwise — then either ingest-and-sweep once (JSON on stdout) or
+// serve snapshots and sweeps over HTTP while ingestion advances in
+// the background.
+//
+// Serve mode binds the listener before the study exists, so /healthz
+// answers during the minutes a paper-scale generation can take while
+// /readyz and the API report 503; and it shuts down gracefully on
+// SIGINT/SIGTERM — in-flight renders drain, the store closes, and the
+// process exits 0.
+func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep bool) {
 	req, err := sf.sweepRequest()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(2)
 	}
-	eng, err := stream.New(stream.Config{Study: cfg, Epochs: sf.epochs})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+	buildEngine := func() (*stream.Engine, error) {
+		scfg := stream.Config{Study: cfg, Epochs: sf.epochs}
+		if storeDir == "" {
+			return stream.New(scfg)
+		}
+		st, err := store.Open(store.DirFS(), storeDir)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "store %s: %s\n", storeDir, st.Note())
+		eng, err := stream.Open(scfg, st)
+		if err != nil {
+			return nil, err
+		}
+		if eng.Recovered() {
+			fmt.Fprintf(os.Stderr, "recovered %d epochs from store (%d already ingested); generation skipped\n",
+				eng.NumEpochs(), eng.Ingested())
+		}
+		return eng, nil
 	}
-	fmt.Fprintf(os.Stderr, "generated %d epochs; ingesting...\n", eng.NumEpochs())
 
 	if sweep {
+		eng, err := buildEngine()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer eng.Close()
+		fmt.Fprintf(os.Stderr, "%d epochs ready; ingesting...\n", eng.NumEpochs())
 		if err := ingestAll(eng); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -240,17 +277,72 @@ func runStreaming(cfg core.Config, sf sweepFlags, addr string, sweep bool) {
 		return
 	}
 
-	srv := stream.NewServer(eng)
-	// The -sweep-* flags seed the server's /v1/sweep defaults; query
-	// parameters override them per request.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Listen before generating: liveness and "503, still generating"
+	// beat a connection refused for every orchestrator out there.
+	srv := stream.NewServer(nil)
 	srv.SetSweepDefaults(req)
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		// Sweeps render whole grids; give writes room without letting a
+		// dead client pin a connection forever.
+		WriteTimeout: 5 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "serving snapshots and sweeps on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
 	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			serveErr <- err
+		}
+	}()
+	buildErr := make(chan error, 1)
+	go func() {
+		eng, err := buildEngine()
+		if err != nil {
+			buildErr <- err
+			return
+		}
+		srv.SetEngine(eng)
+		fmt.Fprintf(os.Stderr, "%d epochs ready; ingesting...\n", eng.NumEpochs())
 		if err := ingestAll(eng); err != nil {
+			// Serving continues on the prefixes that did ingest; the
+			// durability error is also surfaced per-request by
+			// POST /v1/ingest.
 			fmt.Fprintln(os.Stderr, "ingest error:", err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "serving snapshots and sweeps on %s\n", addr)
-	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+
+	select {
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		fmt.Fprintln(os.Stderr, "signal received; draining in-flight requests...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "shutdown:", err)
+		}
+		if eng := srv.Engine(); eng != nil {
+			if err := eng.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "store close:", err)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "bye")
+	case err := <-buildErr:
+		fmt.Fprintln(os.Stderr, "error:", err)
+		httpSrv.Close()
+		os.Exit(1)
+	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}

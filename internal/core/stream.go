@@ -136,19 +136,34 @@ type EpochSet struct {
 // Config.WindowSec must be zero — truncation is what snapshots are
 // for.
 func GenerateEpochs(cfg Config, epochs int) (*EpochSet, error) {
+	es, ctx, err := newEpochSet(cfg, epochs)
+	if err != nil {
+		return nil, err
+	}
+	es.runActors(ctx, es.cfg.Workers)
+	return es, nil
+}
+
+// newEpochSet builds everything of an epoch-partitioned study that is
+// deterministic from the configuration alone — deployment, universe,
+// search-engine crawls, actor population — and leaves the generated
+// material empty. GenerateEpochs runs the actors to fill it;
+// RestoreEpochSet installs persisted material instead, which is what
+// lets a durable-store cold start skip generation entirely.
+func newEpochSet(cfg Config, epochs int) (*EpochSet, *scanners.Context, error) {
 	if cfg.WindowSec != 0 {
-		return nil, fmt.Errorf("core: WindowSec is incompatible with epoch streaming (prefix snapshots are the truncation mechanism)")
+		return nil, nil, fmt.Errorf("core: WindowSec is incompatible with epoch streaming (prefix snapshots are the truncation mechanism)")
 	}
 	if cfg.Year == 0 {
 		cfg.Year = 2021
 	}
 	deployment, err := cloud.Build(cfg.Deploy)
 	if err != nil {
-		return nil, fmt.Errorf("core: building deployment: %w", err)
+		return nil, nil, fmt.Errorf("core: building deployment: %w", err)
 	}
 	u, err := deployment.Universe(cfg.Seed, cfg.Year)
 	if err != nil {
-		return nil, fmt.Errorf("core: building universe: %w", err)
+		return nil, nil, fmt.Errorf("core: building universe: %w", err)
 	}
 
 	es := &EpochSet{
@@ -164,8 +179,7 @@ func GenerateEpochs(cfg Config, epochs int) (*EpochSet, error) {
 
 	es.actors = scanners.Population(cfg.Actors)
 	ctx := &scanners.Context{U: u, Censys: es.censys, Shodan: es.shodan, Seed: cfg.Seed, Year: cfg.Year}
-	es.runActors(ctx, cfg.Workers)
-	return es, nil
+	return es, ctx, nil
 }
 
 // runActors drives the population across workers exactly like the

@@ -1,0 +1,42 @@
+package greynoise
+
+import (
+	"fmt"
+
+	"cloudwatch/internal/wire"
+)
+
+// Serialization of a sealed per-worker delta for the durable epoch
+// store. Only the two observation sets are persisted; the same-source
+// run caches are observe-time transients, and a restored delta is only
+// ever folded into a Service with MergeDelta.
+
+// AppendBinary serializes the delta's observation sets onto dst.
+func (d *Delta) AppendBinary(dst []byte) []byte {
+	dst = wire.AppendU32(dst, uint32(len(d.seen)))
+	for src := range d.seen {
+		dst = wire.AppendU32(dst, uint32(src))
+	}
+	dst = wire.AppendU32(dst, uint32(len(d.exploited)))
+	for src := range d.exploited {
+		dst = wire.AppendU32(dst, uint32(src))
+	}
+	return dst
+}
+
+// DecodeDelta reads one serialized delta.
+func DecodeDelta(r *wire.BinReader) (*Delta, error) {
+	d := NewDelta()
+	n := r.Count(4)
+	for i := 0; i < n; i++ {
+		d.seen[wire.Addr(r.U32())] = struct{}{}
+	}
+	n = r.Count(4)
+	for i := 0; i < n; i++ {
+		d.exploited[wire.Addr(r.U32())] = struct{}{}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("greynoise: decoding delta: %w", err)
+	}
+	return d, nil
+}

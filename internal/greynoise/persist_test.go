@@ -1,0 +1,52 @@
+package greynoise
+
+import (
+	"reflect"
+	"testing"
+
+	"cloudwatch/internal/wire"
+)
+
+func TestDeltaBinaryRoundTrip(t *testing.T) {
+	d := NewDelta()
+	d.Observe(10)
+	d.Observe(11)
+	d.ObserveExploit(12)
+	d.Observe(10) // run-length repeat
+
+	enc := d.AppendBinary(nil)
+	r := wire.NewBinReader(enc)
+	got, err := DecodeDelta(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("decoder left %d bytes", r.Len())
+	}
+	if !reflect.DeepEqual(got.seen, d.seen) || !reflect.DeepEqual(got.exploited, d.exploited) {
+		t.Fatalf("round trip mismatch: %v/%v vs %v/%v", got.seen, got.exploited, d.seen, d.exploited)
+	}
+
+	// Folding the decoded delta into a service equals folding the
+	// original.
+	a, b := NewService(), NewService()
+	a.MergeDelta(d)
+	b.MergeDelta(got)
+	as, ae, _ := a.Stats()
+	bs, be, _ := b.Stats()
+	if as != bs || ae != be {
+		t.Fatalf("service stats diverge: %d/%d vs %d/%d", as, ae, bs, be)
+	}
+}
+
+func TestDecodeDeltaRejectsTruncation(t *testing.T) {
+	d := NewDelta()
+	d.Observe(1)
+	d.ObserveExploit(2)
+	enc := d.AppendBinary(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeDelta(wire.NewBinReader(enc[:cut])); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package netsim
+
+import (
+	"fmt"
+
+	"cloudwatch/internal/wire"
+)
+
+// Serialization of the columnar record store for the durable epoch
+// store (internal/store). The struct-of-arrays layout makes framing
+// near-free: every scalar column is appended as a length-prefixed run
+// of fixed-width values, and only the credential arena needs
+// per-element encoding.
+//
+// Payload ids are process-local (the interner hands them out in
+// first-sight order, which depends on worker scheduling), so a block
+// on disk is only meaningful next to a payload dictionary mapping its
+// ids to payload bytes. AppendPayloadDict persists the dictionary;
+// DecodePayloadDict re-interns every entry in the reading process and
+// returns the old-id → new-id remap DecodeRecordBlock applies to the
+// Pay column.
+
+// AppendBinary serializes the block onto dst and returns the extended
+// buffer.
+func (b *RecordBlock) AppendBinary(dst []byte) []byte {
+	n := b.Len()
+	dst = wire.AppendU32(dst, uint32(n))
+	dst = wire.AppendI32s(dst, b.Vantage)
+	dst = wire.AppendI32s(dst, b.Sec)
+	dst = wire.AppendI32s(dst, b.Nsec)
+	dst = wire.AppendAddrs(dst, b.Src)
+	dst = wire.AppendI32s(dst, b.ASN)
+	dst = wire.AppendU32(dst, uint32(len(b.Port)))
+	for _, p := range b.Port {
+		dst = wire.AppendU16(dst, p)
+	}
+	dst = wire.AppendU32(dst, uint32(len(b.Transport)))
+	for _, tr := range b.Transport {
+		dst = wire.AppendU8(dst, uint8(tr))
+	}
+	dst = wire.AppendU32(dst, uint32(len(b.Pay)))
+	for _, pay := range b.Pay {
+		dst = wire.AppendI32(dst, int32(pay))
+	}
+	dst = wire.AppendI32s(dst, b.Cred)
+	dst = wire.AppendU32(dst, uint32(len(b.CredLists)))
+	for _, creds := range b.CredLists {
+		dst = wire.AppendU32(dst, uint32(len(creds)))
+		for _, c := range creds {
+			dst = wire.AppendString(dst, c.Username)
+			dst = wire.AppendString(dst, c.Password)
+		}
+	}
+	return dst
+}
+
+// DecodeRecordBlock reads one serialized block, rewriting the Pay
+// column through remap (old on-disk id → id in this process, from
+// DecodePayloadDict). Every column must carry the same record count.
+func DecodeRecordBlock(r *wire.BinReader, remap []PayloadID) (RecordBlock, error) {
+	var b RecordBlock
+	n := int(r.U32())
+	b.Vantage = r.I32s()
+	b.Sec = r.I32s()
+	b.Nsec = r.I32s()
+	b.Src = r.Addrs()
+	b.ASN = r.I32s()
+
+	nPort := r.Count(2)
+	if r.Err() == nil && nPort > 0 {
+		b.Port = make([]uint16, nPort)
+		for i := range b.Port {
+			b.Port[i] = r.U16()
+		}
+	}
+	nTr := r.Count(1)
+	if r.Err() == nil && nTr > 0 {
+		b.Transport = make([]wire.Transport, nTr)
+		for i := range b.Transport {
+			b.Transport[i] = wire.Transport(r.U8())
+		}
+	}
+	nPay := r.Count(4)
+	if r.Err() == nil && nPay > 0 {
+		b.Pay = make([]PayloadID, nPay)
+		for i := range b.Pay {
+			old := r.I32()
+			if old < 0 || int(old) >= len(remap) {
+				return b, fmt.Errorf("netsim: record block payload id %d outside dictionary of %d", old, len(remap))
+			}
+			b.Pay[i] = remap[old]
+		}
+	}
+	b.Cred = r.I32s()
+
+	nLists := r.Count(4)
+	if r.Err() == nil && nLists > 0 {
+		b.CredLists = make([][]Credential, nLists)
+		for i := range b.CredLists {
+			creds := make([]Credential, r.Count(8))
+			for j := range creds {
+				creds[j] = Credential{Username: r.String(), Password: r.String()}
+			}
+			b.CredLists[i] = creds
+		}
+	}
+	if err := r.Err(); err != nil {
+		return b, fmt.Errorf("netsim: decoding record block: %w", err)
+	}
+	for _, col := range []int{len(b.Vantage), len(b.Sec), len(b.Nsec), len(b.Src), len(b.ASN), len(b.Port), len(b.Transport), len(b.Pay), len(b.Cred)} {
+		if col != n {
+			return b, fmt.Errorf("netsim: record block columns disagree on length (%d vs %d)", col, n)
+		}
+	}
+	for _, c := range b.Cred {
+		if c >= 0 && int(c) >= len(b.CredLists) {
+			return b, fmt.Errorf("netsim: record block credential index %d outside arena of %d", c, len(b.CredLists))
+		}
+	}
+	return b, nil
+}
+
+// AppendPayloadDict serializes the payload interner's current table
+// (ids 1..PayloadCount-1, in id order). Blocks persisted alongside the
+// dictionary always reference ids below the persisted count, because
+// the interner only grows.
+func AppendPayloadDict(dst []byte) []byte {
+	n := PayloadCount()
+	dst = wire.AppendU32(dst, uint32(n-1))
+	for id := 1; id < n; id++ {
+		dst = wire.AppendBytes(dst, PayloadBytes(PayloadID(id)))
+	}
+	return dst
+}
+
+// DecodePayloadDict reads a persisted payload dictionary, interns
+// every payload in this process, and returns the remap table: the id
+// a stored block used at position i maps to remap[i] here. remap[0]
+// is the reserved "no payload" id.
+func DecodePayloadDict(r *wire.BinReader) ([]PayloadID, error) {
+	n := r.Count(4)
+	remap := make([]PayloadID, n+1)
+	for i := 1; i <= n; i++ {
+		pay := r.Bytes()
+		if r.Err() != nil {
+			break
+		}
+		if len(pay) == 0 {
+			return nil, fmt.Errorf("netsim: payload dictionary entry %d is empty", i)
+		}
+		remap[i] = InternPayload(pay)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("netsim: decoding payload dictionary: %w", err)
+	}
+	return remap, nil
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"testing"
+)
+
+// The fault matrix: every injected failure — short writes, write
+// errors, sync failures, rename failures, and crashes at programmable
+// points — must surface as an error from the mutating call, and the
+// store must reopen afterwards to a valid state (a recoverable study
+// or a clean slate, and an ingest cursor no newer than the last
+// acknowledged SetIngested).
+
+var errInjected = errors.New("injected fault")
+
+func mustOpen(t *testing.T, fsys FS) *Store {
+	t.Helper()
+	s, err := Open(fsys, "study")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteStudyShortWrite(t *testing.T) {
+	cfg, m := generateTiny(t)
+	want := renderTiny(t, cfg, m)
+	fsys := NewMemFS()
+	s := mustOpen(t, fsys)
+
+	// First write attempt: the device accepts half of the segment and
+	// fails. The caller sees the error; the on-disk file is torn and
+	// was never synced.
+	fsys.WriteHook = func(name string, p []byte) (int, error) {
+		return len(p) / 2, errInjected
+	}
+	if err := s.WriteStudy([]byte(`{}`), m); !errors.Is(err, errInjected) {
+		t.Fatalf("short write surfaced as %v", err)
+	}
+	fsys.WriteHook = nil
+
+	// Power cut: the unsynced file vanishes entirely; reopen is clean
+	// and the retry lands.
+	fsys.Crash()
+	s2 := mustOpen(t, fsys)
+	if _, gotM := s2.Recovered(); gotM != nil {
+		t.Fatal("recovered a study from an unsynced torn write")
+	}
+	if err := s2.WriteStudy([]byte(`{}`), m); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, fsys)
+	_, gotM := s3.Recovered()
+	if gotM == nil {
+		t.Fatalf("retry did not persist: %s", s3.Note())
+	}
+	if got := renderTiny(t, cfg, gotM); got != want {
+		t.Error("recovered material renders differently")
+	}
+}
+
+// TestWriteStudyCrashMidWrite crashes after a partially synced write
+// at a range of cut points: whatever survives must reopen as either
+// nothing or a valid truncated prefix — never an error, never damaged
+// material.
+func TestWriteStudyCrashMidWrite(t *testing.T) {
+	_, m := generateTiny(t)
+	for _, keep := range []int{0, 1, 11, 12, 4 << 10, 128 << 10, 512 << 10} {
+		fsys := NewMemFS()
+		s := mustOpen(t, fsys)
+
+		// The device accepts only the first `keep` bytes in total and
+		// errors after that; everything accepted is then synced before
+		// the crash (worst case: the torn prefix is durable).
+		accepted := 0
+		fsys.WriteHook = func(name string, p []byte) (int, error) {
+			if accepted >= keep {
+				return 0, errInjected
+			}
+			n := keep - accepted
+			if n > len(p) {
+				n = len(p)
+			}
+			accepted += n
+			if n < len(p) {
+				return n, errInjected
+			}
+			return n, nil
+		}
+		if err := s.WriteStudy([]byte(`{}`), m); !errors.Is(err, errInjected) {
+			t.Fatalf("keep=%d: want injected error, got %v", keep, err)
+		}
+		fsys.WriteHook = nil
+		// Force the torn prefix durable, then cut power.
+		f, err := fsys.OpenFile("study/segment", os.O_WRONLY|os.O_CREATE)
+		if err == nil {
+			f.Sync()
+			f.Close()
+		}
+		fsys.Crash()
+
+		s2 := mustOpen(t, fsys)
+		if _, gotM := s2.Recovered(); gotM != nil {
+			t.Fatalf("keep=%d: torn segment recovered a study", keep)
+		}
+	}
+}
+
+func TestWriteStudySyncFailure(t *testing.T) {
+	_, m := generateTiny(t)
+	fsys := NewMemFS()
+	s := mustOpen(t, fsys)
+	fsys.SyncHook = func(name string) error { return errInjected }
+	if err := s.WriteStudy([]byte(`{}`), m); !errors.Is(err, errInjected) {
+		t.Fatalf("sync failure surfaced as %v", err)
+	}
+	fsys.SyncHook = nil
+	fsys.Crash()
+	if _, gotM := mustOpen(t, fsys).Recovered(); gotM != nil {
+		t.Fatal("unsynced segment survived the crash")
+	}
+}
+
+// TestSetIngestedFaults drives the manifest protocol through sync
+// failure, rename failure, and crash-before-rename: the acknowledged
+// cursor must never move unless the full write-sync-rename sequence
+// succeeded.
+func TestSetIngestedFaults(t *testing.T) {
+	_, m := generateTiny(t)
+	fsys := NewMemFS()
+	s := mustOpen(t, fsys)
+	if err := s.WriteStudy([]byte(`{}`), m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetIngested(1); err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []struct {
+		name   string
+		inject func()
+		clear  func()
+	}{
+		{"sync failure", func() { fsys.SyncHook = func(string) error { return errInjected } }, func() { fsys.SyncHook = nil }},
+		{"rename failure", func() { fsys.RenameHook = func(_, _ string) error { return errInjected } }, func() { fsys.RenameHook = nil }},
+		{"write failure", func() { fsys.WriteHook = func(_ string, p []byte) (int, error) { return 0, errInjected } }, func() { fsys.WriteHook = nil }},
+	}
+	for _, step := range steps {
+		step.inject()
+		if err := s.SetIngested(2); !errors.Is(err, errInjected) {
+			t.Fatalf("%s: surfaced as %v", step.name, err)
+		}
+		step.clear()
+		fsys.Crash()
+		if got := mustOpen(t, fsys).Ingested(); got != 1 {
+			t.Fatalf("%s: cursor moved to %d after failed update", step.name, got)
+		}
+	}
+
+	// The successful retry after all that lands at 2.
+	if err := s.SetIngested(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustOpen(t, fsys).Ingested(); got != 2 {
+		t.Fatalf("cursor %d after successful update", got)
+	}
+}
+
+// TestManifestCrashStraddle verifies the "either old or new" atomic
+// guarantee across the whole cursor history: after each acknowledged
+// update, a crash leaves exactly that cursor.
+func TestManifestCrashStraddle(t *testing.T) {
+	_, m := generateTiny(t)
+	fsys := NewMemFS()
+	s := mustOpen(t, fsys)
+	if err := s.WriteStudy([]byte(`{}`), m); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= tinyEpochs; n++ {
+		if err := s.SetIngested(n); err != nil {
+			t.Fatal(err)
+		}
+		fsys.Crash()
+		if got := mustOpen(t, fsys).Ingested(); got != n {
+			t.Fatalf("after crash: cursor %d, want %d", got, n)
+		}
+	}
+}

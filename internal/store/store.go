@@ -1,0 +1,196 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cloudwatch/internal/core"
+)
+
+const (
+	segmentName  = "segment"
+	manifestName = "manifest.json"
+)
+
+// Store is one on-disk study directory: the segment file plus the
+// ingest manifest. Open recovers whatever the directory holds;
+// WriteStudy (re)writes the segment wholesale; SetIngested advances
+// the manifest atomically after each successful engine ingest. Safe
+// for concurrent use.
+type Store struct {
+	fsys FS
+	dir  string
+
+	mu       sync.Mutex
+	ingested int
+	cfgJSON  []byte
+	material *core.StudyMaterial
+	note     string
+}
+
+// manifest is the durable ingest cursor. It is tiny on purpose: the
+// segment is immutable once written, so crash recovery only has to
+// reason about this one value, and the atomic-rename update protocol
+// makes every observable manifest state a valid prefix.
+type manifest struct {
+	Version  int `json:"version"`
+	Ingested int `json:"ingested"`
+}
+
+// Open mounts a study directory, creating it if absent. It validates
+// the segment frame by frame, truncates a torn tail at the last valid
+// frame boundary, and decodes the persisted study if the segment is
+// complete. Open fails only on real I/O errors — a torn, truncated,
+// or alien segment simply recovers nothing (Recovered returns nil)
+// and the caller regenerates.
+func Open(fsys FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	s := &Store{fsys: fsys, dir: dir}
+
+	segPath := filepath.Join(dir, segmentName)
+	seg, err := readFile(fsys, segPath)
+	if err != nil {
+		return nil, fmt.Errorf("store: read segment: %w", err)
+	}
+	frames, valid := scanSegment(seg)
+	if valid < len(seg) {
+		if err := fsys.Truncate(segPath, int64(valid)); err != nil {
+			return nil, fmt.Errorf("store: truncate torn segment tail: %w", err)
+		}
+	}
+	switch {
+	case seg == nil:
+		s.note = "no segment"
+	default:
+		cfgJSON, m, reason := decodeFrames(frames)
+		if m == nil {
+			s.note = reason
+			if valid < len(seg) {
+				s.note = fmt.Sprintf("%s (tail torn at byte %d of %d)", reason, valid, len(seg))
+			}
+		} else {
+			s.cfgJSON = cfgJSON
+			s.material = m
+			s.note = fmt.Sprintf("recovered %d-epoch study", len(m.Epochs))
+		}
+	}
+
+	mf, err := readFile(fsys, filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("store: read manifest: %w", err)
+	}
+	if mf != nil {
+		var man manifest
+		// A manifest only ever appears via atomic rename, so a parse
+		// failure is foreign damage, not a crash artifact; falling back
+		// to zero ingested is always a valid prefix.
+		if json.Unmarshal(mf, &man) == nil && man.Version == 1 && man.Ingested > 0 {
+			s.ingested = man.Ingested
+		}
+	}
+	if s.material != nil && s.ingested > len(s.material.Epochs) {
+		s.ingested = len(s.material.Epochs)
+	}
+	return s, nil
+}
+
+// Recovered returns the persisted study — its normalized config JSON
+// and sealed material — or nils when the segment held no complete
+// study (regenerate and WriteStudy in that case).
+func (s *Store) Recovered() (configJSON []byte, m *core.StudyMaterial) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfgJSON, s.material
+}
+
+// Ingested returns the manifest's ingest cursor as of the last Open
+// or SetIngested.
+func (s *Store) Ingested() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingested
+}
+
+// Note describes what Open found, for operator logs: a recovery, an
+// empty directory, or why the segment was unusable.
+func (s *Store) Note() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.note
+}
+
+// WriteStudy serializes the study into a fresh segment and syncs it.
+// A crash mid-write leaves a torn tail the next Open truncates and
+// regenerates past; once WriteStudy returns, the segment is durable.
+func (s *Store) WriteStudy(configJSON []byte, m *core.StudyMaterial) error {
+	buf := encodeSegment(configJSON, m)
+	f, err := s.fsys.OpenFile(filepath.Join(s.dir, segmentName), os.O_WRONLY|os.O_CREATE|os.O_TRUNC)
+	if err != nil {
+		return fmt.Errorf("store: create segment: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close segment: %w", err)
+	}
+	s.mu.Lock()
+	s.cfgJSON = configJSON
+	s.material = m
+	s.note = fmt.Sprintf("wrote %d-epoch study (%d bytes)", len(m.Epochs), len(buf))
+	s.mu.Unlock()
+	return nil
+}
+
+// SetIngested durably records that the first n epochs are ingested:
+// the manifest is rewritten to a temporary file, synced, and renamed
+// over the old one, so a crash anywhere in between leaves either the
+// previous cursor or the new one — both valid prefixes.
+func (s *Store) SetIngested(n int) error {
+	if n < 0 {
+		return fmt.Errorf("store: negative ingest cursor %d", n)
+	}
+	buf, err := json.Marshal(manifest{Version: 1, Ingested: n})
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	f, err := s.fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC)
+	if err != nil {
+		return fmt.Errorf("store: create manifest tmp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close manifest: %w", err)
+	}
+	if err := s.fsys.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("store: publish manifest: %w", err)
+	}
+	s.mu.Lock()
+	s.ingested = n
+	s.mu.Unlock()
+	return nil
+}
+
+// Close releases the store. The segment and manifest are synced at
+// every mutation, so Close has nothing to flush; it exists so callers
+// can treat the store like any other resource.
+func (s *Store) Close() error { return nil }

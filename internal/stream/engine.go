@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/store"
 )
 
 // Config sizes a streaming study.
@@ -38,6 +39,13 @@ const DefaultEpochs = 8
 // behind an ingest.
 type Engine struct {
 	es *core.EpochSet
+
+	// st, when non-nil, is the durable store backing this engine (see
+	// Open): every successful ingest advances its manifest cursor.
+	// recovered records whether the study was restored from the store
+	// instead of generated.
+	st        *store.Store
+	recovered bool
 
 	ingestMu sync.Mutex        // serializes ingestion
 	inc      *core.Incremental // tip-chain assembler, guarded by ingestMu
@@ -107,7 +115,31 @@ func (e *Engine) IngestNext() (prefix int, ok bool, err error) {
 	e.snaps[p-1] = snap
 	e.ingested = p
 	e.mu.Unlock()
+	if e.st != nil {
+		// The in-memory ingest stands either way (the snapshot is
+		// published and a retry ingests the next epoch); the error
+		// reports that durability lagged — after a crash the engine
+		// would rehydrate to the last cursor that did land, which is
+		// always a valid prefix.
+		if perr := e.st.SetIngested(p); perr != nil {
+			return p, true, fmt.Errorf("stream: epoch %d ingested but not persisted: %w", p, perr)
+		}
+	}
 	return p, true, nil
+}
+
+// Recovered reports whether the engine's study was restored from its
+// durable store rather than generated (false for engines without a
+// store).
+func (e *Engine) Recovered() bool { return e.recovered }
+
+// Close releases the engine's durable store, if any. Snapshots remain
+// servable; only durability updates stop.
+func (e *Engine) Close() error {
+	if e.st == nil {
+		return nil
+	}
+	return e.st.Close()
 }
 
 // IngestAll ingests every remaining epoch.

@@ -1,12 +1,14 @@
 package stream
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudwatch/internal/core"
@@ -18,12 +20,19 @@ import (
 // immutable, so a cached render never goes stale — which is what lets
 // the server absorb heavy repeated read traffic.
 //
+//	GET  /healthz                            liveness (always 200)
+//	GET  /readyz                             readiness (engine attached, ≥1 epoch)
 //	GET  /v1/status                          ingestion state + epoch windows
 //	GET  /v1/snapshot/{prefix}/{experiment}  one rendered table/figure
 //	GET  /v1/sweep?tables=&kmin=&kmax=&prefixes=   a sweep grid
 //	POST /v1/ingest                          ingest the next epoch
+//
+// The engine may be attached after the listener is already up
+// (SetEngine): generation and store recovery take seconds to minutes,
+// and binding the port first lets /healthz answer immediately while
+// /readyz and the API report 503 until the study is ready.
 type Server struct {
-	eng *Engine
+	eng atomic.Pointer[Engine]
 
 	// sweepDefaults seeds /v1/sweep requests; absent query parameters
 	// fall back to these (then to the engine's own defaults). Set
@@ -32,12 +41,23 @@ type Server struct {
 
 	// render produces one experiment's output; it is
 	// core.RenderExperiment except in tests, which swap it to count
-	// renders.
+	// renders or inject panics.
 	render func(s *core.Study, experiment string) (string, bool)
+
+	// cacheCap bounds the render cache (entries, not bytes); set
+	// before serving via SetRenderCacheCap.
+	cacheCap int
 
 	mu      sync.Mutex
 	renders map[renderKey]*renderEntry
+	lru     *list.List // *renderEntry, most recently touched at front
 }
+
+// DefaultRenderCacheCap bounds the render cache when
+// SetRenderCacheCap is not called: generous next to the default
+// 8-epoch × 12-experiment grid, small next to a hostile or
+// long-sweeping client.
+const DefaultRenderCacheCap = 256
 
 type renderKey struct {
 	prefix     int
@@ -47,34 +67,122 @@ type renderKey struct {
 // renderEntry is one cached render in singleflight form: the first
 // request for a key installs the entry and renders; concurrent
 // requests for the same key find it and wait on ready instead of
-// duplicating the work.
+// duplicating the work. If the render panics, failed is set before
+// ready closes and the entry is evicted so a later request retries.
 type renderEntry struct {
-	ready chan struct{} // closed once out is set
-	out   string
+	key    renderKey
+	elem   *list.Element
+	ready  chan struct{} // closed once out or failed is set
+	out    string
+	failed bool
 }
 
-// NewServer wraps an engine.
+// NewServer wraps an engine. A nil engine is allowed — handlers
+// return 503 until SetEngine attaches one.
 func NewServer(eng *Engine) *Server {
-	return &Server{eng: eng, render: core.RenderExperiment, renders: map[renderKey]*renderEntry{}}
+	s := &Server{
+		render:   core.RenderExperiment,
+		cacheCap: DefaultRenderCacheCap,
+		renders:  map[renderKey]*renderEntry{},
+		lru:      list.New(),
+	}
+	if eng != nil {
+		s.eng.Store(eng)
+	}
+	return s
 }
 
-// Engine returns the wrapped engine (the ingestion loop drives it
-// directly).
-func (s *Server) Engine() *Engine { return s.eng }
+// SetEngine attaches (or replaces) the engine. Safe to call while the
+// server is already accepting requests: handlers observe the swap
+// atomically.
+func (s *Server) SetEngine(eng *Engine) { s.eng.Store(eng) }
+
+// Engine returns the wrapped engine, or nil before SetEngine (the
+// ingestion loop drives it directly).
+func (s *Server) Engine() *Engine { return s.eng.Load() }
+
+// SetRenderCacheCap bounds the per-(prefix, experiment) render cache
+// to n entries, evicting least-recently-used renders beyond it. Call
+// before serving.
+func (s *Server) SetRenderCacheCap(n int) {
+	if n >= 1 {
+		s.cacheCap = n
+	}
+}
 
 // SetSweepDefaults installs the sweep parameters /v1/sweep uses when a
 // request omits the corresponding query parameter (the CLI's
 // -sweep-* flags in serve mode). Call before serving.
 func (s *Server) SetSweepDefaults(req SweepRequest) { s.sweepDefaults = req }
 
-// Handler returns the HTTP handler serving the API.
+// Handler returns the HTTP handler serving the API, wrapped in the
+// panic-recovery middleware: a panicking handler answers a JSON 500
+// instead of tearing down the connection, and the server keeps
+// serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	mux.HandleFunc("GET /v1/snapshot/{prefix}/{experiment}", s.handleSnapshot)
-	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/status", s.engineHandler(s.handleStatus))
+	mux.HandleFunc("GET /v1/snapshot/{prefix}/{experiment}", s.engineHandler(s.handleSnapshot))
+	mux.HandleFunc("GET /v1/sweep", s.engineHandler(s.handleSweep))
+	mux.HandleFunc("POST /v1/ingest", s.engineHandler(s.handleIngest))
+	return s.withRecovery(mux)
+}
+
+// engineHandler gates a handler on engine attachment: before
+// SetEngine, the API answers 503 so clients can tell "still starting"
+// from "bad request".
+func (s *Server) engineHandler(h func(eng *Engine, w http.ResponseWriter, r *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		eng := s.eng.Load()
+		if eng == nil {
+			writeError(w, http.StatusServiceUnavailable, "study is still being generated or recovered; retry shortly")
+			return
+		}
+		h(eng, w, r)
+	}
+}
+
+// withRecovery converts handler panics into JSON 500 responses. If
+// the handler had already written its header the late WriteHeader is
+// a no-op (net/http logs it), but the connection survives either way.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz is pure liveness: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness to serve study data: an engine is
+// attached (store opened, study generated or recovered) and at least
+// one epoch is ingested, so every endpoint can answer something.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	eng := s.eng.Load()
+	if eng == nil {
+		writeError(w, http.StatusServiceUnavailable, "not ready: study is still being generated or recovered")
+		return
+	}
+	ingested := eng.Ingested()
+	if ingested < 1 {
+		writeError(w, http.StatusServiceUnavailable, "not ready: no epoch ingested yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ready",
+		"ingested":  ingested,
+		"epochs":    eng.NumEpochs(),
+		"recovered": eng.Recovered(),
+	})
 }
 
 // statusEpoch is one epoch's row in the status response.
@@ -97,25 +205,25 @@ type statusResponse struct {
 	EpochList   []statusEpoch `json:"epoch_list"`
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	cfg := s.eng.es.Config()
-	ingested := s.eng.Ingested()
+func (s *Server) handleStatus(eng *Engine, w http.ResponseWriter, r *http.Request) {
+	cfg := eng.es.Config()
+	ingested := eng.Ingested()
 	resp := statusResponse{
 		Year:        cfg.Year,
 		Seed:        cfg.Seed,
-		Epochs:      s.eng.NumEpochs(),
+		Epochs:      eng.NumEpochs(),
 		Ingested:    ingested,
 		Experiments: core.ExperimentNames(),
 		SweepTables: core.SweepTables(),
 	}
-	for e := 0; e < s.eng.NumEpochs(); e++ {
-		start, end := s.eng.Window(e)
+	for e := 0; e < eng.NumEpochs(); e++ {
+		start, end := eng.Window(e)
 		resp.EpochList = append(resp.EpochList, statusEpoch{
 			Epoch:            e,
 			Start:            start.UTC().Format(time.RFC3339),
 			End:              end.UTC().Format(time.RFC3339),
-			Records:          s.eng.EpochRecords(e),
-			TelescopePackets: s.eng.EpochTelescopePackets(e),
+			Records:          eng.EpochRecords(e),
+			TelescopePackets: eng.EpochTelescopePackets(e),
 			Ingested:         e < ingested,
 		})
 	}
@@ -131,10 +239,10 @@ type snapshotResponse struct {
 	Output     string `json:"output"`
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSnapshot(eng *Engine, w http.ResponseWriter, r *http.Request) {
 	prefix, err := strconv.Atoi(r.PathValue("prefix"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad prefix %q: must be an epoch count in 1..%d", r.PathValue("prefix"), s.eng.NumEpochs()))
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad prefix %q: must be an epoch count in 1..%d", r.PathValue("prefix"), eng.NumEpochs()))
 		return
 	}
 	// Validate the experiment before touching the engine: a request
@@ -147,7 +255,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			experiment, strings.Join(core.ExperimentNames(), ", ")))
 		return
 	}
-	snap, err := s.eng.Snapshot(prefix)
+	snap, err := eng.Snapshot(prefix)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -156,24 +264,58 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// Singleflight per (prefix, experiment): the first request installs
 	// the cache entry and renders; concurrent requests for the same key
 	// wait for that one render instead of duplicating it. Only the
-	// request that actually rendered reports cached=false.
+	// request that actually rendered reports cached=false. The cache is
+	// LRU-bounded (SetRenderCacheCap); an evicted key simply re-renders
+	// on its next request.
 	key := renderKey{prefix, experiment}
 	s.mu.Lock()
 	ent, cached := s.renders[key]
-	if !cached {
-		ent = &renderEntry{ready: make(chan struct{})}
+	if cached {
+		s.lru.MoveToFront(ent.elem)
+	} else {
+		ent = &renderEntry{key: key, ready: make(chan struct{})}
+		ent.elem = s.lru.PushFront(ent)
 		s.renders[key] = ent
+		for len(s.renders) > s.cacheCap {
+			oldest := s.lru.Back()
+			evicted := oldest.Value.(*renderEntry)
+			s.lru.Remove(oldest)
+			delete(s.renders, evicted.key)
+		}
 	}
 	s.mu.Unlock()
 	if cached {
 		<-ent.ready
+		if ent.failed {
+			writeError(w, http.StatusInternalServerError, "render failed; retry")
+			return
+		}
 	} else {
+		// If the render panics, release the waiters and evict the entry
+		// before the panic unwinds into the recovery middleware — a
+		// never-closed ready channel would hang every later request for
+		// this key forever.
+		done := false
+		defer func() {
+			if done {
+				return
+			}
+			ent.failed = true
+			close(ent.ready)
+			s.mu.Lock()
+			if s.renders[key] == ent { // don't evict a successor entry
+				s.lru.Remove(ent.elem)
+				delete(s.renders, key)
+			}
+			s.mu.Unlock()
+		}()
 		ent.out, _ = s.render(snap, experiment) // name validated above
+		done = true
 		close(ent.ready)
 	}
 	out := ent.out
 
-	_, end := s.eng.Window(prefix - 1)
+	_, end := eng.Window(prefix - 1)
 	writeJSON(w, http.StatusOK, snapshotResponse{
 		Prefix:     prefix,
 		Experiment: experiment,
@@ -184,7 +326,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSweep(eng *Engine, w http.ResponseWriter, r *http.Request) {
 	req := s.sweepDefaults
 	q := r.URL.Query()
 	if v := q.Get("tables"); v != "" {
@@ -222,7 +364,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			req.Prefixes = append(req.Prefixes, p)
 		}
 	}
-	res, err := s.eng.Sweep(req)
+	res, err := eng.Sweep(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -238,8 +380,8 @@ type ingestResponse struct {
 	Epochs   int  `json:"epochs"`
 }
 
-func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	prefix, ok, err := s.eng.IngestNext()
+func (s *Server) handleIngest(eng *Engine, w http.ResponseWriter, r *http.Request) {
+	prefix, ok, err := eng.IngestNext()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -247,11 +389,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	resp := ingestResponse{
 		Prefix:   prefix,
 		Done:     !ok,
-		Ingested: s.eng.Ingested(),
-		Epochs:   s.eng.NumEpochs(),
+		Ingested: eng.Ingested(),
+		Epochs:   eng.NumEpochs(),
 	}
 	if ok {
-		resp.Records = s.eng.EpochRecords(prefix - 1)
+		resp.Records = eng.EpochRecords(prefix - 1)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

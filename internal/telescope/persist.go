@@ -1,0 +1,126 @@
+package telescope
+
+import (
+	"fmt"
+
+	"cloudwatch/internal/stats"
+	"cloudwatch/internal/wire"
+)
+
+// Serialization of a sealed collector for the durable epoch store.
+// Only aggregated state is persisted — the per-run observe caches are
+// transient and a restored collector is only ever merged and read,
+// never observed into, exactly like the sealed per-epoch collectors it
+// reconstructs. Deferred AS counts are flushed before encoding so the
+// tables are complete.
+
+// AppendBinary serializes the collector's aggregated state onto dst.
+func (c *Collector) AppendBinary(dst []byte) []byte {
+	c.flushAS()
+	dst = wire.AppendU64(dst, uint64(c.packets))
+
+	dst = wire.AppendU32(dst, uint32(len(c.watch)))
+	for port := range c.watch {
+		dst = wire.AppendU16(dst, port)
+	}
+
+	dst = wire.AppendU32(dst, uint32(len(c.srcsByPort)))
+	for port, srcs := range c.srcsByPort {
+		dst = wire.AppendU16(dst, port)
+		dst = wire.AppendU32(dst, uint32(len(srcs)))
+		for s := range srcs {
+			dst = wire.AppendU32(dst, uint32(s))
+		}
+	}
+
+	dst = wire.AppendU32(dst, uint32(len(c.asByPort)))
+	for port, freq := range c.asByPort {
+		dst = wire.AppendU16(dst, port)
+		dst = wire.AppendU32(dst, uint32(len(freq)))
+		for k, v := range freq {
+			dst = wire.AppendString(dst, k)
+			dst = wire.AppendF64(dst, v)
+		}
+	}
+
+	dst = wire.AppendU32(dst, uint32(len(c.perAddr)))
+	for port, log := range c.perAddr {
+		dst = wire.AppendU16(dst, port)
+		dst = wire.AppendAddrs(dst, log.dst)
+		dst = wire.AppendAddrs(dst, log.src)
+		last := uint8(0)
+		if log.lastOK {
+			last = 1
+		}
+		dst = wire.AppendU8(dst, last)
+		dst = wire.AppendU32(dst, uint32(log.lastDst))
+		dst = wire.AppendU32(dst, uint32(log.lastSrc))
+	}
+	return dst
+}
+
+// DecodeCollector reads one serialized collector. The result is
+// sealed: safe to Merge from, Clone, and read, with the same
+// aggregated state the encoded collector held.
+func DecodeCollector(r *wire.BinReader) (*Collector, error) {
+	c := &Collector{
+		srcsByPort: map[uint16]map[wire.Addr]struct{}{},
+		asByPort:   map[uint16]stats.Freq{},
+		perAddr:    map[uint16]*watchLog{},
+		watch:      map[uint16]bool{},
+	}
+	c.packets = int(r.U64())
+
+	for i, n := 0, r.Count(2); i < n; i++ {
+		c.watch[r.U16()] = true
+	}
+
+	for i, n := 0, r.Count(3); i < n; i++ {
+		port := r.U16()
+		m := r.Count(4)
+		srcs := make(map[wire.Addr]struct{}, m)
+		for j := 0; j < m; j++ {
+			srcs[wire.Addr(r.U32())] = struct{}{}
+		}
+		if r.Err() == nil {
+			c.srcsByPort[port] = srcs
+		}
+	}
+
+	for i, n := 0, r.Count(3); i < n; i++ {
+		port := r.U16()
+		m := r.Count(12)
+		freq := make(stats.Freq, m)
+		for j := 0; j < m; j++ {
+			k := r.String()
+			v := r.F64()
+			if r.Err() == nil {
+				freq[k] = v
+			}
+		}
+		if r.Err() == nil {
+			c.asByPort[port] = freq
+		}
+	}
+
+	for i, n := 0, r.Count(3); i < n; i++ {
+		port := r.U16()
+		log := &watchLog{
+			dst: r.Addrs(),
+			src: r.Addrs(),
+		}
+		log.lastOK = r.U8() == 1
+		log.lastDst = wire.Addr(r.U32())
+		log.lastSrc = wire.Addr(r.U32())
+		if len(log.dst) != len(log.src) {
+			return nil, fmt.Errorf("telescope: watch log columns disagree (%d dst vs %d src)", len(log.dst), len(log.src))
+		}
+		if r.Err() == nil {
+			c.perAddr[port] = log
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("telescope: decoding collector: %w", err)
+	}
+	return c, nil
+}

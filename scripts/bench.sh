@@ -7,14 +7,14 @@
 # summary for cross-PR comparison.
 #
 # Usage: scripts/bench.sh [output.json] [bench-log]
-#   output.json  summary destination (default: BENCH_PR6.json)
+#   output.json  summary destination (default: BENCH_PR7.json)
 #   bench-log    existing `go test -bench` output to parse for the
 #                cold-path numbers instead of re-running them (lets CI
 #                run them once); the steady-state pass always runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 log="${2:-}"
 steady="$(mktemp)"
 cleanup="$steady"
@@ -46,6 +46,11 @@ go test -bench 'BenchmarkStreamIngest$' -benchtime=3x -run '^$' . | tee -a "$log
 go test -bench 'BenchmarkStreamIngestLatency$' -benchtime=3x -run '^$' . | tee -a "$log"
 go test -bench 'BenchmarkSweepWarm$' -benchtime=20x -run '^$' . | tee -a "$log"
 go test -bench 'BenchmarkSweepCold$' -benchtime=10x -run '^$' . | tee -a "$log"
+# Durable-store cold start: engine open through the first rendered
+# table, from a warm store (recovered, generation skipped) vs an empty
+# one (regenerate from the seed). The recovered path should be the
+# clearly cheaper one.
+go test -bench 'BenchmarkColdStart' -benchtime=5x -run '^$' . | tee -a "$log"
 
 go test -bench 'BenchmarkTable2Neighborhoods$|BenchmarkTable5GeoSimilarity$' \
   -benchtime=20x -run '^$' . | tee "$steady"
@@ -90,6 +95,16 @@ awk -v out="$out" '
     for (i = 1; i <= NF; i++)
       if ($i == "renders/sec") cold = $(i-1)
   }
+  # Plain overwrite: the dedicated 5x pass appends after any 1x smoke
+  # lines, so the steadier sample wins.
+  file == 1 && /^BenchmarkColdStartRecovered/ {
+    for (i = 1; i <= NF; i++)
+      if ($i == "cold-start-ms") csrec = $(i-1)
+  }
+  file == 1 && /^BenchmarkColdStartRegenerate/ {
+    for (i = 1; i <= NF; i++)
+      if ($i == "cold-start-ms") csgen = $(i-1)
+  }
   file == 1 && /^Benchmark(Table|Figure)/ {
     name = $1; sub(/-[0-9]+$/, "", name)
     for (i = 1; i <= NF; i++)
@@ -106,6 +121,11 @@ awk -v out="$out" '
     printf "  \"sweep_renders_per_sec\": %s,\n", (warm == "" ? "null" : warm) >> out
     printf "  \"sweep_cold_renders_per_sec\": %s,\n", (cold == "" ? "null" : cold) >> out
     printf "  \"sweep_warm_over_cold\": %s,\n", (warm != "" && cold + 0 > 0 ? sprintf("%.1f", warm / cold) : "null") >> out
+    printf "  \"cold_start_to_first_render_ms\": {\n" >> out
+    printf "    \"recovered_from_disk\": %s,\n", (csrec == "" ? "null" : csrec) >> out
+    printf "    \"regenerate_from_seed\": %s,\n", (csgen == "" ? "null" : csgen) >> out
+    printf "    \"regenerate_over_recovered\": %s\n", (csgen != "" && csrec + 0 > 0 ? sprintf("%.1f", csgen / csrec) : "null") >> out
+    printf "  },\n" >> out
     printf "  \"snapshot_latency_flat\": {\n" >> out
     printf "    \"prefix2_ms\": %s,\n", (lp2 == "" ? "null" : lp2) >> out
     printf "    \"prefix8_ms\": %s,\n", (lp8 == "" ? "null" : lp8) >> out
