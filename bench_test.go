@@ -75,6 +75,31 @@ func BenchmarkStudyGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioGeneration measures end-to-end study construction
+// under every registered scenario pack, one sub-benchmark per id, so
+// per-scenario generation throughput is tracked in benchmark diffs
+// (the baseline sub-benchmark is BenchmarkStudyGeneration's grid under
+// another name; the packs price their different population shapes).
+func BenchmarkScenarioGeneration(b *testing.B) {
+	for _, id := range Scenarios() {
+		b.Run(id, func(b *testing.B) {
+			records := 0
+			for i := 0; i < b.N; i++ {
+				cfg := QuickStudy(int64(i), 2021)
+				cfg.Actors.Scenario = id
+				s, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				records = s.NumRecords()
+			}
+			if perOp := b.Elapsed().Seconds() / float64(b.N); perOp > 0 {
+				b.ReportMetric(float64(records)/perOp, "records/sec")
+			}
+		})
+	}
+}
+
 // benchmarkStudyWorkers measures the full collection pipeline at a
 // fixed worker count, reporting throughput as records/sec so the
 // parallel-vs-serial speedup is visible in benchmark diffs.

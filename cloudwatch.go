@@ -40,8 +40,36 @@ type Study = core.Study
 // DeployConfig sizes the vantage-point deployment (Table 1 layout).
 type DeployConfig = cloud.Config
 
-// ActorConfig sizes the simulated scanner population.
+// ActorConfig sizes the simulated scanner population and selects its
+// Scenario (see Scenarios).
 type ActorConfig = scanners.Config
+
+// Scenario describes one registered adversarial world: id, one-line
+// description, and the actor-mix builder.
+type Scenario = scanners.Scenario
+
+// BaselineScenario is the scenario id of the paper's collection week.
+const BaselineScenario = scanners.BaselineScenario
+
+// Scenarios lists every registered scenario id, baseline first.
+func Scenarios() []string { return scanners.Scenarios() }
+
+// ScenarioDescription returns the registered one-line description of a
+// scenario id ("" for unknown ids).
+func ScenarioDescription(id string) string { return scanners.ScenarioDescription(id) }
+
+// RegisterScenario adds a custom adversarial world to the registry so
+// studies, streams, and stores can be generated under it. Call from
+// init or before any study runs; it panics on duplicate or empty ids.
+func RegisterScenario(s Scenario) { scanners.RegisterScenario(s) }
+
+// ScenarioStudy returns the default study of a year generated under a
+// named scenario.
+func ScenarioStudy(seed int64, year int, scenario string) StudyConfig {
+	cfg := core.DefaultConfig(seed, year)
+	cfg.Actors.Scenario = scenario
+	return cfg
+}
 
 // DefaultStudy returns the standard study of a year (2020, 2021, or
 // 2022 — the Appendix C variants) at default scale.

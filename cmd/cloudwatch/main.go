@@ -10,6 +10,10 @@
 //	cloudwatch -full                      # paper-scale deployment (slower)
 //	cloudwatch -experiment sweep -epochs 8 -sweep-kmin 1 -sweep-kmax 10
 //	                                      # streaming K/epoch sweep, JSON on stdout
+//	cloudwatch -scenario stealth -experiment table2
+//	                                      # an alternative adversarial world
+//	cloudwatch -scenario baseline,stealth -experiment sweep
+//	                                      # scenario axis: one engine per scenario
 //	cloudwatch -serve :8080               # long-running snapshot/sweep server
 package main
 
@@ -23,12 +27,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/store"
 	"cloudwatch/internal/stream"
 )
@@ -51,9 +57,10 @@ func rendersFigure1(experiment string, serve bool) bool {
 // "-experiment all" and "-serve" just as under "-experiment figure1" —
 // so the same seed produces the same Figure 1 regardless of how it was
 // requested.
-func studyConfig(seed int64, year int, scale float64, full bool, workers int, experiment string, serve bool) (core.Config, string) {
+func studyConfig(seed int64, year int, scale float64, full bool, workers int, experiment, scenario string, serve bool) (core.Config, string) {
 	cfg := core.DefaultConfig(seed, year)
 	cfg.Actors.Scale = scale
+	cfg.Actors.Scenario = scanners.CanonicalScenario(scenario)
 	cfg.Workers = workers
 	deployment := "default deployment"
 	if full {
@@ -122,6 +129,36 @@ func validExperiments() string {
 	return strings.Join(core.ExperimentNames(), ", ") + ", appendix, all, sweep"
 }
 
+// parseScenarios validates a -scenario value: a single registered id,
+// or (in one-shot sweep mode only) a comma-separated list of them.
+// Errors enumerate the registered ids, matching the -experiment
+// pattern.
+func parseScenarios(value string, sweep bool) ([]string, error) {
+	var ids []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(value, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id := scanners.CanonicalScenario(part)
+		if _, ok := scanners.LookupScenario(id); !ok {
+			return nil, fmt.Errorf("unknown scenario %q; valid: %s", part, strings.Join(scanners.Scenarios(), ", "))
+		}
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		ids = []string{scanners.BaselineScenario}
+	}
+	if len(ids) > 1 && !sweep {
+		return nil, fmt.Errorf("-scenario lists %d scenarios; only -experiment sweep sweeps several (one engine per scenario) — other modes take exactly one", len(ids))
+	}
+	return ids, nil
+}
+
 // knownExperiment reports whether an -experiment value is accepted.
 func knownExperiment(name string) bool {
 	if name == "all" || name == "appendix" || name == "sweep" {
@@ -143,6 +180,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "actor population scale")
 		full       = flag.Bool("full", false, "use the paper's Table 1 deployment scale: full Orion telescope (1856 /24s) and full HE /24 honeypot fleet (256 IPs) instead of the 128/64 defaults (slower)")
 		workers    = flag.Int("workers", 0, "pipeline workers sharding the actor population (0 = GOMAXPROCS); results are identical for every count")
+		scenario   = flag.String("scenario", scanners.BaselineScenario, "adversarial scenario to generate: "+strings.Join(scanners.Scenarios(), ", ")+" (sweep mode accepts a comma-separated list)")
 		serve      = flag.String("serve", "", "serve streaming snapshots and sweeps over HTTP on this address (e.g. :8080); ingests epochs in the background")
 		storeDir   = flag.String("store", "", "durable store directory for sweep/serve modes: the generated epoch study is persisted there and recovered on restart, skipping regeneration")
 		sf         sweepFlags
@@ -160,6 +198,11 @@ func main() {
 	}
 
 	serveMode := *serve != ""
+	scenarios, err := parseScenarios(*scenario, !serveMode && *experiment == "sweep")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(2)
+	}
 	if serveMode && *experiment == "sweep" {
 		// The two streaming modes choose different deployments (serve
 		// may render Figure 1, sweep never does) and different outputs;
@@ -167,15 +210,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error: -serve and -experiment sweep are mutually exclusive; use -serve for the HTTP server (sweeps via GET /v1/sweep) or -experiment sweep for a one-shot JSON sweep")
 		os.Exit(2)
 	}
-	cfg, deployment := studyConfig(*seed, *year, *scale, *full, *workers, *experiment, serveMode)
+	cfg, deployment := studyConfig(*seed, *year, *scale, *full, *workers, *experiment, scenarios[0], serveMode)
 
 	// The chosen deployment prints in every mode — batch, sweep, and
 	// serve — so operators can always tell which telescope they got.
-	fmt.Fprintf(os.Stderr, "running %d study (seed %d, %s, telescope %d /24s)...\n",
-		*year, *seed, deployment, cfg.Deploy.TelescopeSlash24s)
+	fmt.Fprintf(os.Stderr, "running %d study (seed %d, scenario %s, %s, telescope %d /24s)...\n",
+		*year, *seed, strings.Join(scenarios, "+"), deployment, cfg.Deploy.TelescopeSlash24s)
 
 	if serveMode || *experiment == "sweep" {
-		runStreaming(cfg, sf, *serve, *storeDir, *experiment == "sweep")
+		runStreaming(cfg, sf, *serve, *storeDir, *experiment == "sweep", scenarios)
 		return
 	}
 
@@ -222,22 +265,31 @@ func main() {
 // /readyz and the API report 503; and it shuts down gracefully on
 // SIGINT/SIGTERM — in-flight renders drain, the store closes, and the
 // process exits 0.
-func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep bool) {
+func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep bool, scenarios []string) {
 	req, err := sf.sweepRequest()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(2)
 	}
-	buildEngine := func() (*stream.Engine, error) {
+	// buildEngine constructs one scenario's engine. A multi-scenario
+	// sweep with a durable store gives each scenario its own
+	// subdirectory — store identity includes the scenario, so sharing
+	// one directory could never work anyway.
+	buildEngine := func(scenario string) (*stream.Engine, error) {
 		scfg := stream.Config{Study: cfg, Epochs: sf.epochs}
-		if storeDir == "" {
+		scfg.Study.Actors.Scenario = scenario
+		dir := storeDir
+		if dir == "" {
 			return stream.New(scfg)
 		}
-		st, err := store.Open(store.DirFS(), storeDir)
+		if len(scenarios) > 1 {
+			dir = filepath.Join(dir, scenario)
+		}
+		st, err := store.Open(store.DirFS(), dir)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "store %s: %s\n", storeDir, st.Note())
+		fmt.Fprintf(os.Stderr, "store %s: %s\n", dir, st.Note())
 		eng, err := stream.Open(scfg, st)
 		if err != nil {
 			return nil, err
@@ -250,24 +302,34 @@ func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep b
 	}
 
 	if sweep {
-		eng, err := buildEngine()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+		// One engine per scenario, swept in turn; the merged grid keeps
+		// every cell tagged with its scenario.
+		results := make([]*stream.SweepResult, 0, len(scenarios))
+		for _, sc := range scenarios {
+			fmt.Fprintf(os.Stderr, "scenario %s: generating...\n", sc)
+			eng, err := buildEngine(sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%d epochs ready; ingesting...\n", eng.NumEpochs())
+			if err := ingestAll(eng); err != nil {
+				eng.Close()
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			res, err := eng.Sweep(req)
+			if err != nil {
+				eng.Close()
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(2)
+			}
+			eng.Close()
+			results = append(results, res)
 		}
-		defer eng.Close()
-		fmt.Fprintf(os.Stderr, "%d epochs ready; ingesting...\n", eng.NumEpochs())
-		if err := ingestAll(eng); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
-		res, err := eng.Sweep(req)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(2)
-		}
-		fmt.Fprintf(os.Stderr, "swept %d renders in %.3fs (%.1f renders/sec)\n",
-			res.Renders, res.Seconds, res.RendersPerSec)
+		res := stream.MergeSweepResults(results...)
+		fmt.Fprintf(os.Stderr, "swept %d renders across %d scenario(s) in %.3fs (%.1f renders/sec)\n",
+			res.Renders, len(res.Scenarios), res.Seconds, res.RendersPerSec)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
@@ -308,7 +370,7 @@ func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep b
 	}()
 	buildErr := make(chan error, 1)
 	go func() {
-		eng, err := buildEngine()
+		eng, err := buildEngine(scenarios[0])
 		if err != nil {
 			buildErr <- err
 			return

@@ -14,8 +14,8 @@ import (
 // (the same seed used to render two different Figure 1s: 128 /24s
 // under "all", 512 under "figure1").
 func TestFigureBumpAppliesToAll(t *testing.T) {
-	all, allDesc := studyConfig(42, 2021, 1, false, 0, "all", false)
-	fig, figDesc := studyConfig(42, 2021, 1, false, 0, "figure1", false)
+	all, allDesc := studyConfig(42, 2021, 1, false, 0, "all", "baseline", false)
+	fig, figDesc := studyConfig(42, 2021, 1, false, 0, "figure1", "baseline", false)
 	if !reflect.DeepEqual(all, fig) {
 		t.Fatalf("configs differ between all and figure1:\n all %+v\n fig %+v", all, fig)
 	}
@@ -34,7 +34,7 @@ func TestFigureBumpAppliesToAll(t *testing.T) {
 func TestNoBumpForTableExperiments(t *testing.T) {
 	def := core.DefaultConfig(42, 2021).Deploy.TelescopeSlash24s
 	for _, exp := range []string{"table2", "table10", "appendix"} {
-		cfg, desc := studyConfig(42, 2021, 1, false, 0, exp, false)
+		cfg, desc := studyConfig(42, 2021, 1, false, 0, exp, "baseline", false)
 		if cfg.Deploy.TelescopeSlash24s != def {
 			t.Errorf("%s: telescope = %d /24s, want default %d", exp, cfg.Deploy.TelescopeSlash24s, def)
 		}
@@ -48,7 +48,7 @@ func TestNoBumpForTableExperiments(t *testing.T) {
 // means the full Orion telescope and the full HE /24 honeypot fleet,
 // not just the telescope.
 func TestFullFlagScalesWholeDeployment(t *testing.T) {
-	cfg, desc := studyConfig(42, 2021, 1, true, 0, "table2", false)
+	cfg, desc := studyConfig(42, 2021, 1, true, 0, "table2", "baseline", false)
 	if cfg.Deploy.TelescopeSlash24s != 1856 {
 		t.Errorf("full telescope = %d /24s, want 1856", cfg.Deploy.TelescopeSlash24s)
 	}
@@ -59,7 +59,7 @@ func TestFullFlagScalesWholeDeployment(t *testing.T) {
 		t.Errorf("deployment description = %q", desc)
 	}
 	// -full already exceeds the Figure 1 minimum: no further bump.
-	fig, _ := studyConfig(42, 2021, 1, true, 0, "figure1", false)
+	fig, _ := studyConfig(42, 2021, 1, true, 0, "figure1", "baseline", false)
 	if fig.Deploy.TelescopeSlash24s != 1856 {
 		t.Errorf("full+figure1 telescope = %d /24s, want 1856", fig.Deploy.TelescopeSlash24s)
 	}
@@ -70,14 +70,14 @@ func TestFullFlagScalesWholeDeployment(t *testing.T) {
 // gets the Figure 1 telescope; one-shot sweep mode renders tables only
 // and keeps the default.
 func TestServeModeBumpsTelescope(t *testing.T) {
-	srv, desc := studyConfig(42, 2021, 1, false, 0, "all", true)
+	srv, desc := studyConfig(42, 2021, 1, false, 0, "all", "baseline", true)
 	if srv.Deploy.TelescopeSlash24s != figureMinSlash24s {
 		t.Errorf("serve telescope = %d /24s, want %d", srv.Deploy.TelescopeSlash24s, figureMinSlash24s)
 	}
 	if !strings.Contains(desc, "Figure 1") {
 		t.Errorf("serve deployment description = %q", desc)
 	}
-	swp, desc := studyConfig(42, 2021, 1, false, 0, "sweep", false)
+	swp, desc := studyConfig(42, 2021, 1, false, 0, "sweep", "baseline", false)
 	if def := core.DefaultConfig(42, 2021).Deploy.TelescopeSlash24s; swp.Deploy.TelescopeSlash24s != def {
 		t.Errorf("sweep telescope = %d /24s, want default %d", swp.Deploy.TelescopeSlash24s, def)
 	}
@@ -147,13 +147,53 @@ func TestKnownExperiment(t *testing.T) {
 	}
 }
 
+// TestParseScenarios pins the -scenario flag validation: unknown ids
+// are rejected with the registered ids enumerated (the -experiment
+// pattern), lists are sweep-only, and the empty value means baseline.
+func TestParseScenarios(t *testing.T) {
+	ids, err := parseScenarios("baseline", false)
+	if err != nil || len(ids) != 1 || ids[0] != "baseline" {
+		t.Fatalf("baseline: ids=%v err=%v", ids, err)
+	}
+	if ids, err = parseScenarios("", false); err != nil || len(ids) != 1 || ids[0] != "baseline" {
+		t.Fatalf("empty value should mean baseline: ids=%v err=%v", ids, err)
+	}
+	if _, err = parseScenarios("bogus", false); err == nil ||
+		!strings.Contains(err.Error(), "stealth") || !strings.Contains(err.Error(), "attack-platform") {
+		t.Errorf("unknown scenario error should enumerate registered ids, got %v", err)
+	}
+	if _, err = parseScenarios("baseline,stealth", false); err == nil {
+		t.Error("multi-scenario list accepted outside sweep mode")
+	}
+	ids, err = parseScenarios("baseline, stealth, baseline", true)
+	if err != nil || len(ids) != 2 || ids[0] != "baseline" || ids[1] != "stealth" {
+		t.Errorf("sweep list should dedup and trim: ids=%v err=%v", ids, err)
+	}
+	ids, err = parseScenarios("burst-ddos", true)
+	if err != nil || len(ids) != 1 || ids[0] != "burst-ddos" {
+		t.Errorf("burst-ddos: ids=%v err=%v", ids, err)
+	}
+}
+
+// TestScenarioThreadsIntoStudyConfig checks the flag value lands in
+// the study configuration (and thereby in store identity).
+func TestScenarioThreadsIntoStudyConfig(t *testing.T) {
+	cfg, _ := studyConfig(42, 2021, 1, false, 0, "table2", "stealth", false)
+	if cfg.Actors.Scenario != "stealth" {
+		t.Fatalf("Actors.Scenario = %q, want stealth", cfg.Actors.Scenario)
+	}
+	if cfg.Scenario() != "stealth" {
+		t.Fatalf("cfg.Scenario() = %q", cfg.Scenario())
+	}
+}
+
 // TestAllAndFigure1RenderIdenticalFigure1 is the end-to-end
 // regression: the same seed renders the same Figure 1 whether it was
 // requested via "figure1" or as part of "all". Reduced actor scale
 // keeps the two 512-/24 studies fast.
 func TestAllAndFigure1RenderIdenticalFigure1(t *testing.T) {
-	cfgAll, _ := studyConfig(42, 2021, 0.1, false, 0, "all", false)
-	cfgFig, _ := studyConfig(42, 2021, 0.1, false, 0, "figure1", false)
+	cfgAll, _ := studyConfig(42, 2021, 0.1, false, 0, "all", "baseline", false)
+	cfgFig, _ := studyConfig(42, 2021, 0.1, false, 0, "figure1", "baseline", false)
 	sAll, err := core.Run(cfgAll)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 
 	"cloudwatch/internal/greynoise"
 	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/telescope"
 )
 
@@ -47,6 +48,12 @@ type EpochMaterial struct {
 // again. Restoring it into an EpochSet (RestoreEpochSet) yields
 // snapshots byte-identical to the set it was exported from.
 type StudyMaterial struct {
+	// Scenario is the canonical scenario id the material was generated
+	// under. Unlike Workers it is semantic: material from one
+	// adversarial world must never restore into a study configured for
+	// another, so RestoreEpochSet checks it independently of whatever
+	// config matching the store layer does (belt and suspenders).
+	Scenario string
 	// Workers is the sink partition width the material was generated
 	// with. It is a storage layout, not a semantic parameter: snapshots
 	// are byte-identical for every worker count, so material generated
@@ -65,6 +72,7 @@ type StudyMaterial struct {
 // the material as read-only.
 func (es *EpochSet) Material() *StudyMaterial {
 	m := &StudyMaterial{
+		Scenario:    scanners.CanonicalScenario(es.cfg.Actors.Scenario),
 		Workers:     len(es.sinks),
 		ActorWorker: make([]int32, len(es.runs)),
 		Epochs:      make([]EpochMaterial, es.eb.NumEpochs()),
@@ -107,6 +115,9 @@ func (es *EpochSet) Material() *StudyMaterial {
 // range bounds, column agreement) so a corrupted or mismatched store
 // fails here instead of producing a silently wrong study.
 func RestoreEpochSet(cfg Config, m *StudyMaterial) (*EpochSet, error) {
+	if want, got := scanners.CanonicalScenario(cfg.Actors.Scenario), scanners.CanonicalScenario(m.Scenario); want != got {
+		return nil, fmt.Errorf("core: material was generated under scenario %q, study is configured for %q", got, want)
+	}
 	es, _, err := newEpochSet(cfg, len(m.Epochs))
 	if err != nil {
 		return nil, err

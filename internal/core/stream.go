@@ -157,6 +157,11 @@ func newEpochSet(cfg Config, epochs int) (*EpochSet, *scanners.Context, error) {
 	if cfg.Year == 0 {
 		cfg.Year = 2021
 	}
+	cfg.Actors.Scenario = scanners.CanonicalScenario(cfg.Actors.Scenario)
+	actors, err := scanners.PopulationFor(cfg.Actors)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: actor population: %w", err)
+	}
 	deployment, err := cloud.Build(cfg.Deploy)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: building deployment: %w", err)
@@ -177,7 +182,7 @@ func newEpochSet(cfg Config, epochs int) (*EpochSet, *scanners.Context, error) {
 	es.censys.Crawl(u, crawlTime)
 	es.shodan.Crawl(u, crawlTime)
 
-	es.actors = scanners.Population(cfg.Actors)
+	es.actors = actors
 	ctx := &scanners.Context{U: u, Censys: es.censys, Shodan: es.shodan, Seed: cfg.Seed, Year: cfg.Year}
 	return es, ctx, nil
 }

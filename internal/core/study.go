@@ -49,9 +49,15 @@ func DefaultConfig(seed int64, year int) Config {
 		Seed:           seed,
 		Year:           year,
 		Deploy:         cloud.DefaultConfig(seed, year),
-		Actors:         scanners.Config{Seed: seed, Year: year, Scale: 1},
+		Actors:         scanners.Config{Seed: seed, Year: year, Scale: 1, Scenario: scanners.BaselineScenario},
 		TelescopeWatch: []uint16{22, 80, 445, 7574, 17128},
 	}
+}
+
+// Scenario returns the canonical scenario id of the study config (the
+// baseline when unset).
+func (c Config) Scenario() string {
+	return scanners.CanonicalScenario(c.Actors.Scenario)
 }
 
 // Study is the outcome of one simulated collection week: everything
@@ -119,6 +125,14 @@ func Run(cfg Config) (*Study, error) {
 	if cfg.Year == 0 {
 		cfg.Year = 2021
 	}
+	// Canonicalize and validate the scenario before building anything:
+	// a typoed scenario id fails with the registered ids enumerated,
+	// not halfway into a deployment build.
+	cfg.Actors.Scenario = scanners.CanonicalScenario(cfg.Actors.Scenario)
+	actors, err := scanners.PopulationFor(cfg.Actors)
+	if err != nil {
+		return nil, fmt.Errorf("core: actor population: %w", err)
+	}
 	deployment, err := cloud.Build(cfg.Deploy)
 	if err != nil {
 		return nil, fmt.Errorf("core: building deployment: %w", err)
@@ -144,7 +158,7 @@ func Run(cfg Config) (*Study, error) {
 	s.Censys.Crawl(u, crawlTime)
 	s.Shodan.Crawl(u, crawlTime)
 
-	s.Actors = scanners.Population(cfg.Actors)
+	s.Actors = actors
 	ctx := &scanners.Context{U: u, Censys: s.Censys, Shodan: s.Shodan, Seed: cfg.Seed, Year: cfg.Year}
 
 	for _, actor := range s.Actors {

@@ -16,8 +16,15 @@ type Config struct {
 	Seed  int64
 	Year  int     // 2020, 2021 (baseline), or 2022: Appendix C variants
 	Scale float64 // source-IP population multiplier; 0 means 1.0
+	// Scenario selects the registered adversarial world the population
+	// is built from (see scenario.go); "" means the baseline — the
+	// paper's collection week.
+	Scenario string
 }
 
+// scale applies the population multiplier. A negative Scale never
+// reaches here: Validate rejects it before any builder runs, so the
+// only zero-value fallback is Scale == 0 meaning 1.0.
 func (c Config) scale(n int) int {
 	s := c.Scale
 	if s <= 0 {

@@ -1,0 +1,219 @@
+package scanners
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"cloudwatch/internal/netsim"
+)
+
+// The alternative adversarial worlds of the scenario registry. Each
+// pack keeps the ambient floor of the baseline week (research scanners
+// plus Internet background radiation) and replaces the attacker
+// population with one named behavior from the related work:
+//
+//	attack-platform  cloud-hosted sources scanning cloud targets at
+//	                 platform scale ("Cloud as an Attack Platform")
+//	stealth          low-and-slow scanners staying under per-source
+//	                 IDS rate thresholds ("Launching Stealth Attacks
+//	                 using Cloud")
+//	burst-ddos       synchronized short-lived floods from consumer-ISP
+//	                 botnets (booter-style bursts)
+//
+// Every actor draws all of its randomness from streams keyed by its
+// own name — and flood plans from scenario-scoped stream names each
+// member re-derives identically — so a pack's output is byte-identical
+// across worker counts exactly like the baseline.
+
+func init() {
+	RegisterScenario(Scenario{
+		ID:          "attack-platform",
+		Description: "cloud-hosted attack nodes bruteforcing and exploiting cloud targets at platform scale",
+		Build:       attackPlatformScenario,
+	})
+	RegisterScenario(Scenario{
+		ID:          "stealth",
+		Description: "low-and-slow scanners: wide source pools, single attempts, rates under IDS thresholds",
+		Build:       stealthScenario,
+	})
+	RegisterScenario(Scenario{
+		ID:          "burst-ddos",
+		Description: "synchronized short-lived floods from consumer-ISP botnets, quiet between bursts",
+		Build:       burstDDoSScenario,
+	})
+}
+
+// ambientActors is the benign/background floor every alternative
+// scenario keeps: the research scanners and background radiation of
+// the baseline week. They give each world a GreyNoise-vetted benign
+// slice and a telescope baseline, so the benign-vs-malicious and
+// honeypot-vs-telescope comparisons stay well-defined however the
+// attacker population changes.
+func ambientActors(cfg Config) []*Actor {
+	actors := bulkResearch(cfg)
+	return append(actors, backgroundRadiation(cfg)...)
+}
+
+// exploitMix returns a payload picker that sends an exploit with
+// probability share and a benign request otherwise — the pack-local
+// copy of the baseline campaigns' payload split.
+func exploitMix(exploits []netsim.PayloadID, share float64) func(*rand.Rand, *netsim.Target) netsim.PayloadID {
+	return func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
+		if rng.Float64() < share {
+			return exploits[rng.Intn(len(exploits))]
+		}
+		return benignHTTPIDs[rng.Intn(len(benignHTTPIDs))]
+	}
+}
+
+// --- attack-platform: cloud scanning cloud ----------------------------------
+
+// attackPlatformASNs hosts the attack nodes: every cloud provider in
+// the AS registry. The defining trait of the scenario is that sources
+// and targets are both cloud-hosted.
+var attackPlatformASNs = []int{16509, 396982, 8075, 14061, 24940, 16276, 63949, 45090, 37963, 49505}
+
+func attackPlatformScenario(cfg Config) []*Actor {
+	actors := ambientActors(cfg)
+	cloudOnly := func(t *netsim.Target) bool { return t.Kind == netsim.KindCloud }
+	webExploits := HTTPExploitIDs("global")
+	for _, asn := range attackPlatformASNs {
+		name := "platform-" + strconv.Itoa(asn)
+		sshDict := sshCreds("cloud-heavy")
+		actors = append(actors, newActor(cfg, name, asn, false, 24, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			// Platform-scale bruteforce: every node sweeps the cloud
+			// fleet's SSH ports with credential batteries.
+			a.ScanServices(ctx, emit, ServiceScan{
+				Ports: []uint16{22, 2222}, Cover: 0.55, Filter: cloudOnly,
+				MinAttempts: 1, MaxAttempts: 4,
+				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
+					return a.pickCreds(rng, sshDict, 1, 4)
+				},
+			})
+			// Web exploitation of the same fleet: mostly exploits, a
+			// thin benign cover.
+			a.ScanServices(ctx, emit, ServiceScan{
+				Ports: []uint16{80, 8080, 443}, Cover: 0.45, Filter: cloudOnly,
+				MinAttempts: 1, MaxAttempts: 2,
+				Payload: exploitMix(webExploits, 0.7),
+			})
+			// Attack platforms chase live services, not darknet: the
+			// telescope footprint is a trace, which is what separates
+			// this world in the honeypot-vs-telescope tables.
+			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{22, 80}, PerIP: 1})
+		}))
+	}
+	return actors
+}
+
+// --- stealth: low-and-slow under the IDS rate threshold ----------------------
+
+// stealthASNs spreads the slow scanners across consumer ISPs on every
+// continent — a wide, unremarkable source population is the point.
+var stealthASNs = []int{7922, 701, 3320, 1221, 4766, 3462, 9121, 12389, 8151, 28573, 17974, 45899}
+
+func stealthScenario(cfg Config) []*Actor {
+	actors := ambientActors(cfg)
+	flavors := []string{"root-heavy", "user-heavy", "service-heavy", "iot-heavy"}
+	for i, asn := range stealthASNs {
+		name := "stealth-" + strconv.Itoa(asn)
+		dict := sshCreds(flavors[i%len(flavors)])
+		actors = append(actors, newActor(cfg, name, asn, false, 55, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			// Low-and-slow: a wide source pool where each source
+			// touches a sliver of the fleet exactly once with a single
+			// credential — per-source volume stays under any IDS rate
+			// threshold while the campaign in aggregate still covers
+			// the fleet.
+			a.ScanServices(ctx, emit, ServiceScan{
+				Ports: []uint16{22}, Cover: 0.05, MinAttempts: 1,
+				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
+					return a.pickCreds(rng, dict, 1, 1)
+				},
+			})
+			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{22}, PerIP: 1})
+		}))
+	}
+	// Slow web reconnaissance: requests indistinguishable from a
+	// browser except for the rare probing payload.
+	webExploits := HTTPExploitIDs("global")
+	for _, asn := range []int{9009, 60068, 174} {
+		name := "stealth-web-" + strconv.Itoa(asn)
+		actors = append(actors, newActor(cfg, name, asn, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			a.ScanServices(ctx, emit, ServiceScan{
+				Ports: []uint16{80, 443}, Cover: 0.06, MinAttempts: 1,
+				Payload: exploitMix(webExploits, 0.05),
+			})
+		}))
+	}
+	return actors
+}
+
+// --- burst-ddos: synchronized short-lived floods -----------------------------
+
+// floodPlan derives the scenario's shared burst schedule. Every member
+// re-derives the identical schedule from the scenario-scoped stream
+// name, so the floods synchronize across actors without any shared
+// mutable state — the same trick the baseline's latch plans use, which
+// is what keeps the pack byte-identical across worker counts.
+func floodPlan(ctx *Context) []time.Time {
+	rng := netsim.Stream(ctx.Seed, "scenario:burst-ddos:plan")
+	starts := make([]time.Time, 4)
+	for i := range starts {
+		h := rng.Intn(netsim.StudyHours - 1)
+		starts[i] = netsim.StudyStart.Add(time.Duration(h) * time.Hour)
+	}
+	return starts
+}
+
+// floodClock timestamps probes inside the shared burst windows: each
+// flood lasts minutes, and the week is silent in between.
+func floodClock(ctx *Context) func(*rand.Rand) time.Time {
+	starts := floodPlan(ctx)
+	return func(rng *rand.Rand) time.Time {
+		return burstTime(rng, starts[rng.Intn(len(starts))], 10*time.Minute)
+	}
+}
+
+func burstDDoSScenario(cfg Config) []*Actor {
+	actors := ambientActors(cfg)
+	// Botnet members across consumer ISPs: payloadless SYN-style
+	// floods against web ports, packed into the shared windows, with a
+	// matching darknet splash (spoof-style backscatter sweeps).
+	for _, asn := range miraiASNs[:10] {
+		name := "ddos-" + strconv.Itoa(asn)
+		actors = append(actors, newActor(cfg, name, asn, false, 32, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			clock := floodClock(ctx)
+			a.ScanServices(ctx, emit, ServiceScan{
+				Ports: []uint16{80, 443}, Cover: 0.5,
+				MinAttempts: 5, MaxAttempts: 12,
+				Time: clock,
+			})
+			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{80}, PerIP: 6, Time: clock})
+		}))
+	}
+	// The booter's aim point: bulletproof-hosted nodes that pile onto
+	// one victim region during the same windows, with login attempts
+	// riding the flood (credential stuffing under cover of volume).
+	for _, asn := range []int{202425, 204428, 48693} {
+		name := "ddos-booter-" + strconv.Itoa(asn)
+		dict := sshCreds("root-heavy")
+		actors = append(actors, newActor(cfg, name, asn, false, 20, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			victim := pickRegionVictim(ctx, "he:us-ohio", "ddos")
+			if victim == nil {
+				return
+			}
+			clock := floodClock(ctx)
+			a.ScanServices(ctx, emit, ServiceScan{
+				Ports: []uint16{22, 80}, Cover: 0.9,
+				Filter:      func(t *netsim.Target) bool { return t == victim },
+				MinAttempts: 4, MaxAttempts: 10,
+				Creds: func(rng *rand.Rand, t *netsim.Target) []netsim.Credential {
+					return a.pickCreds(rng, dict, 1, 2)
+				},
+				Time: clock,
+			})
+		}))
+	}
+	return actors
+}

@@ -28,12 +28,16 @@ import (
 // a checksummed frame) degrades to "nothing recovered" — the caller
 // regenerates deterministically and rewrites the segment.
 const (
-	segMagic   = "CWEPOCHS"
-	segVersion = 1
+	segMagic = "CWEPOCHS"
+	// segVersion 2 added the scenario id to the layout frame. A v1
+	// segment decodes as "nothing recovered": the reader regenerates
+	// deterministically and rewrites the segment in the current format,
+	// the same degradation path as a torn tail.
+	segVersion = 2
 
 	frameConfig = 1 // normalized study config JSON
 	frameDict   = 2 // payload interner dictionary
-	frameLayout = 3 // worker width, epoch count, actor->worker map
+	frameLayout = 3 // worker width, epoch count, scenario id, actor->worker map
 	frameEpoch  = 4 // one epoch: per-worker sinks + per-actor run bounds
 )
 
@@ -97,6 +101,7 @@ func encodeSegment(configJSON []byte, m *core.StudyMaterial) []byte {
 	var layout []byte
 	layout = wire.AppendU32(layout, uint32(m.Workers))
 	layout = wire.AppendU32(layout, uint32(len(m.Epochs)))
+	layout = wire.AppendString(layout, m.Scenario)
 	layout = wire.AppendI32s(layout, m.ActorWorker)
 	buf = appendFrame(buf, frameLayout, layout)
 
@@ -149,6 +154,7 @@ func decodeFrames(frames []frame) (configJSON []byte, m *core.StudyMaterial, rea
 	lr := wire.NewBinReader(layout)
 	workers := int(lr.U32())
 	epochs := int(lr.U32())
+	scenario := lr.String()
 	actorWorker := lr.I32s()
 	if lr.Err() != nil || lr.Len() != 0 {
 		return nil, nil, "layout frame malformed"
@@ -161,6 +167,7 @@ func decodeFrames(frames []frame) (configJSON []byte, m *core.StudyMaterial, rea
 	}
 
 	m = &core.StudyMaterial{
+		Scenario:    scenario,
 		Workers:     workers,
 		ActorWorker: actorWorker,
 		Epochs:      make([]core.EpochMaterial, epochs),

@@ -183,7 +183,7 @@ func TestTornTailMatrixEveryByte(t *testing.T) {
 		bytes.Repeat([]byte("frame"), 60),
 	}
 	seg := []byte(segMagic)
-	seg = append(seg, 1, 0, 0, 0) // version 1, little-endian
+	seg = append(seg, segVersion, 0, 0, 0) // current version, little-endian
 	typ := []uint8{frameConfig, frameDict, frameLayout, frameEpoch, frameEpoch}
 	for i, p := range payloads {
 		seg = appendFrame(seg, typ[i], p)

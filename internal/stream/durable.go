@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/store"
 )
 
@@ -76,7 +77,11 @@ func Open(cfg Config, st *store.Store) (*Engine, error) {
 // the epoch count plus the study config with Workers and WindowSec
 // zeroed — both are execution parameters (sharding width, batch
 // truncation) under which results are byte-identical, so material
-// generated at any value of either restores under any other.
+// generated at any value of either restores under any other. The
+// scenario id is canonicalized (empty means baseline) so the spelling
+// of "the paper's week" never splits store identity; a genuinely
+// different scenario yields different JSON, which is what makes a
+// store written under one scenario refuse to serve another.
 func normalizedConfigJSON(cfg Config) (js []byte, epochs int, err error) {
 	epochs = cfg.Epochs
 	if epochs <= 0 {
@@ -85,6 +90,7 @@ func normalizedConfigJSON(cfg Config) (js []byte, epochs int, err error) {
 	study := cfg.Study
 	study.Workers = 0
 	study.WindowSec = 0
+	study.Actors.Scenario = scanners.CanonicalScenario(study.Actors.Scenario)
 	js, err = json.Marshal(struct {
 		Epochs int
 		Study  core.Config

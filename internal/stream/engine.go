@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/store"
 )
 
@@ -73,6 +74,12 @@ func New(cfg Config) (*Engine, error) {
 
 // NumEpochs returns the total number of epochs.
 func (e *Engine) NumEpochs() int { return e.es.NumEpochs() }
+
+// Scenario returns the canonical scenario id this engine's study was
+// generated under. One engine serves exactly one scenario; sweeping
+// several means one engine per scenario (the CLI's one-shot sweep mode
+// does exactly that).
+func (e *Engine) Scenario() string { return e.es.Config().Scenario() }
 
 // Ingested returns how many epochs have been ingested so far.
 func (e *Engine) Ingested() int {
@@ -186,10 +193,17 @@ type SweepRequest struct {
 	// Prefixes lists the epoch prefixes to render; empty means every
 	// ingested prefix.
 	Prefixes []int `json:"prefixes"`
+	// Scenarios is the scenario axis of the grid. An engine holds one
+	// scenario's study, so against a single engine the axis selects
+	// (empty means the engine's own scenario, and naming any other is
+	// an error enumerating what this engine serves); a multi-scenario
+	// sweep merges per-engine results, with every cell tagged.
+	Scenarios []string `json:"scenarios,omitempty"`
 }
 
-// SweepCell is one rendered (prefix, K, table) grid point.
+// SweepCell is one rendered (scenario, prefix, K, table) grid point.
 type SweepCell struct {
+	Scenario  string `json:"scenario"`
 	Prefix    int    `json:"prefix"`
 	WindowEnd string `json:"window_end"` // RFC 3339 end of the prefix window
 	K         int    `json:"k"`
@@ -201,15 +215,50 @@ type SweepCell struct {
 type SweepResult struct {
 	Year          int         `json:"year"`
 	Seed          int64       `json:"seed"`
+	Scenarios     []string    `json:"scenarios"`
 	Cells         []SweepCell `json:"cells"`
 	Renders       int         `json:"renders"`
 	Seconds       float64     `json:"seconds"`
 	RendersPerSec float64     `json:"renders_per_sec"`
 }
 
+// MergeSweepResults combines per-scenario sweep results (one engine
+// per scenario) into a single grid: cells concatenate in argument
+// order, scenario lists concatenate, and the throughput re-derives
+// from the summed wall-clock. Results must share Year and Seed.
+func MergeSweepResults(results ...*SweepResult) *SweepResult {
+	merged := &SweepResult{}
+	for i, r := range results {
+		if i == 0 {
+			merged.Year, merged.Seed = r.Year, r.Seed
+		}
+		merged.Scenarios = append(merged.Scenarios, r.Scenarios...)
+		merged.Cells = append(merged.Cells, r.Cells...)
+		merged.Seconds += r.Seconds
+	}
+	merged.Renders = len(merged.Cells)
+	if merged.Seconds > 0 {
+		merged.RendersPerSec = float64(merged.Renders) / merged.Seconds
+	}
+	return merged
+}
+
 // normalize validates a request against the engine state and fills
 // defaults. Returned errors enumerate the valid values.
 func (e *Engine) normalize(req SweepRequest) (SweepRequest, error) {
+	active := e.Scenario()
+	if len(req.Scenarios) == 0 {
+		req.Scenarios = []string{active}
+	}
+	for _, id := range req.Scenarios {
+		if _, ok := scanners.LookupScenario(id); !ok {
+			return req, fmt.Errorf("stream: unknown scenario %q; valid: %s",
+				id, strings.Join(scanners.Scenarios(), ", "))
+		}
+		if scanners.CanonicalScenario(id) != active {
+			return req, fmt.Errorf("stream: scenario %q is not served by this engine (active scenario: %s)", id, active)
+		}
+	}
 	if len(req.Tables) == 0 {
 		req.Tables = []string{"table2", "table5"}
 	}
@@ -273,7 +322,7 @@ func (e *Engine) Sweep(req SweepRequest) (*SweepResult, error) {
 		return nil, err
 	}
 	cfg := e.es.Config()
-	res := &SweepResult{Year: cfg.Year, Seed: cfg.Seed}
+	res := &SweepResult{Year: cfg.Year, Seed: cfg.Seed, Scenarios: []string{e.Scenario()}}
 	start := time.Now()
 	for _, p := range req.Prefixes {
 		snap, err := e.Snapshot(p)
@@ -288,6 +337,7 @@ func (e *Engine) Sweep(req SweepRequest) (*SweepResult, error) {
 					return nil, fmt.Errorf("stream: unknown sweep table %q; valid: %s", tbl, strings.Join(core.SweepTables(), ", "))
 				}
 				res.Cells = append(res.Cells, SweepCell{
+					Scenario:  e.Scenario(),
 					Prefix:    p,
 					WindowEnd: end.UTC().Format(time.RFC3339),
 					K:         k,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/scanners"
 )
 
 // Server exposes a streaming study over HTTP as JSON: ingestion state,
@@ -179,6 +180,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ready",
+		"scenario":  eng.Scenario(),
 		"ingested":  ingested,
 		"epochs":    eng.NumEpochs(),
 		"recovered": eng.Recovered(),
@@ -196,25 +198,34 @@ type statusEpoch struct {
 }
 
 type statusResponse struct {
-	Year        int           `json:"year"`
-	Seed        int64         `json:"seed"`
-	Epochs      int           `json:"epochs"`
-	Ingested    int           `json:"ingested"`
-	Experiments []string      `json:"experiments"`
-	SweepTables []string      `json:"sweep_tables"`
-	EpochList   []statusEpoch `json:"epoch_list"`
+	Year     int    `json:"year"`
+	Seed     int64  `json:"seed"`
+	Epochs   int    `json:"epochs"`
+	Ingested int    `json:"ingested"`
+	Scenario string `json:"scenario"` // the scenario this engine serves
+	// ScenarioDescription is the registered one-liner of the active
+	// scenario; Scenarios lists every registered id (what -scenario
+	// and the scenario query parameter accept).
+	ScenarioDescription string        `json:"scenario_description"`
+	Scenarios           []string      `json:"scenarios"`
+	Experiments         []string      `json:"experiments"`
+	SweepTables         []string      `json:"sweep_tables"`
+	EpochList           []statusEpoch `json:"epoch_list"`
 }
 
 func (s *Server) handleStatus(eng *Engine, w http.ResponseWriter, r *http.Request) {
 	cfg := eng.es.Config()
 	ingested := eng.Ingested()
 	resp := statusResponse{
-		Year:        cfg.Year,
-		Seed:        cfg.Seed,
-		Epochs:      eng.NumEpochs(),
-		Ingested:    ingested,
-		Experiments: core.ExperimentNames(),
-		SweepTables: core.SweepTables(),
+		Year:                cfg.Year,
+		Seed:                cfg.Seed,
+		Epochs:              eng.NumEpochs(),
+		Ingested:            ingested,
+		Scenario:            eng.Scenario(),
+		ScenarioDescription: scanners.ScenarioDescription(eng.Scenario()),
+		Scenarios:           scanners.Scenarios(),
+		Experiments:         core.ExperimentNames(),
+		SweepTables:         core.SweepTables(),
 	}
 	for e := 0; e < eng.NumEpochs(); e++ {
 		start, end := eng.Window(e)
@@ -230,7 +241,30 @@ func (s *Server) handleStatus(eng *Engine, w http.ResponseWriter, r *http.Reques
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// scenarioGuard enforces an optional scenario assertion on a request:
+// "" passes (no assertion), an unregistered id 404s with the
+// registered ids enumerated, and a registered id this engine does not
+// serve 404s naming the active scenario. Reports whether the request
+// may proceed.
+func (s *Server) scenarioGuard(eng *Engine, w http.ResponseWriter, id string) bool {
+	if id == "" {
+		return true
+	}
+	if _, ok := scanners.LookupScenario(id); !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown scenario %q; valid: %s",
+			id, strings.Join(scanners.Scenarios(), ", ")))
+		return false
+	}
+	if scanners.CanonicalScenario(id) != eng.Scenario() {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("scenario %q is not served here (active scenario: %s)",
+			id, eng.Scenario()))
+		return false
+	}
+	return true
+}
+
 type snapshotResponse struct {
+	Scenario   string `json:"scenario"`
 	Prefix     int    `json:"prefix"`
 	Experiment string `json:"experiment"`
 	WindowEnd  string `json:"window_end"`
@@ -253,6 +287,12 @@ func (s *Server) handleSnapshot(eng *Engine, w http.ResponseWriter, r *http.Requ
 	if !core.KnownExperiment(experiment) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q; valid: %s",
 			experiment, strings.Join(core.ExperimentNames(), ", ")))
+		return
+	}
+	// An optional scenario assertion: clients pinned to one scenario
+	// pass ?scenario= and get a 404 instead of another world's table if
+	// they reach the wrong server.
+	if !s.scenarioGuard(eng, w, r.URL.Query().Get("scenario")) {
 		return
 	}
 	snap, err := eng.Snapshot(prefix)
@@ -317,6 +357,7 @@ func (s *Server) handleSnapshot(eng *Engine, w http.ResponseWriter, r *http.Requ
 
 	_, end := eng.Window(prefix - 1)
 	writeJSON(w, http.StatusOK, snapshotResponse{
+		Scenario:   eng.Scenario(),
 		Prefix:     prefix,
 		Experiment: experiment,
 		WindowEnd:  end.UTC().Format(time.RFC3339),
@@ -362,6 +403,18 @@ func (s *Server) handleSweep(eng *Engine, w http.ResponseWriter, r *http.Request
 				return
 			}
 			req.Prefixes = append(req.Prefixes, p)
+		}
+	}
+	// The scenario axis ("scenario" and "scenarios" are synonyms):
+	// absent means the engine's own scenario; unknown or not-served
+	// values fail inside Sweep's normalization with the registered
+	// (resp. active) ids enumerated.
+	if v := q.Get("scenarios") + "," + q.Get("scenario"); strings.Trim(v, ", \t") != "" {
+		req.Scenarios = nil
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				req.Scenarios = append(req.Scenarios, part)
+			}
 		}
 	}
 	res, err := eng.Sweep(req)

@@ -7,14 +7,14 @@
 # summary for cross-PR comparison.
 #
 # Usage: scripts/bench.sh [output.json] [bench-log]
-#   output.json  summary destination (default: BENCH_PR7.json)
+#   output.json  summary destination (default: BENCH_PR8.json)
 #   bench-log    existing `go test -bench` output to parse for the
 #                cold-path numbers instead of re-running them (lets CI
 #                run them once); the steady-state pass always runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 log="${2:-}"
 steady="$(mktemp)"
 cleanup="$steady"
@@ -33,6 +33,11 @@ fi
 # from here.
 go test -bench 'BenchmarkStudyGeneration$|BenchmarkStudySerial$|BenchmarkStudyParallel$' \
   -benchtime=5x -run '^$' . | tee -a "$log"
+
+# Per-scenario generation throughput: one sub-benchmark per registered
+# scenario pack, so a pack whose population drifts expensive shows up
+# in the trajectory JSON.
+go test -bench 'BenchmarkScenarioGeneration' -benchtime=3x -run '^$' . | tee -a "$log"
 
 # Streaming engine: ingest throughput, then the PR 5 acceptance grid —
 # Table 2 + Table 5 at K=1..10 across 8 epoch prefixes — warm (sweep
@@ -74,6 +79,19 @@ awk -v out="$out" '
         gen[name] = $(i-1)
         if (name == "BenchmarkStudyParallel") rps = $(i-1)
       }
+  }
+  # Per-scenario generation throughput (sub-benchmarks of
+  # BenchmarkScenarioGeneration). Plain overwrite: the dedicated 3x
+  # pass appends after any 1x smoke lines, so the steadier sample wins.
+  file == 1 && /^BenchmarkScenarioGeneration\// {
+    name = $1
+    sub(/^BenchmarkScenarioGeneration\//, "", name); sub(/-[0-9]+$/, "", name)
+    for (i = 1; i <= NF; i++)
+      if ($i == "records/sec") {
+        if (!(name in sgen)) sgorder[sgn++] = name
+        sgen[name] = $(i-1)
+      }
+    next
   }
   file == 1 && /^BenchmarkStreamIngestLatency/ {
     for (i = 1; i <= NF; i++) {
@@ -130,6 +148,10 @@ awk -v out="$out" '
     printf "    \"prefix2_ms\": %s,\n", (lp2 == "" ? "null" : lp2) >> out
     printf "    \"prefix8_ms\": %s,\n", (lp8 == "" ? "null" : lp8) >> out
     printf "    \"p8_over_p2\": %s\n", (lratio == "" ? "null" : lratio) >> out
+    printf "  },\n" >> out
+    printf "  \"scenario_generation_records_per_sec\": {\n" >> out
+    for (i = 0; i < sgn; i++)
+      printf "    \"%s\": %s%s\n", sgorder[i], sgen[sgorder[i]], (i < sgn-1 ? "," : "") >> out
     printf "  },\n" >> out
     printf "  \"generation_records_per_sec\": {\n" >> out
     for (i = 0; i < gn; i++)

@@ -6,11 +6,14 @@
 # instead of regenerating, (b) serves a render byte-identical to the
 # uninterrupted run's, and (c) exits 0 on SIGTERM.
 #
-# Usage: scripts/crash_smoke.sh [port]
+# Usage: scripts/crash_smoke.sh [port] [scenario]
+#   scenario  optional scenario pack to run the whole smoke under
+#             (default: baseline) — recovery must hold in every world.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 port="${1:-18970}"
+scenario="${2:-baseline}"
 addr="127.0.0.1:$port"
 dir="$(mktemp -d)"
 pid=""
@@ -21,7 +24,7 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$dir/cloudwatch" ./cmd/cloudwatch
-args=(-serve "$addr" -scale 0.2 -epochs 6)
+args=(-serve "$addr" -scale 0.2 -epochs 6 -scenario "$scenario")
 
 # Wait until the server reports at least $1 ingested epochs.
 wait_ingested() {
@@ -46,6 +49,10 @@ echo "== reference run (no store, uninterrupted)"
 "$dir/cloudwatch" "${args[@]}" 2>"$dir/ref.log" &
 pid=$!
 wait_ingested 2
+if ! curl -fsS "http://$addr/readyz" | grep -q "\"scenario\": \"$scenario\""; then
+  echo "FAIL: server does not report active scenario $scenario" >&2
+  exit 1
+fi
 want="$(fetch_render)"
 kill -TERM "$pid"
 rc=0; wait "$pid" || rc=$?
