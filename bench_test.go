@@ -75,6 +75,28 @@ func BenchmarkStudyGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamGeneration measures epoch-partitioned generation —
+// the streaming counterpart of BenchmarkStudyGeneration, same varying
+// seeds, same scenario, but every probe routed into the per-epoch sink
+// of its timestamp. The streaming_over_batch_generation ratio in the
+// bench report divides this benchmark's records/sec by
+// BenchmarkStudyGeneration's.
+func BenchmarkStreamGeneration(b *testing.B) {
+	records := 0
+	for i := 0; i < b.N; i++ {
+		cfg := QuickStudy(int64(i), 2021)
+		cfg.WindowSec = 0
+		es, err := core.GenerateEpochs(cfg, sweepBenchEpochs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = es.NumRecords()
+	}
+	if perOp := b.Elapsed().Seconds() / float64(b.N); perOp > 0 {
+		b.ReportMetric(float64(records)/perOp, "records/sec")
+	}
+}
+
 // BenchmarkScenarioGeneration measures end-to-end study construction
 // under every registered scenario pack, one sub-benchmark per id, so
 // per-scenario generation throughput is tracked in benchmark diffs

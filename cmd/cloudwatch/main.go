@@ -28,6 +28,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -183,6 +185,8 @@ func main() {
 		scenario   = flag.String("scenario", scanners.BaselineScenario, "adversarial scenario to generate: "+strings.Join(scanners.Scenarios(), ", ")+" (sweep mode accepts a comma-separated list)")
 		serve      = flag.String("serve", "", "serve streaming snapshots and sweeps over HTTP on this address (e.g. :8080); ingests epochs in the background")
 		storeDir   = flag.String("store", "", "durable store directory for sweep/serve modes: the generated epoch study is persisted there and recovered on restart, skipping regeneration")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile covering generation, ingest, and rendering to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-GC live retention, taken as the run finishes) to this file")
 		sf         sweepFlags
 	)
 	flag.IntVar(&sf.epochs, "epochs", stream.DefaultEpochs, "time epochs the study week is partitioned into (sweep/serve modes)")
@@ -210,6 +214,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error: -serve and -experiment sweep are mutually exclusive; use -serve for the HTTP server (sweeps via GET /v1/sweep) or -experiment sweep for a one-shot JSON sweep")
 		os.Exit(2)
 	}
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
 	cfg, deployment := studyConfig(*seed, *year, *scale, *full, *workers, *experiment, scenarios[0], serveMode)
 
 	// The chosen deployment prints in every mode — batch, sweep, and
@@ -408,6 +419,46 @@ func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep b
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles turns on the optional pprof instrumentation: a CPU
+// profile spanning everything from generation through the last render,
+// and a heap profile snapshotted (after a GC, so it shows live
+// retention rather than garbage) when stop is called. With both paths
+// empty the returned stop is a no-op. Profiles are written on the
+// success path only — error exits lose them, like `go test
+// -cpuprofile` does.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}, nil
 }
 
 // ingestAll ingests every epoch, logging each window to stderr.

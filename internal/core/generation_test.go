@@ -53,7 +53,7 @@ func refGenerate(t *testing.T, cfg Config) []refRecord {
 	memo := map[string]bool{}
 	var out []refRecord
 
-	dispatch := func(p netsim.Probe) {
+	dispatch := func(p *netsim.Probe) {
 		if u.InTelescope(p.Dst) {
 			return
 		}

@@ -341,7 +341,10 @@ func (inc *Incremental) repairFlips(s *Study, flipped []netsim.PayloadID, base i
 	// later chain appends extend the copy in place.
 	s.mal = append(make([]bool, 0, inc.total), s.mal...)
 
-	isFlipped := make(map[netsim.PayloadID]bool, len(flipped))
+	// Dense payload-indexed lookup: the repair scan tests every
+	// credential-free record of the prefix, so a map probe per record
+	// would dominate the repair.
+	isFlipped := make([]bool, inc.payCount)
 	for _, pay := range flipped {
 		isFlipped[pay] = true
 	}

@@ -80,7 +80,11 @@ func newShard(s *Study) *shard {
 // aggregated in place, honeypot probes become record-column rows, and
 // every collected source feeds the GreyNoise delta. Probes outside a
 // truncation window vanish before any collector sees them.
-func (sh *shard) dispatch(p netsim.Probe) {
+//
+// The probe is borrowed for the duration of the call (the generators
+// reuse one probe variable per scan — see scanners.Actor.Run); dispatch
+// copies every field it keeps into columns, so nothing here retains p.
+func (sh *shard) dispatch(p *netsim.Probe) {
 	if sh.window > 0 {
 		if sec, _ := netsim.StudySeconds(p.T); sec >= sh.window {
 			return
@@ -95,12 +99,12 @@ func (sh *shard) dispatch(p netsim.Probe) {
 	if t == nil {
 		return // probe to unmonitored space: invisible to the study
 	}
-	pay, creds, ok := honeypot.Collect(t, &p)
+	pay, creds, ok := honeypot.Collect(t, p)
 	if !ok {
 		return
 	}
 	sh.gn.Observe(p.Src)
-	sh.blk.Append(vi, &p, pay, creds)
+	sh.blk.Append(vi, p, pay, creds)
 }
 
 // span is the record range one actor produced within its shard's

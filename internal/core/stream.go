@@ -53,7 +53,10 @@ type actorRuns struct {
 // streamShard is the epoch-routing counterpart of shard: one worker's
 // view of the partitioned pipeline. Each probe resolves its
 // destination through the shared dstCache, then lands in the sink of
-// the epoch its timestamp falls in.
+// the epoch its timestamp falls in. The worker's sink blocks share one
+// chunked column arena and are pre-sized from the scenario's emission
+// estimate, so 8× epoch partitioning no longer multiplies column
+// allocations and growth zeroing.
 type streamShard struct {
 	dc    dstCache
 	eb    netsim.Epochs
@@ -71,6 +74,22 @@ type streamShard struct {
 	gnSrc  wire.Addr
 	gnOK   bool
 	gnMask uint64
+
+	// Telescope run dedup, hoisted the same way: within one
+	// (port, src) emission run the unique-source set insert is
+	// idempotent per epoch collector, and within one (port, src, dst)
+	// run the watch-log pair append is skip-safe per epoch log (a
+	// skipped pair is always already in that log). The masks track
+	// which epoch collectors have seen the current run, so the per-epoch
+	// collectors skip their map inserts and log appends without any
+	// per-probe map work. Packet and AS-frequency counting still happen
+	// per probe (see telescope.Collector.ObserveRun).
+	telPort  uint16
+	telSrc   wire.Addr
+	telDst   wire.Addr
+	telOK    bool
+	srcMask  uint64
+	pairMask uint64
 }
 
 // observeGN records p.Src as seen in epoch e's GreyNoise delta,
@@ -90,25 +109,45 @@ func (sh *streamShard) observeGN(sink *epochSink, e int, src wire.Addr) {
 	sink.gn.Observe(src)
 }
 
-func (sh *streamShard) dispatch(p netsim.Probe) {
+// dispatch routes one probe: telescope probes aggregate into the
+// collector of their epoch (with run-level dedup of the set inserts and
+// watch-log appends), honeypot probes append to the record block of
+// their epoch's sink. Like the batch dispatch, the probe is borrowed
+// only for the duration of the call.
+func (sh *streamShard) dispatch(p *netsim.Probe) {
 	sec, nsec := netsim.StudySeconds(p.T)
 	e := sh.eb.EpochOf(sec)
 	sink := sh.sinks[e]
 	tel, t, vi := sh.dc.resolve(p.Dst)
 	if tel {
-		sink.tel.Observe(p)
+		if p.Port != sh.telPort || p.Src != sh.telSrc || !sh.telOK {
+			sh.telPort, sh.telSrc, sh.telOK = p.Port, p.Src, true
+			sh.telDst = p.Dst
+			sh.srcMask, sh.pairMask = 0, 0
+		} else if p.Dst != sh.telDst {
+			sh.telDst = p.Dst
+			sh.pairMask = 0
+		}
+		if e < 64 {
+			bit := uint64(1) << e
+			sink.tel.ObserveRun(p, sh.srcMask&bit == 0, sh.pairMask&bit == 0)
+			sh.srcMask |= bit
+			sh.pairMask |= bit
+		} else {
+			sink.tel.Observe(p)
+		}
 		sh.observeGN(sink, e, p.Src)
 		return
 	}
 	if t == nil {
 		return
 	}
-	pay, creds, ok := honeypot.Collect(t, &p)
+	pay, creds, ok := honeypot.Collect(t, p)
 	if !ok {
 		return
 	}
 	sh.observeGN(sink, e, p.Src)
-	sink.blk.AppendAt(vi, sec, nsec, &p, pay, creds)
+	sink.blk.AppendAt(vi, sec, nsec, p, pay, creds)
 	sink.seq = append(sink.seq, sh.seq)
 	sh.seq++
 }
@@ -188,10 +227,13 @@ func newEpochSet(cfg Config, epochs int) (*EpochSet, *scanners.Context, error) {
 }
 
 // runActors drives the population across workers exactly like the
-// batch pipeline (each actor on one worker, its own seeded streams),
-// but into per-epoch sinks, recording each actor's per-epoch record
-// ranges. Sinks are sealed afterwards so snapshot assembly is
-// write-free on the shared state.
+// batch pipeline (each actor on one worker, its own seeded streams):
+// every worker routes its probes into per-epoch sinks whose record
+// blocks share one per-worker chunked column arena and are pre-sized
+// from the scenario's emission estimate, so the hot path appends
+// without geometric reallocation. Append order within a sink is the
+// dispatch order of the batch pipeline, so the generated material is
+// byte-identical to a direct per-probe routing.
 func (es *EpochSet) runActors(ctx *scanners.Context, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -206,15 +248,37 @@ func (es *EpochSet) runActors(ctx *scanners.Context, workers int) {
 	es.sinks = make([][]*epochSink, workers)
 	es.runs = make([]actorRuns, len(es.actors))
 
+	// Pre-size each worker's sinks from a sampled estimate of the
+	// scenario's emission volume: count the emissions that resolve to a
+	// monitored target (the telescope share never lands in a record
+	// block). Work stealing skews per-worker shares and epochs are not
+	// uniform, so leave headroom; a sink that outgrows its slice still
+	// appends cheaply through the worker's shared arena.
+	estDC := dstCache{u: es.u}
+	est := scanners.EstimateEmission(ctx, es.actors, func(p *netsim.Probe) bool {
+		tel, t, _ := estDC.resolve(p.Dst)
+		return !tel && t != nil
+	})
+	// 50% slack: it absorbs both the diurnal skew across epochs and the
+	// downward bias of the actor-strided estimate on heavy-tailed
+	// populations, and idle capacity in pointer-free columns costs
+	// bytes, not GC scan work.
+	perSink := est/(workers*nEpochs) + est/(2*workers*nEpochs) + 256
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		arena := netsim.NewColumnArena(perSink * nEpochs)
 		sinks := make([]*epochSink, nEpochs)
 		for e := range sinks {
-			sinks[e] = &epochSink{
+			sink := &epochSink{
 				tel: telescope.New(es.cfg.TelescopeWatch...),
 				gn:  greynoise.NewDelta(),
+				seq: make([]int32, 0, perSink),
 			}
+			sink.blk.UseArena(arena)
+			sink.blk.Grow(perSink)
+			sinks[e] = sink
 		}
 		es.sinks[w] = sinks
 		sh := &streamShard{dc: dstCache{u: es.u}, eb: es.eb, sinks: sinks}
@@ -224,7 +288,7 @@ func (es *EpochSet) runActors(ctx *scanners.Context, workers int) {
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(es.actors) {
-					return
+					break
 				}
 				run := actorRuns{sinks: sinks, lo: make([]int32, nEpochs), hi: make([]int32, nEpochs)}
 				for e, sink := range sinks {
@@ -235,6 +299,8 @@ func (es *EpochSet) runActors(ctx *scanners.Context, workers int) {
 				for e, sink := range sinks {
 					run.hi[e] = int32(sink.blk.Len())
 				}
+				// es.runs writes are disjoint across workers: each actor
+				// ran on exactly one worker.
 				es.runs[i] = run
 			}
 		}()
@@ -249,6 +315,18 @@ func (es *EpochSet) runActors(ctx *scanners.Context, workers int) {
 
 // NumEpochs returns the number of epochs the week is partitioned into.
 func (es *EpochSet) NumEpochs() int { return es.eb.NumEpochs() }
+
+// NumRecords returns the total honeypot record count across every
+// epoch sink — the record volume a full-prefix snapshot materializes.
+func (es *EpochSet) NumRecords() int {
+	n := 0
+	for _, sinks := range es.sinks {
+		for _, sink := range sinks {
+			n += sink.blk.Len()
+		}
+	}
+	return n
+}
 
 // Config returns the (year-defaulted) study configuration the epochs
 // were generated from.

@@ -6,6 +6,7 @@
 package greynoise
 
 import (
+	"maps"
 	"sync"
 
 	"cloudwatch/internal/wire"
@@ -94,19 +95,13 @@ func (s *Service) RemoveExploit(src wire.Addr) {
 func (s *Service) Clone() *Service {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	// maps.Clone is a runtime-assisted bulk copy (no per-entry
+	// rehash), and the incremental snapshot chain clones once per
+	// ingested epoch over ever-growing sets.
 	n := &Service{
-		vettedASN: make(map[int]bool, len(s.vettedASN)),
-		exploited: make(map[wire.Addr]bool, len(s.exploited)),
-		seen:      make(map[wire.Addr]bool, len(s.seen)),
-	}
-	for asn := range s.vettedASN {
-		n.vettedASN[asn] = true
-	}
-	for src := range s.exploited {
-		n.exploited[src] = true
-	}
-	for src := range s.seen {
-		n.seen[src] = true
+		vettedASN: maps.Clone(s.vettedASN),
+		exploited: maps.Clone(s.exploited),
+		seen:      maps.Clone(s.seen),
 	}
 	return n
 }

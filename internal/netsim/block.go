@@ -34,7 +34,80 @@ type RecordBlock struct {
 	// CredLists is the credential-list arena. Entries are shared with
 	// the probes that carried them; treat as read-only.
 	CredLists [][]Credential
+
+	// arena, when set (UseArena), backs column growth: ensureCap carves
+	// replacement columns out of the arena's chunked slabs instead of
+	// the heap. See ColumnArena for the ownership rules.
+	arena *ColumnArena
 }
+
+// ColumnArena allocates record columns for many blocks out of large
+// shared slabs — one slab per element type, bump-allocated in chunks.
+// The streaming engine gives each generation worker one arena so its
+// per-epoch sink blocks stop multiplying small column allocations
+// (8 epochs × 9 columns × growth rounds) into GC-visible objects.
+//
+// Ownership rules: the arena owns its slabs; slices handed out by
+// arena-mode growth are capacity-clipped views that never overlap, so
+// writers cannot spill into a neighbor. A finished block's columns are
+// immutable views into the slabs — safe to publish, persist, or merge
+// from — while the arena itself is dropped or retained wholesale. An
+// arena is single-goroutine; give each worker its own, shared across
+// that worker's blocks.
+type ColumnArena struct {
+	i32s  []int32
+	addrs []wire.Addr
+	ports []uint16
+	trs   []wire.Transport
+	pays  []PayloadID
+}
+
+// arenaChunk is the minimum slab chunk size in elements: big enough to
+// amortize chunk allocation, small enough that a nearly-unused tail
+// chunk wastes little.
+const arenaChunk = 1 << 16
+
+// NewColumnArena returns an arena pre-sized for `records` records
+// across every column type (the int32 slab covers the five int32
+// columns plus slack for growth rounds). The hint is exactly that: an
+// arena never fails, it just starts a fresh chunk when a slab runs out.
+func NewColumnArena(records int) *ColumnArena {
+	a := &ColumnArena{}
+	if records > 0 {
+		a.i32s = make([]int32, 0, 6*records)
+		a.addrs = make([]wire.Addr, 0, records)
+		a.ports = make([]uint16, 0, records)
+		a.trs = make([]wire.Transport, 0, records)
+		a.pays = make([]PayloadID, 0, records)
+	}
+	return a
+}
+
+// grab bump-allocates n elements from a slab, starting a fresh chunk
+// when the current one cannot fit them (the remainder of the old chunk
+// is abandoned — arenas trade that slack for allocation count). The
+// returned slice has length n and capacity n, so an append through it
+// can never reach the slab.
+func grab[T any](buf *[]T, n int) []T {
+	if len(*buf)+n > cap(*buf) {
+		size := n
+		if size < arenaChunk {
+			size = arenaChunk
+		}
+		*buf = make([]T, 0, size)
+	}
+	off := len(*buf)
+	*buf = (*buf)[:off+n]
+	return (*buf)[off : off+n : off+n]
+}
+
+// UseArena switches the block into arena-backed append mode: every
+// future capacity growth (Grow, Append past capacity) carves the
+// replacement columns out of a instead of the heap. Existing column
+// contents are preserved on the next growth. Several blocks may share
+// one arena as long as all of them are appended to from the same
+// goroutine.
+func (b *RecordBlock) UseArena(a *ColumnArena) { b.arena = a }
 
 // Len returns the number of records stored.
 func (b *RecordBlock) Len() int { return len(b.Sec) }
@@ -98,9 +171,22 @@ func (b *RecordBlock) Grow(n int) {
 
 // ensureCap reallocates every scalar column to capacity need (no-op
 // when already large enough), keeping the columns' capacities in
-// lockstep.
+// lockstep. In arena append mode (UseArena) the replacement columns
+// come from the arena's slabs; otherwise from the heap.
 func (b *RecordBlock) ensureCap(need int) {
 	if cap(b.Sec) >= need {
+		return
+	}
+	if a := b.arena; a != nil {
+		b.Vantage = append(grab(&a.i32s, need)[:0], b.Vantage...)
+		b.Sec = append(grab(&a.i32s, need)[:0], b.Sec...)
+		b.Nsec = append(grab(&a.i32s, need)[:0], b.Nsec...)
+		b.ASN = append(grab(&a.i32s, need)[:0], b.ASN...)
+		b.Cred = append(grab(&a.i32s, need)[:0], b.Cred...)
+		b.Src = append(grab(&a.addrs, need)[:0], b.Src...)
+		b.Port = append(grab(&a.ports, need)[:0], b.Port...)
+		b.Transport = append(grab(&a.trs, need)[:0], b.Transport...)
+		b.Pay = append(grab(&a.pays, need)[:0], b.Pay...)
 		return
 	}
 	b.Vantage = append(make([]int32, 0, need), b.Vantage...)

@@ -1,0 +1,136 @@
+package netsim
+
+import "testing"
+
+// appendN appends n records with a recognizable per-record pattern
+// (Port carries the global sequence number) and returns the next
+// sequence value.
+func appendN(b *RecordBlock, seq, n int) int {
+	for i := 0; i < n; i++ {
+		p := Probe{Port: uint16(seq), ASN: seq}
+		b.AppendAt(0, int32(seq), int32(seq%1000), &p, 0, nil)
+		seq++
+	}
+	return seq
+}
+
+// checkPattern verifies every record of the block still carries the
+// pattern appendN wrote, i.e. no growth round lost or shifted data.
+func checkPattern(t *testing.T, b *RecordBlock) {
+	t.Helper()
+	for i := 0; i < b.Len(); i++ {
+		if b.Port[i] != uint16(i) || b.ASN[i] != int32(i) || b.Sec[i] != int32(i) || b.Nsec[i] != int32(i%1000) {
+			t.Fatalf("record %d corrupted after growth: port=%d asn=%d sec=%d nsec=%d",
+				i, b.Port[i], b.ASN[i], b.Sec[i], b.Nsec[i])
+		}
+		if b.Cred[i] != -1 {
+			t.Fatalf("record %d has credential index %d, want -1", i, b.Cred[i])
+		}
+	}
+}
+
+// TestAppendAtCapacityBoundary pins the growth trigger: appends up to
+// exactly the preallocated capacity must not reallocate, and the very
+// next append grows every column in lockstep without disturbing the
+// stored records.
+func TestAppendAtCapacityBoundary(t *testing.T) {
+	var b RecordBlock
+	b.Grow(100)
+	c := cap(b.Sec)
+	if c < 100 {
+		t.Fatalf("Grow(100) left capacity %d", c)
+	}
+	seq := appendN(&b, 0, c)
+	if cap(b.Sec) != c {
+		t.Fatalf("filling to capacity reallocated: cap %d -> %d", c, cap(b.Sec))
+	}
+	if b.Len() != c {
+		t.Fatalf("Len = %d, want %d", b.Len(), c)
+	}
+	appendN(&b, seq, 1) // the boundary append: must grow, not overflow
+	if b.Len() != c+1 {
+		t.Fatalf("Len after boundary append = %d, want %d", b.Len(), c+1)
+	}
+	if cap(b.Sec) <= c {
+		t.Fatalf("boundary append did not grow capacity (%d)", cap(b.Sec))
+	}
+	// Columns grow in lockstep: one coordinated reallocation.
+	if cap(b.Vantage) != cap(b.Sec) || cap(b.Port) != cap(b.Sec) ||
+		cap(b.Src) != cap(b.Sec) || cap(b.Pay) != cap(b.Sec) ||
+		cap(b.Transport) != cap(b.Sec) || cap(b.Cred) != cap(b.Sec) ||
+		cap(b.Nsec) != cap(b.Sec) || cap(b.ASN) != cap(b.Sec) {
+		t.Fatal("column capacities diverged after growth")
+	}
+	checkPattern(t, &b)
+}
+
+// TestEnsureCapArenaMode pins the arena-backed growth path: columns
+// carved out of a shared arena preserve existing contents, are
+// capacity-clipped so appends through a published view can never spill
+// into a neighbor's records, and two blocks sharing one arena stay
+// disjoint through interleaved growth.
+func TestEnsureCapArenaMode(t *testing.T) {
+	arena := NewColumnArena(64)
+	var a, b RecordBlock
+	a.UseArena(arena)
+	b.UseArena(arena)
+
+	// Interleave appends so both blocks grow out of the shared slabs
+	// several times (4096-record floor per growth, so force that).
+	sa := appendN(&a, 0, 10)
+	sb := appendN(&b, 0, 10)
+	sa = appendN(&a, sa, 5000)
+	sb = appendN(&b, sb, 5000)
+	appendN(&a, sa, 12000)
+	appendN(&b, sb, 12000)
+	checkPattern(t, &a)
+	checkPattern(t, &b)
+
+	// Slices handed out by the arena are capacity-clipped: an append
+	// through one allocates instead of writing into the neighboring
+	// carve — the rule that lets sealed blocks publish their columns.
+	col := grab(&arena.i32s, 8)
+	if len(col) != 8 || cap(col) != 8 {
+		t.Fatalf("grab returned len %d cap %d, want clipped 8/8", len(col), cap(col))
+	}
+
+	// A request larger than the chunk floor gets its own exact chunk.
+	var big RecordBlock
+	big.UseArena(arena)
+	big.Grow(3 * arenaChunk)
+	if cap(big.Sec) < 3*arenaChunk {
+		t.Fatalf("oversized arena growth capped at %d", cap(big.Sec))
+	}
+}
+
+// TestEpochOfBoundaryRouting pins which side of an epoch boundary a
+// probe timestamped exactly on it lands: epoch i covers study-seconds
+// [Bound(i), Bound(i+1)), so the boundary second opens epoch i and the
+// nanoseconds just before it still belong to epoch i-1 — for even and
+// uneven splits alike.
+func TestEpochOfBoundaryRouting(t *testing.T) {
+	for _, n := range []int{2, 7, 8, 13} {
+		eb := NewEpochs(n)
+		for i := 1; i < n; i++ {
+			bound := eb.Bound(i)
+			// A probe stamped exactly at the boundary instant.
+			at := Probe{T: StudyTime(bound, 0)}
+			sec, nsec := StudySeconds(at.T)
+			if sec != bound || nsec != 0 {
+				t.Fatalf("n=%d: StudySeconds round-trip moved the boundary: (%d, %d)", n, sec, nsec)
+			}
+			if got := eb.EpochOf(sec); got != i {
+				t.Fatalf("n=%d: probe on boundary %d routed to epoch %d, want %d", n, i, got, i)
+			}
+			// One nanosecond earlier still routes to the epoch before.
+			before := Probe{T: StudyTime(bound, 0).Add(-1)}
+			sec, nsec = StudySeconds(before.T)
+			if sec != bound-1 || nsec != 999999999 {
+				t.Fatalf("n=%d: nanosecond-before split = (%d, %d)", n, sec, nsec)
+			}
+			if got := eb.EpochOf(sec); got != i-1 {
+				t.Fatalf("n=%d: probe 1ns before boundary %d routed to epoch %d, want %d", n, i, got, i-1)
+			}
+		}
+	}
+}

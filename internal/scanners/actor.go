@@ -20,6 +20,13 @@ type Context struct {
 	Shodan *searchengine.Engine
 	Seed   int64
 	Year   int
+
+	// est, when non-nil, switches the scan primitives into estimation
+	// mode: ScanServices adds its expected emission count here and
+	// emits nothing; ScanTelescope contributes nothing (telescope
+	// probes never become records). Set only on the private context
+	// copy EstimateEmission drives.
+	est *float64
 }
 
 // Actor is one scanning organization or botnet: a set of source IPs in
@@ -29,7 +36,7 @@ type Actor struct {
 	AS     netsim.AS
 	Benign bool // GreyNoise-vetted organization
 	IPs    []wire.Addr
-	Gen    func(a *Actor, ctx *Context, emit func(netsim.Probe))
+	Gen    func(a *Actor, ctx *Context, emit func(*netsim.Probe))
 
 	// arena is the actor's credential slab (see credAlloc). Lazily
 	// created; shared by design when an actor value is copied for a
@@ -88,7 +95,14 @@ func (a *Actor) credAlloc(n int) []netsim.Credential {
 // it is scheduled. emit is called from the goroutine that called Run;
 // callers running actors in parallel must pass a per-worker emit or a
 // concurrency-safe one.
-func (a *Actor) Run(ctx *Context, emit func(netsim.Probe)) {
+//
+// Aliasing contract: the *Probe passed to emit is valid only for the
+// duration of the call — generators reuse one probe variable across
+// emissions, so a callee that wants to keep the probe must copy it
+// (`keep := *p`), never retain the pointer. Copying the probe's Creds
+// slice header is fine: credential lists are arena-allocated per
+// emission and never reused.
+func (a *Actor) Run(ctx *Context, emit func(*netsim.Probe)) {
 	if a.Gen != nil {
 		a.Gen(a, ctx, emit)
 	}
@@ -118,7 +132,9 @@ func SourceIPs(as netsim.AS, salt string, n int, seed int64) []wire.Addr {
 	name = strconv.AppendInt(name, int64(as.ASN), 10)
 	name = append(name, ':')
 	name = append(name, salt...)
-	rng := netsim.Stream(seed, string(name))
+	h := netsim.PooledStream(seed, string(name))
+	defer h.Release()
+	rng := h.Rand
 	first := safeFirstOctets[as.ASN%len(safeFirstOctets)]
 	second := byte((as.ASN / len(safeFirstOctets)) % 256)
 	base := wire.AddrFrom4(first, second, 0, 0)
@@ -168,8 +184,57 @@ type ServiceScan struct {
 }
 
 // ScanServices runs one ServiceScan for every source IP of the actor.
-func (a *Actor) ScanServices(ctx *Context, emit func(netsim.Probe), s ServiceScan) {
-	rng := netsim.Stream(ctx.Seed, "svc:"+a.Name)
+// In estimation mode (see EstimateEmission) it adds the scan's expected
+// emission count to the context's accumulator and returns without
+// drawing randomness or emitting anything.
+func (a *Actor) ScanServices(ctx *Context, emit func(*netsim.Probe), s ServiceScan) {
+	targets := ctx.U.ServiceTargets()
+	// Precompute each target's listening subset of s.Ports once: the
+	// src × target × port loop below would otherwise repeat the
+	// ListensOn checks per source IP. Port order is preserved and the
+	// sub-slices share one backing array (one allocation, not one per
+	// target), so the rng draw sequence is identical to the naive loop.
+	flat := make([]uint16, 0, len(targets)*len(s.Ports))
+	openPorts := make([][]uint16, len(targets))
+	for ti, t := range targets {
+		lo := len(flat)
+		for _, port := range s.Ports {
+			if t.ListensOn(port) {
+				flat = append(flat, port)
+			}
+		}
+		openPorts[ti] = flat[lo:len(flat):len(flat)]
+	}
+	if ctx.est != nil {
+		// Expected probes = Σ_targets P(hit) × open ports × mean
+		// attempts, per source IP — exact in expectation, no rng.
+		perIP := 0.0
+		for ti, t := range targets {
+			if s.Filter != nil && !s.Filter(t) {
+				continue
+			}
+			cover := s.Cover
+			if s.Weight != nil {
+				cover *= s.Weight(t)
+			}
+			if cover <= 0 {
+				continue
+			}
+			attempts := float64(s.MinAttempts)
+			if s.MaxAttempts > s.MinAttempts {
+				attempts = float64(s.MinAttempts+s.MaxAttempts) / 2
+			}
+			if attempts < 1 {
+				attempts = 1
+			}
+			perIP += clampProb(cover) * float64(len(openPorts[ti])) * attempts
+		}
+		*ctx.est += perIP * float64(len(a.IPs))
+		return
+	}
+	h := netsim.PooledStream(ctx.Seed, "svc:"+a.Name)
+	defer h.Release()
+	rng := h.Rand
 	transport := s.Transport
 	if transport == 0 {
 		transport = wire.TCP
@@ -178,21 +243,10 @@ func (a *Actor) ScanServices(ctx *Context, emit func(netsim.Probe), s ServiceSca
 	if timeFn == nil {
 		timeFn = uniformTime
 	}
-	targets := ctx.U.ServiceTargets()
-	// Precompute each target's listening subset of s.Ports once: the
-	// src × target × port loop below would otherwise repeat the
-	// ListensOn checks per source IP. Port order is preserved, so the
-	// rng draw sequence is identical to the naive loop.
-	openPorts := make([][]uint16, len(targets))
-	for ti, t := range targets {
-		open := make([]uint16, 0, len(s.Ports))
-		for _, port := range s.Ports {
-			if t.ListensOn(port) {
-				open = append(open, port)
-			}
-		}
-		openPorts[ti] = open
-	}
+	// One probe variable for the whole scan, emitted by address: the
+	// per-probe ~100-byte struct copy (and its heap escape through the
+	// emit func value) happens once per scan instead of once per probe.
+	var p netsim.Probe
 	for _, src := range a.IPs {
 		for ti, t := range targets {
 			if s.Filter != nil && !s.Filter(t) {
@@ -214,21 +268,24 @@ func (a *Actor) ScanServices(ctx *Context, emit func(netsim.Probe), s ServiceSca
 					attempts = 1
 				}
 				for k := 0; k < attempts; k++ {
-					p := netsim.Probe{
-						T:         timeFn(rng),
-						Src:       src,
-						ASN:       a.AS.ASN,
-						Dst:       t.IP,
-						Port:      port,
-						Transport: transport,
-					}
+					// Field stores instead of a struct-literal assignment:
+					// re-copying the whole probe per emission showed up as
+					// measurable copy overhead in generation profiles.
+					p.T = timeFn(rng)
+					p.Src = src
+					p.ASN = a.AS.ASN
+					p.Dst = t.IP
+					p.Port = port
+					p.Transport = transport
+					p.Pay = 0
+					p.Creds = nil
 					if s.Payload != nil {
 						p.Pay = s.Payload(rng, t)
 					}
 					if s.Creds != nil {
 						p.Creds = s.Creds(rng, t)
 					}
-					emit(p)
+					emit(&p)
 				}
 			}
 		}
@@ -249,11 +306,18 @@ type TelescopeScan struct {
 // ScanTelescope runs one TelescopeScan for every source IP. Telescope
 // probes carry no payload: the collector would not record one anyway
 // (telescopes never complete the handshake).
-func (a *Actor) ScanTelescope(ctx *Context, emit func(netsim.Probe), s TelescopeScan) {
+func (a *Actor) ScanTelescope(ctx *Context, emit func(*netsim.Probe), s TelescopeScan) {
 	if ctx.U.TelescopeSize() == 0 || s.PerIP <= 0 {
 		return
 	}
-	rng := netsim.Stream(ctx.Seed, "tel:"+a.Name)
+	if ctx.est != nil {
+		// Telescope probes never become records, so they contribute
+		// nothing to the record-emission estimate.
+		return
+	}
+	h := netsim.PooledStream(ctx.Seed, "tel:"+a.Name)
+	defer h.Release()
+	rng := h.Rand
 	transport := s.Transport
 	if transport == 0 {
 		transport = wire.TCP
@@ -266,18 +330,22 @@ func (a *Actor) ScanTelescope(ctx *Context, emit func(netsim.Probe), s Telescope
 	if pick == nil {
 		pick = UniformTelescope
 	}
+	// See ScanServices: one probe variable per scan, emitted by address.
+	var p netsim.Probe
 	for _, src := range a.IPs {
 		for i := 0; i < s.PerIP; i++ {
 			dst := pick(rng, ctx.U)
 			for _, port := range s.Ports {
-				emit(netsim.Probe{
-					T:         timeFn(rng),
-					Src:       src,
-					ASN:       a.AS.ASN,
-					Dst:       dst,
-					Port:      port,
-					Transport: transport,
-				})
+				// Field stores, not a struct literal — see ScanServices.
+				p.T = timeFn(rng)
+				p.Src = src
+				p.ASN = a.AS.ASN
+				p.Dst = dst
+				p.Port = port
+				p.Transport = transport
+				p.Pay = 0
+				p.Creds = nil
+				emit(&p)
 			}
 		}
 	}

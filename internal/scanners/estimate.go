@@ -1,0 +1,81 @@
+package scanners
+
+import "cloudwatch/internal/netsim"
+
+// Emission estimation: a cheap pass over the population that predicts
+// how many record-producing probes a full run will emit, so generation
+// sinks can be pre-sized instead of growing geometrically through the
+// hot path. Each actor's generator runs against a context in
+// estimation mode — ScanServices adds its expected emission count
+// analytically (no rng seeding, no per-probe work) and ScanTelescope
+// contributes nothing — while probes a generator emits directly
+// (outside the scan primitives) are counted for real on a copy of the
+// actor narrowed to a couple of source IPs and scaled by the IP ratio
+// (emission volume is linear in the source-IP count by construction).
+// The consumer treats the result as a hint, never a bound.
+
+// estimateSampleIPs is how many source IPs an actor keeps for the
+// directly-emitting part of its estimate run: two, so per-source
+// variance is averaged at least once while the sampled portion stays a
+// small fraction of a full generation.
+const estimateSampleIPs = 2
+
+// estimateSampleActors caps how many actors the estimate runs: above
+// the cap, actors are sampled at a fixed stride (populations are built
+// archetype-grouped, so a stride hits every archetype roughly
+// proportionally) and the total extrapolates through the sampled
+// per-IP emission rate. The fixed per-actor cost of an estimate run —
+// deriving the actor's random streams dominates — would otherwise grow
+// linearly with population size for a number that only sizes buffers.
+const estimateSampleActors = 96
+
+// EstimateEmission returns the scaled number of emitted probes that
+// satisfy keep (keep == nil counts everything; probes produced by the
+// analytic ScanServices path are always counted — they all target
+// monitored services). The estimate run is side-effect-free on the
+// real generation: any random draws come from fresh streams keyed by
+// the actor's name, and the narrowed actor copies share nothing
+// mutable with the originals (the credential arena pointer is dropped,
+// not shared).
+func EstimateEmission(ctx *Context, actors []*Actor, keep func(p *netsim.Probe) bool) int {
+	stride := 1
+	if len(actors) > estimateSampleActors {
+		stride = (len(actors) + estimateSampleActors - 1) / estimateSampleActors
+	}
+	totalIPs, sampledIPs := 0, 0
+	for _, a := range actors {
+		totalIPs += len(a.IPs)
+	}
+	total := 0.0
+	for i := 0; i < len(actors); i += stride {
+		a := actors[i]
+		if len(a.IPs) == 0 {
+			continue
+		}
+		sampledIPs += len(a.IPs)
+		sample := a.IPs
+		if len(sample) > estimateSampleIPs {
+			sample = sample[:estimateSampleIPs]
+		}
+		narrowed := *a
+		narrowed.IPs = sample
+		narrowed.arena = nil
+
+		var est float64
+		ectx := *ctx
+		ectx.est = &est
+		direct := 0
+		narrowed.Run(&ectx, func(p *netsim.Probe) {
+			if keep == nil || keep(p) {
+				direct++
+			}
+		})
+		// est and direct both scale linearly with the narrowed IP set.
+		total += (est + float64(direct)) * float64(len(a.IPs)) / float64(len(sample))
+	}
+	// Unsampled actors extrapolate through the sampled per-IP rate.
+	if sampledIPs > 0 && sampledIPs < totalIPs {
+		total *= float64(totalIPs) / float64(sampledIPs)
+	}
+	return int(total)
+}

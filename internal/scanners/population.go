@@ -71,7 +71,7 @@ func Population(cfg Config) []*Actor {
 }
 
 func newActor(cfg Config, name string, asn int, benign bool, n int,
-	gen func(a *Actor, ctx *Context, emit func(netsim.Probe))) *Actor {
+	gen func(a *Actor, ctx *Context, emit func(*netsim.Probe))) *Actor {
 	as := netsim.MustAS(asn)
 	return &Actor{
 		Name:   name,
@@ -100,7 +100,7 @@ func bulkResearch(cfg Config) []*Actor {
 		return ProbeID(fingerprint.HTTP)
 	}
 	mk := func(name string, asn int, n, perIP int, cover float64) *Actor {
-		return newActor(cfg, name, asn, true, n, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		return newActor(cfg, name, asn, true, n, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports:       []uint16{21, 22, 23, 25, 80, 443, 2222, 2323, 7547, 8080},
 				Cover:       cover,
@@ -118,9 +118,14 @@ func bulkResearch(cfg Config) []*Actor {
 	censys := mk("censys", 398324, 24, 8, 0.6)
 	// Port-aware payloads need the destination port, so wire the
 	// generator manually for censys/shodan.
-	gen := func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	gen := func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		ports := []uint16{21, 22, 23, 25, 80, 443, 2222, 2323, 7547, 8080}
-		rng := netsim.Stream(ctx.Seed, "bulk:"+a.Name)
+		h := netsim.PooledStream(ctx.Seed, "bulk:"+a.Name)
+		defer h.Release()
+		rng := h.Rand
+		// One probe variable for the whole sweep: emit receives its
+		// address, per the no-retention contract (see Actor.Run).
+		var p netsim.Probe
 		for _, src := range a.IPs {
 			for _, t := range ctx.U.ServiceTargets() {
 				if rng.Float64() >= 0.6 {
@@ -130,11 +135,16 @@ func bulkResearch(cfg Config) []*Actor {
 					if !t.ListensOn(port) {
 						continue
 					}
-					emit(netsim.Probe{
-						T: uniformTime(rng), Src: src, ASN: a.AS.ASN,
-						Dst: t.IP, Port: port, Transport: wire.TCP,
-						Pay: protoPayload(rng, port),
-					})
+					// Field stores, not a struct literal — see ScanServices.
+					p.T = uniformTime(rng)
+					p.Src = src
+					p.ASN = a.AS.ASN
+					p.Dst = t.IP
+					p.Port = port
+					p.Transport = wire.TCP
+					p.Pay = protoPayload(rng, port)
+					p.Creds = nil
+					emit(&p)
 				}
 			}
 		}
@@ -142,7 +152,7 @@ func bulkResearch(cfg Config) []*Actor {
 	}
 	censys.Gen = gen
 	shodan := newActor(cfg, "shodan", 10439, true, 12, gen)
-	zgrab := newActor(cfg, "zgrab-research", 14061, true, 15, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	zgrab := newActor(cfg, "zgrab-research", 14061, true, 15, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{22, 80, 443}, Cover: 0.5, MinAttempts: 1,
 			Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
@@ -166,7 +176,7 @@ func miraiFamily(cfg Config) []*Actor {
 	for i, asn := range miraiASNs {
 		scan2323 := i%2 == 0 // half the family sweeps 2323 on the darknet (Table 8: 53% overlap)
 		name := "mirai-" + strconv.Itoa(asn)
-		actors = append(actors, newActor(cfg, name, asn, false, 28, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, name, asn, false, 28, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{23, 2323}, Cover: 0.30,
 				MinAttempts: 1, MaxAttempts: 2,
@@ -184,7 +194,7 @@ func miraiFamily(cfg Config) []*Actor {
 	}
 	// The Australia-focused Huawei campaign (§5.1): "mother" and
 	// "e8ehome" dominate the AWS Australia region.
-	actors = append(actors, newActor(cfg, "mirai-huawei-au", 4837, false, 30, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "mirai-huawei-au", 4837, false, 30, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{23, 2323}, Cover: 0.85,
 			Filter: func(t *netsim.Target) bool {
@@ -206,7 +216,7 @@ func sshCampaigns(cfg Config) []*Actor {
 	mkSSH := func(name string, asn, n int, flavor string, cover float64,
 		weight func(*netsim.Target) float64, telescopeSrcs int, telescopePerIP int) *Actor {
 		creds := sshCreds(flavor)
-		return newActor(cfg, name, asn, false, n, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		return newActor(cfg, name, asn, false, n, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{22, 2222}, Cover: cover, Weight: weight,
 				MinAttempts: 1, MaxAttempts: 3,
@@ -262,7 +272,7 @@ func tsunami(cfg Config) []*Actor {
 	var actors []*Actor
 	for _, asn := range asns {
 		actors = append(actors, newActor(cfg, "tsunami-"+strconv.Itoa(asn), asn, false, 40,
-			func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 				victim := pickRegionVictim(ctx, "he:us-ohio", "tsunami")
 				if victim == nil {
 					return
@@ -287,8 +297,10 @@ func pickRegionVictim(ctx *Context, region, salt string) *netsim.Target {
 	if len(targets) == 0 {
 		return nil
 	}
-	rng := netsim.Stream(ctx.Seed, "victim:"+region+":"+salt)
-	return targets[rng.Intn(len(targets))]
+	h := netsim.PooledStream(ctx.Seed, "victim:"+region+":"+salt)
+	t := targets[h.Rand.Intn(len(targets))]
+	h.Release()
+	return t
 }
 
 // --- HTTP campaigns -----------------------------------------------------------
@@ -316,7 +328,7 @@ func httpCampaigns(cfg Config) []*Actor {
 	// Broad web sweeps: hit clouds, EDUs, and the darknet alike —
 	// ports 80/8080 show the highest telescope overlap after telnet
 	// (73–80%, Table 8).
-	actors = append(actors, newActor(cfg, "gafgyt-web", 202425, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "gafgyt-web", 202425, false, 40, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.45, MinAttempts: 1, MaxAttempts: 2,
 			Payload: mixPayload(HTTPExploitIDs("global"), 0.35),
@@ -326,7 +338,7 @@ func httpCampaigns(cfg Config) []*Actor {
 	// A vetted commercial crawler: pure benign GETs, which is most of
 	// what HTTP/80 receives (§3.2: 75% of port-80 payloads carry no
 	// exploit) and the benign share of Table 11.
-	actors = append(actors, newActor(cfg, "web-crawl-baseline", 7922, true, 35, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "web-crawl-baseline", 7922, true, 35, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080, 443}, Cover: 0.55, MinAttempts: 1, MaxAttempts: 2,
 			Payload: mixPayload(HTTPExploitIDs("global"), 0),
@@ -335,7 +347,7 @@ func httpCampaigns(cfg Config) []*Actor {
 	}))
 	// Censys probes alternate protocols on assigned ports: the benign
 	// slice of Table 11's ∼HTTP rows.
-	actors = append(actors, newActor(cfg, "censys-altproto", 398324, true, 8, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "censys-altproto", 398324, true, 8, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.7, MinAttempts: 1, MaxAttempts: 2,
 			Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
@@ -343,7 +355,7 @@ func httpCampaigns(cfg Config) []*Actor {
 			},
 		})
 	}))
-	actors = append(actors, newActor(cfg, "log4shell-campaign", 204428, false, 18, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "log4shell-campaign", 204428, false, 18, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.5, MinAttempts: 1,
 			Payload: mixPayload(HTTPExploitIDs("cloud-api"), 0.8),
@@ -353,7 +365,7 @@ func httpCampaigns(cfg Config) []*Actor {
 
 	// Asia-Pacific IoT exploit wave: its regional payload mix is what
 	// Table 4/5's APAC HTTP-payload divergence measures.
-	actors = append(actors, newActor(cfg, "iot-apac-web", 45899, false, 35, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "iot-apac-web", 45899, false, 35, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.30,
 			Weight: func(t *netsim.Target) float64 {
@@ -369,7 +381,7 @@ func httpCampaigns(cfg Config) []*Actor {
 	}))
 
 	// Emirates Internet POSTs only toward Mumbai (§5.1).
-	actors = append(actors, newActor(cfg, "emirates-mumbai", 5384, false, 10, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "emirates-mumbai", 5384, false, 10, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80}, Cover: 0.9,
 			Filter: func(t *netsim.Target) bool {
@@ -380,7 +392,7 @@ func httpCampaigns(cfg Config) []*Actor {
 		})
 	}))
 	// SATNET targets everything except Mumbai (§5.1).
-	actors = append(actors, newActor(cfg, "satnet-not-mumbai", 14522, false, 12, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "satnet-not-mumbai", 14522, false, 12, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.45,
 			Filter: func(t *netsim.Target) bool {
@@ -392,7 +404,7 @@ func httpCampaigns(cfg Config) []*Actor {
 	}))
 
 	// Android-emulator commands concentrated on AWS Frankfurt (§5.1).
-	actors = append(actors, newActor(cfg, "android-frankfurt", 3320, false, 12, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "android-frankfurt", 3320, false, 12, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{80, 8080}, Cover: 0.25,
 			Weight: func(t *netsim.Target) float64 {
@@ -406,7 +418,7 @@ func httpCampaigns(cfg Config) []*Actor {
 		})
 	}))
 	// Extra telnet volume into AWS Paris (§5.1).
-	actors = append(actors, newActor(cfg, "paris-telnet", 12389, false, 15, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+	actors = append(actors, newActor(cfg, "paris-telnet", 12389, false, 15, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 		a.ScanServices(ctx, emit, ServiceScan{
 			Ports: []uint16{23}, Cover: 0.30,
 			Weight: func(t *netsim.Target) float64 {
@@ -437,7 +449,7 @@ func unexpectedProtocol(cfg Config) []*Actor {
 		weights = append(weights, p.Weight)
 	}
 	mk := func(name string, asn, count int) *Actor {
-		return newActor(cfg, name, asn, false, count, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		return newActor(cfg, name, asn, false, count, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{80, 8080}, Cover: 0.55, MinAttempts: 1, MaxAttempts: 2,
 				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
@@ -538,7 +550,7 @@ func miners(cfg Config) []*Actor {
 	var actors []*Actor
 	for _, sp := range specs {
 		sp := sp
-		actors = append(actors, newActor(cfg, sp.name, sp.asn, false, sp.n, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, sp.name, sp.asn, false, sp.n, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			indexed := func(t *netsim.Target) bool {
 				switch sp.engine {
 				case "censys":
@@ -596,12 +608,13 @@ func wrapCreds(a *Actor, f func(a *Actor, rng *rand.Rand) []netsim.Credential) f
 // leaked services' hourly volume stochastically above the control
 // group's (the Mann-Whitney bold of Table 3).
 func burstClock(ctx *Context, salt string) func(*rand.Rand) time.Time {
-	windows := netsim.Stream(ctx.Seed, "burst:"+salt)
+	wh := netsim.PooledStream(ctx.Seed, "burst:"+salt)
 	var starts []time.Time
 	for i := 0; i < 5; i++ {
-		h := windows.Intn(netsim.StudyHours - 2)
+		h := wh.Rand.Intn(netsim.StudyHours - 2)
 		starts = append(starts, netsim.StudyStart.Add(time.Duration(h)*time.Hour))
 	}
+	wh.Release()
 	return func(rng *rand.Rand) time.Time {
 		if rng.Float64() < 0.35 {
 			return uniformTime(rng)
@@ -621,7 +634,7 @@ func nmapTrio(cfg Config) []*Actor {
 	}
 	var actors []*Actor
 	for _, sp := range specs {
-		actors = append(actors, newActor(cfg, sp.name, sp.asn, false, 10, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, sp.name, sp.asn, false, 10, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{80},
 				// "They actively avoid all Censys-leaked HTTP/80
@@ -647,16 +660,16 @@ func telescopeSweeps(cfg Config) []*Actor {
 	return []*Actor{
 		// Port 445: avoid any 255 octet, 9×; broadcast-style .255
 		// hardest hit (Figure 1b).
-		newActor(cfg, "smb445-sweep", 12389, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		newActor(cfg, "smb445-sweep", 12389, false, 40, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{445}, PerIP: 40, Pick: Avoid255(9)})
 		}),
 		// Oracle 7574: 61× avoidance.
-		newActor(cfg, "oracle7574-sweep", 9121, false, 12, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		newActor(cfg, "oracle7574-sweep", 9121, false, 12, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{7574}, PerIP: 30, Pick: Avoid255(61)})
 		}),
 		// Port 22: Mirai + PonyNet prefer the first address of each
 		// /16 (Figure 1a).
-		newActor(cfg, "mirai-ssh-telescope", 4837, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		newActor(cfg, "mirai-ssh-telescope", 4837, false, 40, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			// The paper measures a ~10x preference for /16-start
 			// addresses at Orion's scale (475K IPs, millions of
 			// probes); our probe volume is ~1000x smaller, so the
@@ -672,11 +685,11 @@ func telescopeSweeps(cfg Config) []*Actor {
 				},
 			})
 		}),
-		newActor(cfg, "ponynet-ssh-telescope", 53667, false, 20, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		newActor(cfg, "ponynet-ssh-telescope", 53667, false, 20, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{22}, PerIP: 25, Pick: PreferSlash16Start(300)})
 		}),
 		// Port 17128: a botnet latched onto four addresses (Figure 1d).
-		newActor(cfg, "port17128-botnet", 17974, false, 80, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		newActor(cfg, "port17128-botnet", 17974, false, 80, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			// Offsets correspond to x.A.91.247, x.A.26.55, x.B.92.113,
 			// x.B.25.177 at full /16 granularity.
 			offsets := []int{91*256 + 247, 26*256 + 55, 65536 + 92*256 + 113, 65536 + 25*256 + 177}
@@ -686,10 +699,10 @@ func telescopeSweeps(cfg Config) []*Actor {
 		// telnet AS mix differs from the clouds' with a large effect
 		// size (Table 10: φ=0.82) even though telnet scanners do not
 		// avoid the darknet.
-		newActor(cfg, "darknet-telnet-9009", 9009, false, 150, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		newActor(cfg, "darknet-telnet-9009", 9009, false, 150, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{23}, PerIP: 40})
 		}),
-		newActor(cfg, "darknet-telnet-60068", 60068, false, 120, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		newActor(cfg, "darknet-telnet-60068", 60068, false, 120, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanTelescope(ctx, emit, TelescopeScan{Ports: []uint16{23, 2323}, PerIP: 35})
 		}),
 	}
@@ -701,7 +714,7 @@ func telescopeSweeps(cfg Config) []*Actor {
 // and Orion being located in the same autonomous system" (§5.2).
 func eduLocal(cfg Config) []*Actor {
 	return []*Actor{
-		newActor(cfg, "edu-telescope-scan", 701, false, 120, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		newActor(cfg, "edu-telescope-scan", 701, false, 120, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports:  []uint16{21, 22, 25, 443, 2222, 7547},
 				Filter: func(t *netsim.Target) bool { return t.Kind == netsim.KindEducation },
@@ -719,7 +732,7 @@ func eduLocal(cfg Config) []*Actor {
 
 func portCampaigns(cfg Config) []*Actor {
 	mk := func(name string, asn, n int, port uint16, telescopeSrcFrac float64, perIP int) *Actor {
-		return newActor(cfg, name, asn, false, n, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		return newActor(cfg, name, asn, false, n, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{port}, Cover: 0.5, MinAttempts: 1, MaxAttempts: 2,
 				Payload: func(rng *rand.Rand, t *netsim.Target) netsim.PayloadID {
@@ -784,7 +797,7 @@ func neighborLatchers(cfg Config) []*Actor {
 			// list; most share the global set (Table 2: SSH passwords
 			// differ in only 4% of neighborhoods).
 			altPass := rng.Float64() < 0.10
-			actors = append(actors, newActor(cfg, name, asn, false, 9, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			actors = append(actors, newActor(cfg, name, asn, false, 9, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 				victim := pickRegionVictim(ctx, region, k.kind)
 				if victim == nil {
 					return
@@ -857,7 +870,7 @@ func apacCountryActors(cfg Config) []*Actor {
 		if i%2 == 0 {
 			exploitGroup = "global"
 		}
-		actors = append(actors, newActor(cfg, "apac-"+c.cc, c.asn, false, 20, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, "apac-"+c.cc, c.asn, false, 20, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			inCountry := func(t *netsim.Target) bool { return t.Geo.Country == c.cc }
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{22}, Cover: 0.55, Filter: inCountry,
@@ -891,7 +904,7 @@ func year2020Anomalies(cfg Config) []*Actor {
 	for i, region := range regions {
 		region := region
 		asn := []int{12389, 49505, 202425}[i%3]
-		actors = append(actors, newActor(cfg, "anomaly2020-"+region, asn, false, 20, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, "anomaly2020-"+region, asn, false, 20, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			victim := pickRegionVictim(ctx, region, "2020")
 			if victim == nil {
 				return

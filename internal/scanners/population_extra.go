@@ -21,7 +21,7 @@ func backgroundRadiation(cfg Config) []*Actor {
 	for i, as := range netsim.AllAS() {
 		i, as := i, as
 		name := "ibr-" + strconv.Itoa(as.ASN)
-		actors = append(actors, newActor(cfg, name, as.ASN, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, name, as.ASN, false, 40, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanTelescope(ctx, emit, TelescopeScan{
 				Ports: []uint16{ports[i%len(ports)], ports[(i+5)%len(ports)]},
 				PerIP: 4,
@@ -65,7 +65,7 @@ func narrowWebSweeps(cfg Config) []*Actor {
 		// The sweep payloads are exploit-corpus entries already
 		// registered at init; interning here resolves the shared id.
 		payID := netsim.InternPayload(sw.payload)
-		actors = append(actors, newActor(cfg, sw.name, sw.asn, false, 8, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, sw.name, sw.asn, false, 8, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{sw.port}, Cover: 0.20,
 				MinAttempts: 3, MaxAttempts: 8,
@@ -116,7 +116,7 @@ func monitorLatchers(cfg Config) []*Actor {
 			m := m
 			port := port
 			name := "monitor-" + strconv.Itoa(int(port)) + "-" + strconv.Itoa(m.asn) + "-" + region
-			actors = append(actors, newActor(cfg, name, m.asn, false, m.ips, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+			actors = append(actors, newActor(cfg, name, m.asn, false, m.ips, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 				victim := pickRegionVictim(ctx, region, "monitor-"+strconv.Itoa(int(port)))
 				if victim == nil {
 					return

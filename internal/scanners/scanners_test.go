@@ -91,7 +91,7 @@ func TestScanServicesRespectsFilterAndPorts(t *testing.T) {
 	ctx := miniContext(t)
 	actor := &Actor{Name: "t", AS: netsim.MustAS(4134), IPs: SourceIPs(netsim.MustAS(4134), "t", 20, 7)}
 	var probes []netsim.Probe
-	actor.ScanServices(ctx, func(p netsim.Probe) { probes = append(probes, p) }, ServiceScan{
+	actor.ScanServices(ctx, func(p *netsim.Probe) { probes = append(probes, *p) }, ServiceScan{
 		Ports: []uint16{22, 9999}, Cover: 1.0, MinAttempts: 1,
 		Filter: func(tg *netsim.Target) bool { return tg.Kind == netsim.KindCloud },
 	})
@@ -116,7 +116,7 @@ func TestScanTelescopeStaysInBlocks(t *testing.T) {
 	ctx := miniContext(t)
 	actor := &Actor{Name: "t", AS: netsim.MustAS(4134), IPs: SourceIPs(netsim.MustAS(4134), "t", 5, 7)}
 	var probes []netsim.Probe
-	actor.ScanTelescope(ctx, func(p netsim.Probe) { probes = append(probes, p) }, TelescopeScan{
+	actor.ScanTelescope(ctx, func(p *netsim.Probe) { probes = append(probes, *p) }, TelescopeScan{
 		Ports: []uint16{445}, PerIP: 30,
 	})
 	if len(probes) != 150 {
@@ -219,7 +219,7 @@ func TestPopulationGenerationDeterministic(t *testing.T) {
 		ctx := miniContext(t)
 		var probes []netsim.Probe
 		for _, a := range Population(Config{Seed: 7, Year: 2021, Scale: 0.1}) {
-			a.Run(ctx, func(p netsim.Probe) { probes = append(probes, p) })
+			a.Run(ctx, func(p *netsim.Probe) { probes = append(probes, *p) })
 		}
 		return probes
 	}
@@ -303,7 +303,7 @@ func TestActorsConcurrentRunDeterministic(t *testing.T) {
 
 	serial := make([][]netsim.Probe, len(actors))
 	for i, a := range actors {
-		a.Run(ctx, func(p netsim.Probe) { serial[i] = append(serial[i], p) })
+		a.Run(ctx, func(p *netsim.Probe) { serial[i] = append(serial[i], *p) })
 	}
 
 	concurrent := make([][]netsim.Probe, len(actors))
@@ -312,7 +312,7 @@ func TestActorsConcurrentRunDeterministic(t *testing.T) {
 		wg.Add(1)
 		go func(i int, a *Actor) {
 			defer wg.Done()
-			a.Run(ctx, func(p netsim.Probe) { concurrent[i] = append(concurrent[i], p) })
+			a.Run(ctx, func(p *netsim.Probe) { concurrent[i] = append(concurrent[i], *p) })
 		}(i, a)
 	}
 	wg.Wait()

@@ -81,7 +81,7 @@ func attackPlatformScenario(cfg Config) []*Actor {
 	for _, asn := range attackPlatformASNs {
 		name := "platform-" + strconv.Itoa(asn)
 		sshDict := sshCreds("cloud-heavy")
-		actors = append(actors, newActor(cfg, name, asn, false, 24, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, name, asn, false, 24, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			// Platform-scale bruteforce: every node sweeps the cloud
 			// fleet's SSH ports with credential batteries.
 			a.ScanServices(ctx, emit, ServiceScan{
@@ -119,7 +119,7 @@ func stealthScenario(cfg Config) []*Actor {
 	for i, asn := range stealthASNs {
 		name := "stealth-" + strconv.Itoa(asn)
 		dict := sshCreds(flavors[i%len(flavors)])
-		actors = append(actors, newActor(cfg, name, asn, false, 55, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, name, asn, false, 55, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			// Low-and-slow: a wide source pool where each source
 			// touches a sliver of the fleet exactly once with a single
 			// credential — per-source volume stays under any IDS rate
@@ -139,7 +139,7 @@ func stealthScenario(cfg Config) []*Actor {
 	webExploits := HTTPExploitIDs("global")
 	for _, asn := range []int{9009, 60068, 174} {
 		name := "stealth-web-" + strconv.Itoa(asn)
-		actors = append(actors, newActor(cfg, name, asn, false, 40, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, name, asn, false, 40, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{80, 443}, Cover: 0.06, MinAttempts: 1,
 				Payload: exploitMix(webExploits, 0.05),
@@ -182,7 +182,7 @@ func burstDDoSScenario(cfg Config) []*Actor {
 	// matching darknet splash (spoof-style backscatter sweeps).
 	for _, asn := range miraiASNs[:10] {
 		name := "ddos-" + strconv.Itoa(asn)
-		actors = append(actors, newActor(cfg, name, asn, false, 32, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, name, asn, false, 32, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			clock := floodClock(ctx)
 			a.ScanServices(ctx, emit, ServiceScan{
 				Ports: []uint16{80, 443}, Cover: 0.5,
@@ -198,7 +198,7 @@ func burstDDoSScenario(cfg Config) []*Actor {
 	for _, asn := range []int{202425, 204428, 48693} {
 		name := "ddos-booter-" + strconv.Itoa(asn)
 		dict := sshCreds("root-heavy")
-		actors = append(actors, newActor(cfg, name, asn, false, 20, func(a *Actor, ctx *Context, emit func(netsim.Probe)) {
+		actors = append(actors, newActor(cfg, name, asn, false, 20, func(a *Actor, ctx *Context, emit func(*netsim.Probe)) {
 			victim := pickRegionVictim(ctx, "he:us-ohio", "ddos")
 			if victim == nil {
 				return

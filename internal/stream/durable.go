@@ -54,7 +54,6 @@ func Open(cfg Config, st *store.Store) (*Engine, error) {
 	eng := &Engine{
 		es:        es,
 		inc:       es.Incremental(),
-		snaps:     make([]*core.Study, es.NumEpochs()),
 		st:        st,
 		recovered: recovered,
 	}
@@ -67,7 +66,10 @@ func Open(cfg Config, st *store.Store) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stream: rehydrate epoch %d/%d: %w", p, n, err)
 		}
-		eng.snaps[p-1] = snap
+		if eng.tip != nil {
+			eng.cache.put(p-1, eng.tip)
+		}
+		eng.tip = snap
 		eng.ingested = p
 	}
 	return eng, nil

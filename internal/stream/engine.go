@@ -51,8 +51,63 @@ type Engine struct {
 	ingestMu sync.Mutex        // serializes ingestion
 	inc      *core.Incremental // tip-chain assembler, guarded by ingestMu
 	mu       sync.RWMutex
-	snaps    []*core.Study // snaps[p-1] is the prefix-p snapshot
+	tip      *core.Study // snapshot of the full ingested prefix
 	ingested int
+
+	// cache retains recently used non-tip prefix snapshots (each keeps
+	// its own analysis caches warm). It is internally locked and never
+	// acquires mu, so it may be touched both under mu and outside it.
+	cache snapLRU
+}
+
+// snapCacheCap bounds how many non-tip prefix snapshots the engine
+// retains. Sixteen covers every prefix of the default 8-epoch split
+// with room to spare, while a long split (hourly epochs over a week)
+// no longer pins one full Study per epoch in memory: older prefixes
+// fall out and are reassembled from scratch on demand.
+const snapCacheCap = 16
+
+// snapLRU is a small least-recently-used set of prefix snapshots.
+// With at most snapCacheCap entries a slice scan beats any linked
+// structure; the zero value is ready to use.
+type snapLRU struct {
+	mu      sync.Mutex
+	entries []snapEntry // most recently used last
+}
+
+type snapEntry struct {
+	prefix int
+	snap   *core.Study
+}
+
+func (c *snapLRU) get(prefix int) *core.Study {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, ent := range c.entries {
+		if ent.prefix == prefix {
+			copy(c.entries[i:], c.entries[i+1:])
+			c.entries[len(c.entries)-1] = ent
+			return ent.snap
+		}
+	}
+	return nil
+}
+
+func (c *snapLRU) put(prefix int, snap *core.Study) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, ent := range c.entries {
+		if ent.prefix == prefix {
+			copy(c.entries[i:], c.entries[i+1:])
+			c.entries[len(c.entries)-1] = snapEntry{prefix, snap}
+			return
+		}
+	}
+	if len(c.entries) >= snapCacheCap {
+		copy(c.entries, c.entries[1:])
+		c.entries = c.entries[:len(c.entries)-1]
+	}
+	c.entries = append(c.entries, snapEntry{prefix, snap})
 }
 
 // New generates the epoch-partitioned study material (the expensive
@@ -69,7 +124,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	// es.NumEpochs() is the authoritative count (netsim clamps
 	// degenerate epoch requests).
-	return &Engine{es: es, inc: es.Incremental(), snaps: make([]*core.Study, es.NumEpochs())}, nil
+	return &Engine{es: es, inc: es.Incremental()}, nil
 }
 
 // NumEpochs returns the total number of epochs.
@@ -119,7 +174,11 @@ func (e *Engine) IngestNext() (prefix int, ok bool, err error) {
 		return p - 1, false, err
 	}
 	e.mu.Lock()
-	e.snaps[p-1] = snap
+	if e.tip != nil {
+		// The outgoing tip is now a non-tip prefix; keep it warm.
+		e.cache.put(p-1, e.tip)
+	}
+	e.tip = snap
 	e.ingested = p
 	e.mu.Unlock()
 	if e.st != nil {
@@ -163,21 +222,38 @@ func (e *Engine) IngestAll() error {
 }
 
 // Snapshot returns the immutable study of the first `prefix` epochs.
-// The prefix must already be ingested. Served snapshots were assembled
-// incrementally at ingest time and retained (each keeps its own
-// analysis caches warm); assembling a snapshot for an arbitrary prefix
-// without the chain — e.g. outside the engine — still goes through the
-// from-scratch core.EpochSet.Snapshot path.
+// The prefix must already be ingested. The tip snapshot is always
+// retained; recent non-tip prefixes are served from a small LRU of
+// chain-assembled snapshots (each keeps its own analysis caches warm),
+// and a prefix that has fallen out of the LRU is reassembled from
+// scratch through core.EpochSet.Snapshot — generation being
+// deterministic, the reassembled study renders byte-identically to the
+// chain snapshot it replaces, it just starts with cold render caches.
 func (e *Engine) Snapshot(prefix int) (*core.Study, error) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
+	ingested, tip := e.ingested, e.tip
+	e.mu.RUnlock()
 	if prefix < 1 || prefix > e.es.NumEpochs() {
 		return nil, fmt.Errorf("stream: snapshot prefix %d out of range [1, %d]", prefix, e.es.NumEpochs())
 	}
-	if prefix > e.ingested {
-		return nil, fmt.Errorf("stream: epoch prefix %d not ingested yet (%d/%d ingested)", prefix, e.ingested, e.es.NumEpochs())
+	if prefix > ingested {
+		return nil, fmt.Errorf("stream: epoch prefix %d not ingested yet (%d/%d ingested)", prefix, ingested, e.es.NumEpochs())
 	}
-	return e.snaps[prefix-1], nil
+	if prefix == ingested {
+		return tip, nil
+	}
+	if snap := e.cache.get(prefix); snap != nil {
+		return snap, nil
+	}
+	// Evicted from the LRU: reassemble from scratch, outside any lock
+	// (concurrent misses may both assemble; both results are valid and
+	// identical, and the second put just refreshes recency).
+	snap, err := e.es.Snapshot(prefix)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(prefix, snap)
+	return snap, nil
 }
 
 // SweepRequest selects the grid of one sweep: which §3.3 comparison

@@ -189,6 +189,76 @@ func TestSweepGridAndValidation(t *testing.T) {
 	}
 }
 
+// TestSnapshotLRUEvictionFallback covers the non-tip snapshot path:
+// prefixes served from the LRU are the chain-assembled snapshots, and
+// a prefix that has fallen out of the LRU is reassembled from scratch
+// and renders byte-identically to the chain snapshot it replaced.
+func TestSnapshotLRUEvictionFallback(t *testing.T) {
+	eng := newTestEngine(t, 4)
+	if err := eng.IngestAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Reference renders from the chain snapshots, while still cached.
+	want := make(map[int]string)
+	for p := 1; p <= 4; p++ {
+		snap, err := eng.Snapshot(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p] = snap.Table2().Render() + snap.Table5().Render()
+	}
+	// Simulate every non-tip prefix falling out of the LRU.
+	eng.cache.mu.Lock()
+	eng.cache.entries = nil
+	eng.cache.mu.Unlock()
+	for p := 1; p <= 4; p++ {
+		snap, err := eng.Snapshot(p)
+		if err != nil {
+			t.Fatalf("prefix %d after eviction: %v", p, err)
+		}
+		if got := snap.Table2().Render() + snap.Table5().Render(); got != want[p] {
+			t.Fatalf("prefix %d reassembled snapshot renders differently", p)
+		}
+	}
+	// The reassembled non-tip prefixes are cached again: a second read
+	// returns the same *Study, not another from-scratch build.
+	first, _ := eng.Snapshot(2)
+	second, _ := eng.Snapshot(2)
+	if first != second {
+		t.Fatal("reassembled snapshot was not cached")
+	}
+}
+
+// TestSnapLRU pins the cache's eviction and recency semantics.
+func TestSnapLRU(t *testing.T) {
+	var c snapLRU
+	mark := make([]*core.Study, snapCacheCap+2)
+	for i := range mark {
+		mark[i] = &core.Study{}
+	}
+	for p := 1; p <= snapCacheCap; p++ {
+		c.put(p, mark[p])
+	}
+	if c.get(1) != mark[1] { // touch 1: now most recent
+		t.Fatal("miss on resident entry")
+	}
+	c.put(snapCacheCap+1, mark[snapCacheCap+1]) // evicts 2, not 1
+	if c.get(2) != nil {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+	for _, p := range []int{1, 3, snapCacheCap, snapCacheCap + 1} {
+		if c.get(p) != mark[p] {
+			t.Fatalf("entry %d missing after eviction of 2", p)
+		}
+	}
+	// Re-putting a resident prefix refreshes it in place.
+	repl := &core.Study{}
+	c.put(3, repl)
+	if c.get(3) != repl || len(c.entries) != snapCacheCap {
+		t.Fatal("re-put did not replace in place")
+	}
+}
+
 // TestConcurrentSweepAndIngest hammers the engine from several
 // goroutines while ingestion advances — the serving pattern — and must
 // be race-clean.

@@ -11,8 +11,8 @@ import (
 
 func persistTestCollector() *Collector {
 	c := New(22, 80)
-	probe := func(src, dst wire.Addr, port uint16, asn int) netsim.Probe {
-		return netsim.Probe{
+	probe := func(src, dst wire.Addr, port uint16, asn int) *netsim.Probe {
+		return &netsim.Probe{
 			T: netsim.StudyStart.Add(time.Hour), Src: src, Dst: dst,
 			Port: port, ASN: asn, Transport: wire.TCP,
 		}

@@ -9,6 +9,7 @@
 package telescope
 
 import (
+	"maps"
 	"sort"
 
 	"cloudwatch/internal/netsim"
@@ -99,8 +100,10 @@ func New(watchPorts ...uint16) *Collector {
 
 // Observe records the first packet of a probe. Telescopes do not
 // complete handshakes, so payloads and credentials are dropped by
-// construction.
-func (c *Collector) Observe(p netsim.Probe) {
+// construction. The probe is borrowed for the duration of the call:
+// callers may reuse the pointed-to value, and the collector keeps only
+// scalar fields.
+func (c *Collector) Observe(p *netsim.Probe) {
 	c.packets++
 	if !c.cacheOK || p.Port != c.cachePort {
 		c.fillPortCache(p.Port)
@@ -124,6 +127,46 @@ func (c *Collector) Observe(p netsim.Probe) {
 
 	if log := c.cacheWatch; log != nil {
 		log.observe(p.Dst, p.Src)
+	}
+}
+
+// ObserveRun is Observe for callers that track (port, src[, dst]) runs
+// themselves — the streaming engine's epoch shards see every probe of a
+// worker and dedup runs across that worker's per-epoch collectors,
+// where each collector's own run caches would miss (a run's probes
+// round-robin across epochs, so no single collector sees the
+// repetition). srcNew=false promises p.Src is already in this
+// collector's port-src set for p.Port within the current run;
+// pairNew=false promises the (p.Dst, p.Src) pair is already in this
+// collector's watch log for p.Port. Packet and AS-frequency counting
+// are never skipped — only the idempotent set insert and the watch-log
+// append, so the aggregated state is identical to per-probe Observe.
+func (c *Collector) ObserveRun(p *netsim.Probe, srcNew, pairNew bool) {
+	c.packets++
+	if !c.cacheOK || p.Port != c.cachePort {
+		c.fillPortCache(p.Port)
+	}
+	if srcNew {
+		c.cacheSrcs[p.Src] = struct{}{}
+		c.cacheSrc, c.cacheSrcOK = p.Src, true
+	}
+
+	if p.ASN != c.cacheASN || !c.asValid {
+		c.flushAS()
+		c.cacheASN = p.ASN
+		c.asValid = true
+		if as, found := netsim.LookupAS(p.ASN); found {
+			c.cacheKey = as.Key()
+		} else {
+			c.cacheKey = "unknown"
+		}
+	}
+	c.pending++
+
+	if pairNew {
+		if log := c.cacheWatch; log != nil {
+			log.observe(p.Dst, p.Src)
+		}
 	}
 }
 
@@ -197,19 +240,14 @@ func (c *Collector) Clone() *Collector {
 		watch:      c.watch,
 		packets:    c.packets,
 	}
+	// maps.Clone bulk-copies the per-port aggregates without re-hashing
+	// every entry — the snapshot chain clones once per ingested epoch
+	// over sets that only ever grow.
 	for port, srcs := range c.srcsByPort {
-		dst := make(map[wire.Addr]struct{}, len(srcs))
-		for s := range srcs {
-			dst[s] = struct{}{}
-		}
-		n.srcsByPort[port] = dst
+		n.srcsByPort[port] = maps.Clone(srcs)
 	}
 	for port, freq := range c.asByPort {
-		dst := make(stats.Freq, len(freq))
-		for k, v := range freq {
-			dst[k] = v
-		}
-		n.asByPort[port] = dst
+		n.asByPort[port] = maps.Clone(freq)
 	}
 	for port, log := range c.perAddr {
 		n.perAddr[port] = &watchLog{

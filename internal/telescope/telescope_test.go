@@ -21,8 +21,8 @@ func telUniverse(t *testing.T) *netsim.Universe {
 	return u
 }
 
-func mkProbe(src, dst string, port uint16, asn int) netsim.Probe {
-	return netsim.Probe{
+func mkProbe(src, dst string, port uint16, asn int) *netsim.Probe {
+	return &netsim.Probe{
 		Src: wire.MustParseAddr(src), Dst: wire.MustParseAddr(dst),
 		Port: port, ASN: asn, Transport: wire.TCP,
 	}
@@ -117,7 +117,7 @@ func TestRollingMedianWindow(t *testing.T) {
 // depends on.
 func TestCollectorMergeEquivalentToSerial(t *testing.T) {
 	u := telUniverse(t)
-	probes := []netsim.Probe{
+	probes := []*netsim.Probe{
 		mkProbe("1.1.1.1", "100.64.0.5", 22, 4134),
 		mkProbe("1.1.1.1", "100.64.0.6", 22, 4134),
 		mkProbe("2.2.2.2", "100.64.0.5", 22, 174),
@@ -223,7 +223,7 @@ func TestCollectorSelfMergeNoOp(t *testing.T) {
 // exactly the per-probe counts, whether read directly or after Merge.
 func TestObserveCachesFlushOnReads(t *testing.T) {
 	c := New(22)
-	probes := []netsim.Probe{
+	probes := []*netsim.Probe{
 		mkProbe("10.0.0.1", "1.1.1.1", 22, 4134),
 		mkProbe("10.0.0.1", "1.1.1.1", 22, 4134),
 		mkProbe("10.0.0.1", "1.1.1.2", 22, 4134),
