@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/obs"
 	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/store"
 	"cloudwatch/internal/stream"
@@ -187,6 +188,9 @@ func main() {
 		storeDir   = flag.String("store", "", "durable store directory for sweep/serve modes: the generated epoch study is persisted there and recovered on restart, skipping regeneration")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile covering generation, ingest, and rendering to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (post-GC live retention, taken as the run finishes) to this file")
+		trace      = flag.Bool("trace", false, "print a per-stage timing breakdown (generation, assembly, repair, persist, render) to stderr after batch and sweep runs")
+		pprofOn    = flag.Bool("pprof", false, "serve mode: expose net/http/pprof under /debug/pprof/ on the serving mux")
+		version    = flag.Bool("version", false, "print the build version and exit")
 		sf         sweepFlags
 	)
 	flag.IntVar(&sf.epochs, "epochs", stream.DefaultEpochs, "time epochs the study week is partitioned into (sweep/serve modes)")
@@ -195,6 +199,11 @@ func main() {
 	flag.IntVar(&sf.kMax, "sweep-kmax", 10, "largest top-K width of the sweep")
 	flag.StringVar(&sf.prefixes, "sweep-prefixes", "all", "epoch prefixes to sweep: \"all\" (every ingested epoch) or comma-separated counts")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("cloudwatch " + obs.Version().String())
+		return
+	}
 
 	if !knownExperiment(*experiment) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n", *experiment, validExperiments())
@@ -229,7 +238,7 @@ func main() {
 		*year, *seed, strings.Join(scenarios, "+"), deployment, cfg.Deploy.TelescopeSlash24s)
 
 	if serveMode || *experiment == "sweep" {
-		runStreaming(cfg, sf, *serve, *storeDir, *experiment == "sweep", scenarios)
+		runStreaming(cfg, sf, *serve, *storeDir, *experiment == "sweep", scenarios, *trace, *pprofOn)
 		return
 	}
 
@@ -262,6 +271,10 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+
+	if *trace {
+		obs.DefaultTracer().WriteSummary(os.Stderr)
+	}
 }
 
 // runStreaming drives the sweep and serve modes: build the
@@ -276,7 +289,7 @@ func main() {
 // /readyz and the API report 503; and it shuts down gracefully on
 // SIGINT/SIGTERM — in-flight renders drain, the store closes, and the
 // process exits 0.
-func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep bool, scenarios []string) {
+func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep bool, scenarios []string, trace, pprofOn bool) {
 	req, err := sf.sweepRequest()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -347,6 +360,9 @@ func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep b
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+		if trace {
+			obs.DefaultTracer().WriteSummary(os.Stderr)
+		}
 		return
 	}
 
@@ -357,6 +373,10 @@ func runStreaming(cfg core.Config, sf sweepFlags, addr, storeDir string, sweep b
 	// beat a connection refused for every orchestrator out there.
 	srv := stream.NewServer(nil)
 	srv.SetSweepDefaults(req)
+	if pprofOn {
+		srv.EnablePprof()
+		fmt.Fprintln(os.Stderr, "pprof enabled at /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,

@@ -7,6 +7,7 @@ import (
 	"cloudwatch/internal/greynoise"
 	"cloudwatch/internal/ids"
 	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/obs"
 	"cloudwatch/internal/telescope"
 	"cloudwatch/internal/wire"
 )
@@ -127,6 +128,8 @@ func (inc *Incremental) Advance() (*Study, error) {
 	if inc.prefix >= es.eb.NumEpochs() {
 		return nil, fmt.Errorf("core: all %d epochs already assembled", es.eb.NumEpochs())
 	}
+	sp := obs.StartStage(obs.StageIncrementalAssembly)
+	defer sp.End()
 	e := inc.prefix // 0-based index of the epoch being ingested
 	newPrefix := inc.prefix + 1
 
@@ -281,7 +284,10 @@ func (inc *Incremental) Advance() (*Study, error) {
 	}
 	if len(flipped) > 0 {
 		inc.repairs++
+		mVerdictRepairs.Inc()
+		rsp := obs.StartStage(obs.StageVerdictRepair)
 		inc.repairFlips(s, flipped, base)
+		rsp.End()
 	}
 
 	// Fill the verdict column and exploit set for the appended records,

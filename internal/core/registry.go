@@ -1,5 +1,7 @@
 package core
 
+import "cloudwatch/internal/obs"
+
 // The experiment registry: one name per table and figure of the
 // paper's evaluation, in the paper's order. cmd/cloudwatch and the
 // streaming study server both resolve experiment names through it, so
@@ -37,8 +39,18 @@ func KnownExperiment(name string) bool {
 }
 
 // RenderExperiment renders one named experiment of a study, reporting
-// ok=false for unknown names.
+// ok=false for unknown names. Every successful render is traced as one
+// table_render stage span; unknown names record nothing.
 func RenderExperiment(s *Study, name string) (string, bool) {
+	sp := obs.StartStage(obs.StageTableRender)
+	out, ok := renderExperiment(s, name)
+	if ok {
+		sp.End()
+	}
+	return out, ok
+}
+
+func renderExperiment(s *Study, name string) (string, bool) {
 	switch name {
 	case "table1":
 		return s.Table1().Render(), true
@@ -76,8 +88,18 @@ func SweepTables() []string {
 
 // RenderExperimentAtK renders one sweepable table at an explicit top-K
 // width, reporting ok=false for names outside SweepTables. K == TopK
-// reuses the exact memo entries the plain tables populate.
+// reuses the exact memo entries the plain tables populate. Successful
+// renders trace as table_render spans, like RenderExperiment.
 func RenderExperimentAtK(s *Study, name string, k int) (string, bool) {
+	sp := obs.StartStage(obs.StageTableRender)
+	out, ok := renderExperimentAtK(s, name, k)
+	if ok {
+		sp.End()
+	}
+	return out, ok
+}
+
+func renderExperimentAtK(s *Study, name string, k int) (string, bool) {
 	switch name {
 	case "table2":
 		return s.Table2AtK(k).Render(), true

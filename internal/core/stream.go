@@ -13,6 +13,7 @@ import (
 	"cloudwatch/internal/honeypot"
 	"cloudwatch/internal/ids"
 	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/obs"
 	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/searchengine"
 	"cloudwatch/internal/telescope"
@@ -179,7 +180,10 @@ func GenerateEpochs(cfg Config, epochs int) (*EpochSet, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartStage(obs.StageEpochGeneration)
 	es.runActors(ctx, es.cfg.Workers)
+	sp.End()
+	mRecordsGenerated.Add(int64(es.NumRecords()))
 	return es, nil
 }
 
@@ -373,6 +377,8 @@ func (es *EpochSet) Snapshot(prefix int) (*Study, error) {
 	if prefix < 1 || prefix > es.eb.NumEpochs() {
 		return nil, fmt.Errorf("core: snapshot prefix %d out of range [1, %d]", prefix, es.eb.NumEpochs())
 	}
+	sp := obs.StartStage(obs.StageSnapshotRebuild)
+	defer sp.End()
 	cfg := es.cfg
 	if prefix < es.eb.NumEpochs() {
 		cfg.WindowSec = es.eb.Bound(prefix)

@@ -15,6 +15,7 @@ import (
 	"cloudwatch/internal/greynoise"
 	"cloudwatch/internal/ids"
 	"cloudwatch/internal/netsim"
+	"cloudwatch/internal/obs"
 	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/searchengine"
 	"cloudwatch/internal/telescope"
@@ -166,7 +167,10 @@ func Run(cfg Config) (*Study, error) {
 			s.GN.VetASN(actor.AS.ASN)
 		}
 	}
+	sp := obs.StartStage("batch_generation")
 	s.runActors(ctx, cfg.Workers)
+	sp.End()
+	mRecordsGenerated.Add(int64(s.blk.Len()))
 	return s, nil
 }
 

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the two expositions of a Registry: the Prometheus text
+// format (GET /metrics — what a scraper ingests) and a JSON snapshot
+// (GET /v1/metrics — what a human with curl reads). Both iterate the
+// same deterministic family/child order, so diffs between consecutive
+// scrapes are value diffs, never ordering noise.
+
+// escapeHelp escapes a HELP annotation per the Prometheus text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promLabels renders a label set as {k="v",...}, with extra appended
+// last (the histogram `le` bound); empty input renders as "".
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4): one HELP and TYPE line per
+// family, one sample line per child — counters and gauges as a single
+// value, histograms as cumulative _bucket series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.kind + "\n")
+		for _, c := range f.sortedChildren() {
+			switch m := c.m.(type) {
+			case *Counter:
+				bw.WriteString(f.name + promLabels(c.labels) + " " + formatInt(m.Value()) + "\n")
+			case *Gauge:
+				bw.WriteString(f.name + promLabels(c.labels) + " " + formatInt(m.Value()) + "\n")
+			case *Histogram:
+				counts, total := m.cumulative()
+				for i, b := range m.bounds {
+					bw.WriteString(f.name + "_bucket" + promLabels(c.labels, L("le", formatFloat(b))) +
+						" " + formatUint(counts[i]) + "\n")
+				}
+				bw.WriteString(f.name + "_bucket" + promLabels(c.labels, L("le", "+Inf")) +
+					" " + formatUint(total) + "\n")
+				bw.WriteString(f.name + "_sum" + promLabels(c.labels) + " " + formatFloat(m.Sum()) + "\n")
+				bw.WriteString(f.name + "_count" + promLabels(c.labels) + " " + formatUint(total) + "\n")
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// BucketSnapshot is one cumulative histogram bucket in the JSON
+// exposition; LE is a string so "+Inf" survives JSON.
+type BucketSnapshot struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// ValueSnapshot is one time series in the JSON exposition.
+type ValueSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Counters and gauges.
+	Value *int64 `json:"value,omitempty"`
+	// Histograms.
+	Count      *uint64          `json:"count,omitempty"`
+	SumSeconds *float64         `json:"sum_seconds,omitempty"`
+	P50Seconds *float64         `json:"p50_seconds,omitempty"`
+	P99Seconds *float64         `json:"p99_seconds,omitempty"`
+	Buckets    []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// FamilySnapshot is one metric family in the JSON exposition.
+type FamilySnapshot struct {
+	Name   string          `json:"name"`
+	Type   string          `json:"type"`
+	Help   string          `json:"help,omitempty"`
+	Values []ValueSnapshot `json:"values"`
+}
+
+// MetricsSnapshot is the full JSON exposition of a registry.
+type MetricsSnapshot struct {
+	Metrics []FamilySnapshot `json:"metrics"`
+}
+
+// Snapshot captures every registered metric for the JSON exposition,
+// in the same deterministic order as WritePrometheus. Histograms carry
+// interpolated p50/p99 next to the raw buckets so a curl of
+// /v1/metrics answers "how slow" without client-side math.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	var snap MetricsSnapshot
+	for _, f := range r.families() {
+		fs := FamilySnapshot{Name: f.name, Type: f.kind, Help: f.help, Values: []ValueSnapshot{}}
+		for _, c := range f.sortedChildren() {
+			vs := ValueSnapshot{}
+			if len(c.labels) > 0 {
+				vs.Labels = map[string]string{}
+				for _, l := range c.labels {
+					vs.Labels[l.Key] = l.Value
+				}
+			}
+			switch m := c.m.(type) {
+			case *Counter:
+				v := m.Value()
+				vs.Value = &v
+			case *Gauge:
+				v := m.Value()
+				vs.Value = &v
+			case *Histogram:
+				counts, total := m.cumulative()
+				sum := m.Sum()
+				vs.Count, vs.SumSeconds = &total, &sum
+				if p50, ok := m.Quantile(0.50); ok {
+					p99, _ := m.Quantile(0.99)
+					vs.P50Seconds, vs.P99Seconds = &p50, &p99
+				}
+				for i, b := range m.bounds {
+					vs.Buckets = append(vs.Buckets, BucketSnapshot{LE: formatFloat(b), Count: counts[i]})
+				}
+				vs.Buckets = append(vs.Buckets, BucketSnapshot{LE: "+Inf", Count: total})
+			}
+			fs.Values = append(fs.Values, vs)
+		}
+		snap.Metrics = append(snap.Metrics, fs)
+	}
+	return snap
+}
+
+func formatInt(v int64) string   { return strconv.FormatInt(v, 10) }
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// HTTP observability: a middleware that wraps a mux with per-route
+// request counting, latency histograms, an in-flight gauge, and one
+// structured request log line per request (method, route, status,
+// latency, request id). The request id honors an incoming
+// X-Request-ID (so a proxy's id threads through the logs) and
+// generates one otherwise; either way it is echoed on the response.
+
+// RequestIDHeader is the request-id passthrough header.
+const RequestIDHeader = "X-Request-ID"
+
+// statusRecorder captures the response status for metrics and logs.
+// The handlers behind it write JSON bodies; no hijacking or flushing
+// interface needs forwarding, and Unwrap covers http.ResponseController
+// users.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// reqSeq seeds fallback request ids if the random source ever fails.
+var reqSeq atomic.Uint64
+
+// newRequestID returns a fresh 16-hex-char request id.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-" + strconv.FormatUint(reqSeq.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// HTTPMetrics is the per-route instrument set HTTPMiddleware records
+// into, resolved once at wrap time.
+type httpMetrics struct {
+	reg      *Registry
+	inFlight *Gauge
+}
+
+// HTTPMiddleware wraps next with request observability on the default
+// registry: http_requests_total{route}, http_request_duration_seconds
+// {route}, the http_in_flight_requests gauge, and one slog line per
+// request on logger (nil disables logging but keeps the metrics). The
+// route label is the ServeMux pattern that matched (requests no
+// pattern claimed are labeled "unmatched"), so label cardinality is
+// bounded by the API surface, not by request paths.
+func HTTPMiddleware(logger *slog.Logger, next http.Handler) http.Handler {
+	m := &httpMetrics{
+		reg:      Default(),
+		inFlight: Default().Gauge("http_in_flight_requests", "Requests currently being served."),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get(RequestIDHeader)
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, reqID)
+
+		sr := &statusRecorder{ResponseWriter: w}
+		m.inFlight.Add(1)
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		elapsed := time.Since(start)
+		m.inFlight.Add(-1)
+
+		// r.Pattern is populated by the ServeMux during dispatch, so it
+		// is visible here, after next returned.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		status := sr.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		m.reg.Counter("http_requests_total", "Requests served, by route.", L("route", route)).Inc()
+		m.reg.Histogram("http_request_duration_seconds", "Request latency, by route.", nil, L("route", route)).
+			ObserveDuration(elapsed)
+		if logger != nil {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", route),
+				slog.Int("status", status),
+				slog.Duration("latency", elapsed),
+				slog.String("request_id", reqID),
+			)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHTTPMiddlewareLogging asserts the middleware emits exactly one
+// structured log line per request, with the incoming X-Request-ID
+// propagated (or a fresh one generated) and the matched ServeMux
+// pattern as the route.
+func TestHTTPMiddlewareLogging(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/widget/{id}", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	h := HTTPMiddleware(logger, mux)
+
+	// Request 1: caller supplies a request id; it must thread through
+	// to the response header and the log line.
+	req := httptest.NewRequest("GET", "/v1/widget/7", nil)
+	req.Header.Set(RequestIDHeader, "proxy-id-123")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "proxy-id-123" {
+		t.Errorf("response %s = %q, want proxy-id-123", RequestIDHeader, got)
+	}
+
+	// Request 2: no incoming id; one is generated and echoed.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest("GET", "/v1/widget/8", nil))
+	genID := rec2.Header().Get(RequestIDHeader)
+	if len(genID) != 16 {
+		t.Errorf("generated request id %q, want 16 hex chars", genID)
+	}
+
+	// Request 3: no route matches; labeled "unmatched", status 404.
+	rec3 := httptest.NewRecorder()
+	h.ServeHTTP(rec3, httptest.NewRequest("GET", "/nope", nil))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d log lines, want 3:\n%s", len(lines), buf.String())
+	}
+	var entries []map[string]any
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		entries = append(entries, m)
+	}
+	checks := []struct {
+		requestID string
+		route     string
+		status    float64
+	}{
+		{"proxy-id-123", "GET /v1/widget/{id}", 204},
+		{genID, "GET /v1/widget/{id}", 204},
+		{entries[2]["request_id"].(string), "unmatched", 404},
+	}
+	for i, want := range checks {
+		e := entries[i]
+		if e["msg"] != "request" || e["method"] != "GET" {
+			t.Errorf("line %d: msg/method = %v/%v", i, e["msg"], e["method"])
+		}
+		if e["request_id"] != want.requestID {
+			t.Errorf("line %d: request_id = %v, want %v", i, e["request_id"], want.requestID)
+		}
+		if e["route"] != want.route {
+			t.Errorf("line %d: route = %v, want %v", i, e["route"], want.route)
+		}
+		if e["status"] != want.status {
+			t.Errorf("line %d: status = %v, want %v", i, e["status"], want.status)
+		}
+		if _, ok := e["latency"]; !ok {
+			t.Errorf("line %d: missing latency attr", i)
+		}
+	}
+}
+
+// TestHTTPMiddlewareNilLogger: a nil logger disables logging but the
+// wrapped handler still serves and the request id still round-trips.
+func TestHTTPMiddlewareNilLogger(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, r *http.Request) {})
+	h := HTTPMiddleware(nil, mux)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/ok", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("status = %d, want 200", rec.Code)
+	}
+	if rec.Header().Get(RequestIDHeader) == "" {
+		t.Error("request id missing with nil logger")
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition of a small
+// registry: HELP/TYPE lines, family and child ordering, label
+// rendering, and the cumulative-bucket histogram encoding.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alpha_total", "Alpha.")
+	c.Inc()
+	c.Inc()
+	r.Gauge("beta", "Beta.").Set(-3)
+	h := r.Histogram("gamma_seconds", "Gamma.", []float64{0.1, 1}, L("stage", "x"))
+	h.Observe(0.05)
+	h.Observe(0.1) // exactly at a bound: le is inclusive
+	h.Observe(0.5)
+	h.Observe(5) // beyond the last bound: +Inf bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_total Alpha.
+# TYPE alpha_total counter
+alpha_total 2
+# HELP beta Beta.
+# TYPE beta gauge
+beta -3
+# HELP gamma_seconds Gamma.
+# TYPE gamma_seconds histogram
+gamma_seconds_bucket{stage="x",le="0.1"} 2
+gamma_seconds_bucket{stage="x",le="1"} 3
+gamma_seconds_bucket{stage="x",le="+Inf"} 4
+gamma_seconds_sum{stage="x"} 5.65
+gamma_seconds_count{stage="x"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPrometheusEscaping covers label-value and HELP escaping: quotes
+// and backslashes in label values, newlines in help text.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "line one\nline two", L("path", `C:\x "quoted"`)).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`# HELP esc_total line one\nline two`,
+		`esc_total{path="C:\\x \"quoted\""} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestConcurrentIncrements hammers one counter, gauge, and histogram
+// from many goroutines and asserts exact totals. Run under -race this
+// also proves the instruments are data-race free.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.001, 1})
+
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.0005)
+			}
+		}()
+	}
+	wg.Wait()
+
+	const want = goroutines * per
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	counts, total := h.cumulative()
+	if counts[0] != want || total != want {
+		t.Errorf("cumulative = %v/%d, want all %d", counts, total, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-inclusive bucket choice for
+// values below, at, between, and beyond the configured bounds.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hb_seconds", "", []float64{0.01, 0.1, 1})
+
+	if _, ok := h.Quantile(0.5); ok {
+		t.Error("Quantile before any observation should report ok=false")
+	}
+
+	cases := []struct {
+		v      float64
+		bucket int // index into cumulative counts; 3 means +Inf
+	}{
+		{0.001, 0}, // below first bound
+		{0.01, 0},  // exactly at a bound: inclusive
+		{0.05, 1},  // between bounds: next bucket up
+		{0.1, 1},
+		{1, 2},
+		{1.0001, 3}, // beyond the last bound
+	}
+	for i, tc := range cases {
+		before, beforeTotal := h.cumulative()
+		h.Observe(tc.v)
+		after, afterTotal := h.cumulative()
+		if afterTotal != beforeTotal+1 {
+			t.Fatalf("case %d: total %d -> %d", i, beforeTotal, afterTotal)
+		}
+		// Cumulative counts: every bucket at or after the landing one
+		// grows by one, every earlier bucket is unchanged.
+		for b := 0; b < len(after); b++ {
+			wantDelta := uint64(0)
+			if b >= tc.bucket {
+				wantDelta = 1
+			}
+			if after[b]-before[b] != wantDelta {
+				t.Errorf("Observe(%v): bucket %d delta = %d, want %d", tc.v, b, after[b]-before[b], wantDelta)
+			}
+		}
+	}
+	if got, want := h.Count(), uint64(len(cases)); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+}
+
+// TestRegistryReuseAndKindMismatch: same name+labels yields the same
+// instrument; same name at a different kind panics.
+func TestRegistryReuseAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", L("k", "v"))
+	b := r.Counter("x_total", "", L("k", "v"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	if c := r.Counter("x_total", "", L("k", "other")); c == a {
+		t.Error("distinct label sets returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestTracerRing covers ring rotation, oldest-first Recent order, and
+// the summary aggregates surviving eviction from the ring.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(2)
+	tr.record(SpanRecord{Stage: "a", DurationMS: 1})
+	tr.record(SpanRecord{Stage: "b", DurationMS: 2})
+	tr.record(SpanRecord{Stage: "a", DurationMS: 4})
+
+	if got := tr.Total(); got != 3 {
+		t.Errorf("total = %d, want 3", got)
+	}
+	recent := tr.Recent()
+	if len(recent) != 2 || recent[0].Stage != "b" || recent[1].Stage != "a" {
+		t.Errorf("recent = %+v, want [b a] oldest first", recent)
+	}
+	// The evicted span still counts in the aggregates: stage a has two
+	// spans totalling 5ms even though only one remains in the ring.
+	for _, s := range tr.Summary() {
+		if s.Stage == "a" {
+			if s.Count != 2 || s.TotalMS != 5 || s.MaxMS != 4 {
+				t.Errorf("stage a summary = %+v", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// The build version stamp: module version plus VCS revision from
+// debug.ReadBuildInfo, so BENCH_*.json, crash-smoke logs, and
+// /v1/status can name the binary they measured.
+
+// VersionInfo identifies the running binary.
+type VersionInfo struct {
+	// Module is the main module version ("(devel)" for source builds).
+	Module string `json:"module"`
+	// Revision is the VCS revision the binary was built from, "" when
+	// the build carried no VCS stamp (e.g. `go test` binaries).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// String renders the stamp for logs: "(devel) rev 5162869a dirty".
+func (v VersionInfo) String() string {
+	s := v.Module
+	if s == "" {
+		s = "unknown"
+	}
+	if v.Revision != "" {
+		rev := v.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+	}
+	if v.Dirty {
+		s += " dirty"
+	}
+	return s
+}
+
+var (
+	versionOnce sync.Once
+	versionInfo VersionInfo
+)
+
+// Version returns the build stamp of the running binary, read once
+// from debug.ReadBuildInfo.
+func Version() VersionInfo {
+	versionOnce.Do(func() {
+		versionInfo = VersionInfo{Module: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		versionInfo.Module = bi.Main.Version
+		if versionInfo.Module == "" {
+			versionInfo.Module = "(devel)"
+		}
+		versionInfo.GoVersion = bi.GoVersion
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				versionInfo.Revision = kv.Value
+			case "vcs.modified":
+				versionInfo.Dirty = kv.Value == "true"
+			}
+		}
+	})
+	return versionInfo
+}

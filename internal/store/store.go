@@ -8,12 +8,38 @@ import (
 	"sync"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/obs"
 )
 
 const (
 	segmentName  = "segment"
 	manifestName = "manifest.json"
 )
+
+// Durability observability: write volume, fsync pressure, and what
+// recovery found. The per-outcome recovery counters share one family
+// (store_recovery_total) with the outcome as a label; "recovered" and
+// "regenerated" are stamped by the engine opening the store (which is
+// where the decision lands — see stream.Open), the torn-tail counter
+// here because only Open sees the truncation.
+var (
+	mBytesWritten = obs.Default().Counter("store_bytes_written_total",
+		"Bytes written to segment and manifest files.")
+	mFramesWritten = obs.Default().Counter("store_frames_written_total",
+		"CRC32-framed blocks written into segment files.")
+	mFsyncs = obs.Default().Counter("store_fsync_total",
+		"File syncs issued by segment and manifest writes.")
+	mTornTail = obs.Default().Counter("store_recovery_total",
+		"Store recovery outcomes.", obs.L("outcome", "torn-tail-truncated"))
+)
+
+// RecoveryOutcome counts one store-open outcome ("recovered" or
+// "regenerated") in store_recovery_total; the opener calls it once the
+// decision is made.
+func RecoveryOutcome(outcome string) {
+	obs.Default().Counter("store_recovery_total", "Store recovery outcomes.",
+		obs.L("outcome", outcome)).Inc()
+}
 
 // Store is one on-disk study directory: the segment file plus the
 // ingest manifest. Open recovers whatever the directory holds;
@@ -62,6 +88,7 @@ func Open(fsys FS, dir string) (*Store, error) {
 		if err := fsys.Truncate(segPath, int64(valid)); err != nil {
 			return nil, fmt.Errorf("store: truncate torn segment tail: %w", err)
 		}
+		mTornTail.Inc()
 	}
 	switch {
 	case seg == nil:
@@ -128,6 +155,8 @@ func (s *Store) Note() string {
 // A crash mid-write leaves a torn tail the next Open truncates and
 // regenerates past; once WriteStudy returns, the segment is durable.
 func (s *Store) WriteStudy(configJSON []byte, m *core.StudyMaterial) error {
+	sp := obs.StartStage(obs.StageStorePersist)
+	defer sp.End()
 	buf := encodeSegment(configJSON, m)
 	f, err := s.fsys.OpenFile(filepath.Join(s.dir, segmentName), os.O_WRONLY|os.O_CREATE|os.O_TRUNC)
 	if err != nil {
@@ -144,6 +173,11 @@ func (s *Store) WriteStudy(configJSON []byte, m *core.StudyMaterial) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: close segment: %w", err)
 	}
+	mBytesWritten.Add(int64(len(buf)))
+	// The segment layout: config + payload-dict + layout frames, then
+	// one frame per epoch (encodeSegment).
+	mFramesWritten.Add(int64(3 + len(m.Epochs)))
+	mFsyncs.Inc()
 	s.mu.Lock()
 	s.cfgJSON = configJSON
 	s.material = m
@@ -160,6 +194,8 @@ func (s *Store) SetIngested(n int) error {
 	if n < 0 {
 		return fmt.Errorf("store: negative ingest cursor %d", n)
 	}
+	sp := obs.StartStage(obs.StageStorePersist)
+	defer sp.End()
 	buf, err := json.Marshal(manifest{Version: 1, Ingested: n})
 	if err != nil {
 		return err
@@ -184,6 +220,8 @@ func (s *Store) SetIngested(n int) error {
 	if err := s.fsys.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
 		return fmt.Errorf("store: publish manifest: %w", err)
 	}
+	mBytesWritten.Add(int64(len(buf)))
+	mFsyncs.Inc()
 	s.mu.Lock()
 	s.ingested = n
 	s.mu.Unlock()

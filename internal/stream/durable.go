@@ -50,6 +50,11 @@ func Open(cfg Config, st *store.Store) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if recovered {
+		store.RecoveryOutcome("recovered")
+	} else {
+		store.RecoveryOutcome("regenerated")
+	}
 
 	eng := &Engine{
 		es:        es,

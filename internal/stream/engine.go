@@ -17,8 +17,27 @@ import (
 	"time"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/obs"
 	"cloudwatch/internal/scanners"
 	"cloudwatch/internal/store"
+)
+
+// Engine-level observability: how the snapshot LRU behaves under read
+// traffic (a miss means a from-scratch snapshot_rebuild) and how far
+// ingestion has advanced, registry-wide across every engine of the
+// process (one serving engine per process is the intended topology;
+// multi-engine sweeps simply sum).
+var (
+	mSnapHits = obs.Default().Counter("stream_snapshot_lru_hits_total",
+		"Non-tip snapshot requests served from the prefix-snapshot LRU.")
+	mSnapMisses = obs.Default().Counter("stream_snapshot_lru_misses_total",
+		"Non-tip snapshot requests that fell out of the LRU and reassembled from scratch.")
+	mSnapEvictions = obs.Default().Counter("stream_snapshot_lru_evictions_total",
+		"Prefix snapshots evicted from the snapshot LRU.")
+	mSnapEntries = obs.Default().Gauge("stream_snapshot_lru_entries",
+		"Prefix snapshots currently retained in the snapshot LRU.")
+	mEpochsIngested = obs.Default().Counter("stream_epochs_ingested_total",
+		"Epochs ingested (incremental snapshot assemblies published).")
 )
 
 // Config sizes a streaming study.
@@ -106,8 +125,17 @@ func (c *snapLRU) put(prefix int, snap *core.Study) {
 	if len(c.entries) >= snapCacheCap {
 		copy(c.entries, c.entries[1:])
 		c.entries = c.entries[:len(c.entries)-1]
+		mSnapEvictions.Inc()
 	}
 	c.entries = append(c.entries, snapEntry{prefix, snap})
+	mSnapEntries.Set(int64(len(c.entries)))
+}
+
+// len returns the current entry count.
+func (c *snapLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }
 
 // New generates the epoch-partitioned study material (the expensive
@@ -181,6 +209,7 @@ func (e *Engine) IngestNext() (prefix int, ok bool, err error) {
 	e.tip = snap
 	e.ingested = p
 	e.mu.Unlock()
+	mEpochsIngested.Inc()
 	if e.st != nil {
 		// The in-memory ingest stands either way (the snapshot is
 		// published and a retry ingests the next epoch); the error
@@ -198,6 +227,12 @@ func (e *Engine) IngestNext() (prefix int, ok bool, err error) {
 // durable store rather than generated (false for engines without a
 // store).
 func (e *Engine) Recovered() bool { return e.recovered }
+
+// SnapCacheStats reports the snapshot LRU's occupancy and capacity
+// (the tip snapshot is held separately and not counted).
+func (e *Engine) SnapCacheStats() (entries, capacity int) {
+	return e.cache.len(), snapCacheCap
+}
 
 // Close releases the engine's durable store, if any. Snapshots remain
 // servable; only durability updates stop.
@@ -243,8 +278,10 @@ func (e *Engine) Snapshot(prefix int) (*core.Study, error) {
 		return tip, nil
 	}
 	if snap := e.cache.get(prefix); snap != nil {
+		mSnapHits.Inc()
 		return snap, nil
 	}
+	mSnapMisses.Inc()
 	// Evicted from the LRU: reassemble from scratch, outside any lock
 	// (concurrent misses may both assemble; both results are valid and
 	// identical, and the second put just refreshes recency).

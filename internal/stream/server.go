@@ -4,7 +4,10 @@ import (
 	"container/list"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -12,7 +15,30 @@ import (
 	"time"
 
 	"cloudwatch/internal/core"
+	"cloudwatch/internal/obs"
 	"cloudwatch/internal/scanners"
+)
+
+// Server-level observability: render-cache behavior (hits cost a map
+// probe, misses cost a table render), singleflight dedup (requests
+// that waited on an in-flight render instead of duplicating it), and
+// handler panics. Per-route request counts and latency live in
+// obs.HTTPMiddleware, which Handler wraps around the mux.
+var (
+	mRenderHits = obs.Default().Counter("stream_render_cache_hits_total",
+		"Snapshot render requests served from the render cache.")
+	mRenderMisses = obs.Default().Counter("stream_render_cache_misses_total",
+		"Snapshot render requests that rendered (cache miss).")
+	mRenderEvictions = obs.Default().Counter("stream_render_cache_evictions_total",
+		"Renders evicted from the LRU-bounded render cache.")
+	mRenderEntries = obs.Default().Gauge("stream_render_cache_entries",
+		"Renders currently cached.")
+	mRenderCap = obs.Default().Gauge("stream_render_cache_cap",
+		"Render cache capacity (entries).")
+	mSingleflight = obs.Default().Counter("stream_singleflight_dedup_total",
+		"Requests that waited on another request's in-flight render.")
+	mPanics = obs.Default().Counter("http_panics_total",
+		"Handler panics converted to JSON 500s by the recovery middleware.")
 )
 
 // Server exposes a streaming study over HTTP as JSON: ingestion state,
@@ -49,6 +75,15 @@ type Server struct {
 	// before serving via SetRenderCacheCap.
 	cacheCap int
 
+	// logger receives one structured line per request from the
+	// request-logging middleware (SetLogger to replace; defaults to a
+	// text handler on stderr).
+	logger *slog.Logger
+
+	// pprofOn exposes net/http/pprof under /debug/pprof/ when set
+	// before Handler is called (EnablePprof; the CLI's -pprof flag).
+	pprofOn bool
+
 	mu      sync.Mutex
 	renders map[renderKey]*renderEntry
 	lru     *list.List // *renderEntry, most recently touched at front
@@ -84,14 +119,25 @@ func NewServer(eng *Engine) *Server {
 	s := &Server{
 		render:   core.RenderExperiment,
 		cacheCap: DefaultRenderCacheCap,
+		logger:   slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		renders:  map[renderKey]*renderEntry{},
 		lru:      list.New(),
 	}
+	mRenderCap.Set(int64(s.cacheCap))
 	if eng != nil {
 		s.eng.Store(eng)
 	}
 	return s
 }
+
+// SetLogger replaces the request logger (nil silences request logging
+// while keeping the request metrics). Call before serving.
+func (s *Server) SetLogger(l *slog.Logger) { s.logger = l }
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
+// Handler call — opt-in, because profiling endpoints on a public
+// listener are an operator decision (the CLI's -pprof flag).
+func (s *Server) EnablePprof() { s.pprofOn = true }
 
 // SetEngine attaches (or replaces) the engine. Safe to call while the
 // server is already accepting requests: handlers observe the swap
@@ -108,7 +154,15 @@ func (s *Server) Engine() *Engine { return s.eng.Load() }
 func (s *Server) SetRenderCacheCap(n int) {
 	if n >= 1 {
 		s.cacheCap = n
+		mRenderCap.Set(int64(n))
 	}
+}
+
+// renderCacheStats reports the render cache's occupancy and capacity.
+func (s *Server) renderCacheStats() (entries, capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.renders), s.cacheCap
 }
 
 // SetSweepDefaults installs the sweep parameters /v1/sweep uses when a
@@ -117,18 +171,33 @@ func (s *Server) SetRenderCacheCap(n int) {
 func (s *Server) SetSweepDefaults(req SweepRequest) { s.sweepDefaults = req }
 
 // Handler returns the HTTP handler serving the API, wrapped in the
-// panic-recovery middleware: a panicking handler answers a JSON 500
-// instead of tearing down the connection, and the server keeps
-// serving.
+// panic-recovery middleware (a panicking handler answers a JSON 500
+// instead of tearing down the connection) and the request
+// observability middleware (per-route request counts and latency, the
+// in-flight gauge, and one structured log line per request — the log
+// middleware sits outside recovery, so panics log as the 500s they
+// answered). The observability endpoints are never engine-gated:
+// metrics and traces must be scrapable while the study is still
+// generating or recovering.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetricsJSON)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/status", s.engineHandler(s.handleStatus))
 	mux.HandleFunc("GET /v1/snapshot/{prefix}/{experiment}", s.engineHandler(s.handleSnapshot))
 	mux.HandleFunc("GET /v1/sweep", s.engineHandler(s.handleSweep))
 	mux.HandleFunc("POST /v1/ingest", s.engineHandler(s.handleIngest))
-	return s.withRecovery(mux)
+	if s.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return obs.HTTPMiddleware(s.logger, s.withRecovery(mux))
 }
 
 // engineHandler gates a handler on engine attachment: before
@@ -152,6 +221,7 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
+				mPanics.Inc()
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 			}
 		}()
@@ -162,6 +232,45 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 // handleHealthz is pure liveness: the process is up and serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetricsProm serves the process-wide metrics registry in the
+// Prometheus text exposition format.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
+}
+
+// handleMetricsJSON serves the same registry as JSON, with
+// interpolated p50/p99 on every histogram.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Default().Snapshot())
+}
+
+// traceResponse is the GET /v1/trace body: the all-time per-stage
+// breakdown plus the ring of most recent spans.
+type traceResponse struct {
+	Capacity   int                `json:"capacity"`
+	TotalSpans uint64             `json:"total_spans"`
+	Stages     []obs.StageSummary `json:"stages"`
+	Recent     []obs.SpanRecord   `json:"recent"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t := obs.DefaultTracer()
+	writeJSON(w, http.StatusOK, traceResponse{
+		Capacity:   t.Capacity(),
+		TotalSpans: t.Total(),
+		Stages:     t.Summary(),
+		Recent:     t.Recent(),
+	})
+}
+
+// cacheStats is the occupancy/capacity pair /v1/status and /readyz
+// report for the render cache and the snapshot LRU.
+type cacheStats struct {
+	Entries int `json:"entries"`
+	Cap     int `json:"cap"`
 }
 
 // handleReadyz reports readiness to serve study data: an engine is
@@ -178,12 +287,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "not ready: no epoch ingested yet")
 		return
 	}
+	rcEntries, rcCap := s.renderCacheStats()
+	slEntries, slCap := eng.SnapCacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ready",
-		"scenario":  eng.Scenario(),
-		"ingested":  ingested,
-		"epochs":    eng.NumEpochs(),
-		"recovered": eng.Recovered(),
+		"status":       "ready",
+		"version":      obs.Version().String(),
+		"scenario":     eng.Scenario(),
+		"ingested":     ingested,
+		"epochs":       eng.NumEpochs(),
+		"recovered":    eng.Recovered(),
+		"render_cache": cacheStats{rcEntries, rcCap},
+		"snapshot_lru": cacheStats{slEntries, slCap},
 	})
 }
 
@@ -198,6 +312,9 @@ type statusEpoch struct {
 }
 
 type statusResponse struct {
+	// Version stamps the serving binary (module version + VCS
+	// revision), so measurements name what they measured.
+	Version  string `json:"version"`
 	Year     int    `json:"year"`
 	Seed     int64  `json:"seed"`
 	Epochs   int    `json:"epochs"`
@@ -210,13 +327,18 @@ type statusResponse struct {
 	Scenarios           []string      `json:"scenarios"`
 	Experiments         []string      `json:"experiments"`
 	SweepTables         []string      `json:"sweep_tables"`
+	RenderCache         cacheStats    `json:"render_cache"`
+	SnapshotLRU         cacheStats    `json:"snapshot_lru"`
 	EpochList           []statusEpoch `json:"epoch_list"`
 }
 
 func (s *Server) handleStatus(eng *Engine, w http.ResponseWriter, r *http.Request) {
 	cfg := eng.es.Config()
 	ingested := eng.Ingested()
+	rcEntries, rcCap := s.renderCacheStats()
+	slEntries, slCap := eng.SnapCacheStats()
 	resp := statusResponse{
+		Version:             obs.Version().String(),
 		Year:                cfg.Year,
 		Seed:                cfg.Seed,
 		Epochs:              eng.NumEpochs(),
@@ -226,6 +348,8 @@ func (s *Server) handleStatus(eng *Engine, w http.ResponseWriter, r *http.Reques
 		Scenarios:           scanners.Scenarios(),
 		Experiments:         core.ExperimentNames(),
 		SweepTables:         core.SweepTables(),
+		RenderCache:         cacheStats{rcEntries, rcCap},
+		SnapshotLRU:         cacheStats{slEntries, slCap},
 	}
 	for e := 0; e < eng.NumEpochs(); e++ {
 		start, end := eng.Window(e)
@@ -311,8 +435,10 @@ func (s *Server) handleSnapshot(eng *Engine, w http.ResponseWriter, r *http.Requ
 	s.mu.Lock()
 	ent, cached := s.renders[key]
 	if cached {
+		mRenderHits.Inc()
 		s.lru.MoveToFront(ent.elem)
 	} else {
+		mRenderMisses.Inc()
 		ent = &renderEntry{key: key, ready: make(chan struct{})}
 		ent.elem = s.lru.PushFront(ent)
 		s.renders[key] = ent
@@ -321,10 +447,21 @@ func (s *Server) handleSnapshot(eng *Engine, w http.ResponseWriter, r *http.Requ
 			evicted := oldest.Value.(*renderEntry)
 			s.lru.Remove(oldest)
 			delete(s.renders, evicted.key)
+			mRenderEvictions.Inc()
 		}
+		mRenderEntries.Set(int64(len(s.renders)))
 	}
 	s.mu.Unlock()
 	if cached {
+		// A hit whose entry is still rendering means this request is
+		// deduplicated onto an in-flight render — the singleflight win —
+		// as opposed to a settled entry served from memory. The
+		// non-blocking probe distinguishes the two.
+		select {
+		case <-ent.ready:
+		default:
+			mSingleflight.Inc()
+		}
 		<-ent.ready
 		if ent.failed {
 			writeError(w, http.StatusInternalServerError, "render failed; retry")
@@ -346,6 +483,7 @@ func (s *Server) handleSnapshot(eng *Engine, w http.ResponseWriter, r *http.Requ
 			if s.renders[key] == ent { // don't evict a successor entry
 				s.lru.Remove(ent.elem)
 				delete(s.renders, key)
+				mRenderEntries.Set(int64(len(s.renders)))
 			}
 			s.mu.Unlock()
 		}()

@@ -1,0 +1,156 @@
+package stream
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cloudwatch/internal/obs"
+)
+
+// TestServerMetricsEndpoints drives a real engine through ingest and a
+// cached render, then asserts the three observability endpoints serve
+// what a scraper (and a human) needs: the Prometheus families the
+// instrumentation registers, the JSON snapshot, and the trace ring.
+func TestServerMetricsEndpoints(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Engine().IngestAll(); err != nil {
+		t.Fatal(err)
+	}
+	// One render twice: a cache miss then a hit, so the render-cache
+	// counters are provably non-zero by the time we scrape.
+	getJSON(t, ts.URL+"/v1/snapshot/2/table1", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/v1/snapshot/2/table1", http.StatusOK, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text format 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	// Every family the acceptance criteria name: stage histograms,
+	// cache counters, and per-route request metrics. (The recovery
+	// outcome family needs a durable store; crash_smoke.sh covers it.)
+	for _, want := range []string{
+		"# TYPE stage_duration_seconds histogram",
+		`stage_duration_seconds_bucket{stage="epoch_generation",le="`,
+		`stage_duration_seconds_bucket{stage="incremental_assembly",le="`,
+		`stage_duration_seconds_bucket{stage="table_render",le="`,
+		`stage_duration_seconds_sum{stage="table_render"}`,
+		"# TYPE stream_render_cache_hits_total counter",
+		"# TYPE stream_render_cache_misses_total counter",
+		"# TYPE stream_render_cache_entries gauge",
+		"# TYPE stream_epochs_ingested_total counter",
+		"# TYPE stream_snapshot_lru_entries gauge",
+		"# TYPE core_records_generated_total counter",
+		"# TYPE http_requests_total counter",
+		`http_requests_total{route="GET /v1/snapshot/{prefix}/{experiment}"}`,
+		"# TYPE http_request_duration_seconds histogram",
+		"# TYPE http_in_flight_requests gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	var snap obs.MetricsSnapshot
+	getJSON(t, ts.URL+"/v1/metrics", http.StatusOK, &snap)
+	found := false
+	for _, fam := range snap.Metrics {
+		if fam.Name == "stage_duration_seconds" && fam.Type == "histogram" {
+			found = len(fam.Values) > 0
+		}
+	}
+	if !found {
+		t.Error("/v1/metrics lacks the stage_duration_seconds histogram family")
+	}
+
+	var tr traceResponse
+	getJSON(t, ts.URL+"/v1/trace", http.StatusOK, &tr)
+	if tr.Capacity != obs.DefaultTraceCapacity {
+		t.Errorf("trace capacity = %d, want %d", tr.Capacity, obs.DefaultTraceCapacity)
+	}
+	if tr.TotalSpans == 0 || len(tr.Recent) == 0 || len(tr.Stages) == 0 {
+		t.Errorf("trace = %d total, %d recent, %d stages; want all non-zero",
+			tr.TotalSpans, len(tr.Recent), len(tr.Stages))
+	}
+}
+
+// TestServerStatusReportsCachesAndVersion: /v1/status and /readyz carry
+// the build version and the occupancy/capacity of both caches.
+func TestServerStatusReportsCachesAndVersion(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Engine().IngestAll(); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/v1/snapshot/1/table1", http.StatusOK, nil)
+
+	var st statusResponse
+	getJSON(t, ts.URL+"/v1/status", http.StatusOK, &st)
+	if st.Version == "" {
+		t.Error("status.version is empty")
+	}
+	if st.RenderCache.Cap <= 0 || st.RenderCache.Entries < 1 {
+		t.Errorf("render_cache = %+v, want cap > 0 and at least the render above cached", st.RenderCache)
+	}
+	if st.SnapshotLRU.Cap != snapCacheCap {
+		t.Errorf("snapshot_lru.cap = %d, want %d", st.SnapshotLRU.Cap, snapCacheCap)
+	}
+
+	var ready struct {
+		Version     string     `json:"version"`
+		RenderCache cacheStats `json:"render_cache"`
+		SnapshotLRU cacheStats `json:"snapshot_lru"`
+	}
+	getJSON(t, ts.URL+"/readyz", http.StatusOK, &ready)
+	if ready.Version != st.Version {
+		t.Errorf("readyz version %q != status version %q", ready.Version, st.Version)
+	}
+	if ready.RenderCache != st.RenderCache {
+		t.Errorf("readyz render_cache %+v != status %+v", ready.RenderCache, st.RenderCache)
+	}
+}
+
+// TestServerPprofOptIn: /debug/pprof/ is absent by default and present
+// after EnablePprof.
+func TestServerPprofOptIn(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without opt-in = %d, want 404", resp.StatusCode)
+	}
+
+	srv := NewServer(newTestEngine(t, 1))
+	srv.SetLogger(nil)
+	srv.EnablePprof()
+	ts2 := httptest.NewServer(srv.Handler())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("pprof with opt-in = %d, want 200", resp2.StatusCode)
+	}
+	body, _ := io.ReadAll(resp2.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Error("pprof index does not list profiles")
+	}
+}

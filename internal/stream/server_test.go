@@ -19,6 +19,7 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	eng := newTestEngine(t, 3)
 	srv := NewServer(eng)
+	srv.SetLogger(nil) // keep request metrics, silence per-request log lines
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts

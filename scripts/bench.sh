@@ -7,17 +7,18 @@
 # summary for cross-PR comparison.
 #
 # Usage: scripts/bench.sh [output.json] [bench-log]
-#   output.json  summary destination (default: BENCH_PR9.json)
+#   output.json  summary destination (default: BENCH_PR10.json)
 #   bench-log    existing `go test -bench` output to parse for the
 #                cold-path numbers instead of re-running them (lets CI
 #                run them once); the steady-state pass always runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
 log="${2:-}"
 steady="$(mktemp)"
-cleanup="$steady"
+stage="$(mktemp)"
+cleanup="$steady $stage"
 trap 'rm -f $cleanup' EXIT
 if [ -z "$log" ]; then
   log="$(mktemp)"
@@ -51,7 +52,10 @@ go test -bench 'BenchmarkScenarioGeneration' -benchtime=3x -run '^$' . | tee -a 
 # engine over prefix snapshots) vs cold (fresh truncated run per
 # point). BenchmarkSweepWarm runs 20 iterations so the steady state
 # dominates the first iteration's cache build.
-go test -bench 'BenchmarkStreamIngest$' -benchtime=3x -benchmem -count=3 -run '^$' . | tee -a "$log"
+# BenchmarkStreamIngestBare is the same ingest with stage tracing off;
+# the instrumented/bare records-per-sec ratio prices the observability
+# layer (acceptance: >= 0.98, i.e. <= 2% overhead).
+go test -bench 'BenchmarkStreamIngest$|BenchmarkStreamIngestBare$' -benchtime=3x -benchmem -count=3 -run '^$' . | tee -a "$log"
 # Per-epoch ingest latency at prefix 2 vs prefix 8: with incremental
 # snapshot assembly the p8/p2 ratio should sit near 1.0 (flat), where
 # the O(prefix) from-scratch assembler sat near 3.
@@ -63,6 +67,15 @@ go test -bench 'BenchmarkSweepCold$' -benchtime=10x -run '^$' . | tee -a "$log"
 # one (regenerate from the seed). The recovered path should be the
 # clearly cheaper one.
 go test -bench 'BenchmarkColdStart' -benchtime=5x -run '^$' . | tee -a "$log"
+
+# Per-stage ingest breakdown: one sweep-mode CLI run with -trace; its
+# `trace: stage=...` stderr lines carry the per-stage medians the
+# parser folds into the JSON (which stage the ingest wall-clock goes
+# to: generation, assembly, repair, render).
+echo "== -trace stage breakdown (sweep-mode CLI run)"
+go run ./cmd/cloudwatch -experiment sweep -epochs 8 -sweep-tables table2 \
+  -sweep-kmin 1 -sweep-kmax 3 -trace >/dev/null 2>"$stage"
+grep '^trace:' "$stage" | tee -a "$log"
 
 go test -bench 'BenchmarkTable2Neighborhoods$|BenchmarkTable5GeoSimilarity$' \
   -benchtime=20x -run '^$' . | tee "$steady"
@@ -103,6 +116,24 @@ awk -v out="$out" '
         if (!(name in sgen)) sgorder[sgn++] = name
         sgen[name] = $(i-1)
       }
+    next
+  }
+  file == 1 && /^BenchmarkStreamIngestBare/ {
+    for (i = 1; i <= NF; i++)
+      if ($i == "records/sec" && $(i-1) + 0 > bare + 0) bare = $(i-1)
+    next
+  }
+  # Per-stage medians from the -trace CLI run (trace: stage=... lines).
+  file == 1 && /^trace: stage=/ {
+    st = ""; med = ""
+    for (i = 1; i <= NF; i++) {
+      if ($i ~ /^stage=/) st = substr($i, 7)
+      if ($i ~ /^median_ms=/) med = substr($i, 11)
+    }
+    if (st != "" && med != "") {
+      if (!(st in stmed)) storder[stn++] = st
+      stmed[st] = med
+    }
     next
   }
   file == 1 && /^BenchmarkStreamIngestLatency/ {
@@ -151,6 +182,10 @@ awk -v out="$out" '
     printf "{\n  \"records_per_sec\": %s,\n", (rps == "" ? "null" : rps) > out
     printf "  \"streaming_ingest_records_per_sec\": %s,\n", (ingest == "" ? "null" : ingest) >> out
     printf "  \"streaming_ingest_allocs_per_op\": %s,\n", (ingalloc == "" ? "null" : ingalloc) >> out
+    printf "  \"streaming_ingest_bare_records_per_sec\": %s,\n", (bare == "" ? "null" : bare) >> out
+    # Instrumented over bare throughput: the price of the observability
+    # layer on the ingest path. 1.0 means free; the bar is >= 0.98.
+    printf "  \"streaming_ingest_obs_over_bare\": %s,\n", (ingest != "" && bare + 0 > 0 ? sprintf("%.3f", ingest / bare) : "null") >> out
     # Epoch-partitioned generation over batch generation, same varying
     # seeds: the tax the streaming pipeline pays for epoch splitting.
     sg = gen["BenchmarkStreamGeneration"]; bg = gen["BenchmarkStudyGeneration"]
@@ -167,6 +202,10 @@ awk -v out="$out" '
     printf "    \"prefix2_ms\": %s,\n", (lp2 == "" ? "null" : lp2) >> out
     printf "    \"prefix8_ms\": %s,\n", (lp8 == "" ? "null" : lp8) >> out
     printf "    \"p8_over_p2\": %s\n", (lratio == "" ? "null" : lratio) >> out
+    printf "  },\n" >> out
+    printf "  \"ingest_stage_median_ms\": {\n" >> out
+    for (i = 0; i < stn; i++)
+      printf "    \"%s\": %s%s\n", storder[i], stmed[storder[i]], (i < stn-1 ? "," : "") >> out
     printf "  },\n" >> out
     printf "  \"scenario_generation_records_per_sec\": {\n" >> out
     for (i = 0; i < sgn; i++)

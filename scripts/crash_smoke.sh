@@ -79,6 +79,14 @@ if ! grep -q "generation skipped" "$dir/run2.log"; then
   cat "$dir/run2.log" >&2
   exit 1
 fi
+# The metrics endpoint must agree with the logs: exactly one recovery,
+# counted under the "recovered" outcome.
+metrics="$(curl -fsS "http://$addr/metrics")"
+if ! printf '%s\n' "$metrics" | grep -q '^store_recovery_total{outcome="recovered"} 1$'; then
+  echo "FAIL: /metrics does not report store_recovery_total{outcome=\"recovered\"} == 1" >&2
+  printf '%s\n' "$metrics" | grep '^store_recovery_total' >&2 || true
+  exit 1
+fi
 got="$(fetch_render)"
 kill -TERM "$pid"
 rc=0; wait "$pid" || rc=$?
